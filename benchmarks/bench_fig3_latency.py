@@ -1,0 +1,34 @@
+"""Figure 3 — p99 latency, YCSB A/B/T x {zipfian, uniform} at 100 RPS.
+
+Regenerates the bar series of the paper's Figure 3: Statefun and
+StateFlow on YCSB A and B under both key distributions, plus StateFlow on
+the transactional workload T (Statefun offers no transaction support and
+is not run on T, exactly as in the paper).
+
+Shape assertions (not absolute numbers — our substrate is a simulator):
+- Statefun's p99 is roughly equal across workloads and distributions
+  (no locking, every call pays the same external-runtime round trip);
+- StateFlow beats Statefun on every A/B cell (direct function-to-function
+  channels, no Kafka round trips per hop);
+- StateFlow's T latency is the highest of its bars yet stays below the
+  figure's 200 ms axis.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import check_figure3_shape, format_table, run_figure3
+
+
+def test_figure3_latency(benchmark):
+    rows = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    emit("fig3_latency", format_table(
+        rows, "Figure 3: YCSB p99 latency at 100 RPS"))
+    problems = check_figure3_shape(rows)
+    assert not problems, problems
+    flow_rows = [r for r in rows if r.system == "stateflow"]
+    t_rows = [r for r in flow_rows if r.workload == "T"]
+    ab_rows = [r for r in flow_rows if r.workload != "T"]
+    assert min(r.p99_ms for r in t_rows) > max(r.p99_ms for r in ab_rows), (
+        "transactional workload should cost more than single-key ops")

@@ -1,0 +1,27 @@
+"""Figure 4 — p50/p99 latency vs input throughput, mixed workload M.
+
+Regenerates the paper's Figure 4: both systems driven with workload M
+(45% reads, 45% updates, 10% transfers) at increasing request rates from
+1000 to 4000 RPS.
+
+Shape assertions: Statefun's p99 diverges (its remote-function pool —
+half the CPU budget — saturates) before the top rate, while StateFlow,
+which "bundles execution, state, and messaging" on all its workers,
+sustains the sweep with far lower latency.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import check_figure4_shape, format_table, run_figure4
+
+
+def test_figure4_throughput(benchmark):
+    rows = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    emit("fig4_throughput", format_table(
+        rows, "Figure 4: latency vs input throughput (workload M)",
+        columns=["system", "rps", "p50_ms", "p99_ms", "sent", "completed",
+                 "errors"]))
+    problems = check_figure4_shape(rows)
+    assert not problems, problems

@@ -1,0 +1,146 @@
+"""E-commerce checkout: a multi-entity saga without saga code.
+
+The scenario the paper's introduction motivates: a web shop where the
+business logic — reserve stock for every line item, charge the customer —
+must stay consistent across partitioned state, without the programmer
+writing retries, rollbacks, or idempotency bookkeeping.
+
+``Cart.checkout`` iterates its line items (a while loop over remote
+calls — split by the compiler), reserves stock, and charges the wallet;
+``@transactional`` makes the whole call tree atomic on StateFlow.
+
+Run:  python examples/ecommerce_checkout.py
+"""
+
+from repro import compile_program, entity, transactional
+from repro.runtimes.stateflow import StateflowRuntime
+
+
+@entity
+class Product:
+    def __init__(self, sku: str, price: int, stock: int):
+        self.sku: str = sku
+        self.price: int = price
+        self.stock: int = stock
+
+    def __key__(self):
+        return self.sku
+
+    def reserve(self, quantity: int) -> int:
+        """Take stock; returns the line cost or -1 if unavailable."""
+        if self.stock < quantity:
+            return -1
+        self.stock -= quantity
+        return self.price * quantity
+
+    def release(self, quantity: int) -> int:
+        """Compensate a reservation (Figure 1's update_stock pattern)."""
+        self.stock += quantity
+        return self.stock
+
+
+@entity
+class Wallet:
+    def __init__(self, owner: str, funds: int):
+        self.owner: str = owner
+        self.funds: int = funds
+
+    def __key__(self):
+        return self.owner
+
+    def charge(self, amount: int) -> bool:
+        if self.funds < amount:
+            return False
+        self.funds -= amount
+        return True
+
+
+@entity
+class Cart:
+    def __init__(self, cart_id: str):
+        self.cart_id: str = cart_id
+        self.skus: list = []
+        self.quantities: list = []
+        self.orders_placed: int = 0
+
+    def __key__(self):
+        return self.cart_id
+
+    def add(self, product: Product, quantity: int) -> int:
+        self.skus.append(product)
+        self.quantities.append(quantity)
+        return len(self.skus)
+
+    @transactional
+    def checkout(self, wallet: Wallet) -> int:
+        """Reserve every line item, then charge the wallet.
+
+        Business-level failures compensate explicitly (the Figure 1
+        pattern: put reserved stock back); the *system* guarantees the
+        whole call tree — reservations, charge, compensations — applies
+        atomically and exactly once, with no visible intermediate state
+        and no retry/idempotency code.  Returns the order total, or -1.
+        """
+        total: int = 0
+        reserved: int = 0
+        failed: bool = False
+        i: int = 0
+        while i < len(self.skus):
+            product: Product = self.skus[i]
+            quantity: int = self.quantities[i]
+            cost: int = product.reserve(quantity)
+            if cost < 0:
+                failed = True
+                break
+            total = total + cost
+            reserved = reserved + 1
+            i = i + 1
+        if not failed:
+            paid: bool = wallet.charge(total)
+            if not paid:
+                failed = True
+        if failed:
+            # Compensate every successful reservation, then report.
+            j: int = 0
+            while j < reserved:
+                line: Product = self.skus[j]
+                line.release(self.quantities[j])
+                j = j + 1
+            return -1
+        self.orders_placed += 1
+        return total
+
+
+def main() -> None:
+    program = compile_program([Product, Wallet, Cart])
+    runtime = StateflowRuntime(program)
+
+    espresso = runtime.create(Product, "espresso-machine", 120, 5)
+    beans = runtime.create(Product, "arabica-1kg", 18, 50)
+    wallet = runtime.create(Wallet, "alice", 200)
+    cart = runtime.create(Cart, "alice-cart-1")
+
+    runtime.call(cart, "add", espresso, 1)
+    runtime.call(cart, "add", beans, 2)
+
+    result = runtime.invoke(cart, "checkout", wallet)
+    print(f"checkout total: {result.value} "
+          f"(latency {result.latency_ms:.1f} ms simulated)")
+    print("wallet:", runtime.entity_state(wallet))
+    print("espresso stock:", runtime.entity_state(espresso)["stock"])
+
+    # A second checkout fails on funds.  The compensations inside the
+    # method run in the same atomic transaction, so clients can never
+    # observe a state where stock is reserved but nothing was paid.
+    before = runtime.entity_state(espresso)["stock"]
+    result = runtime.invoke(cart, "checkout", wallet)
+    after = runtime.entity_state(espresso)["stock"]
+    print(f"second checkout (insufficient funds): {result.value}")
+    print(f"stock restored by compensation: {before} == {after} "
+          f"-> {before == after}")
+    assert before == after
+    assert runtime.entity_state(cart)["orders_placed"] == 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: the paper's Figure 1 — a User buying Items.
+
+Two annotated Python classes become stateful entities; the compiler turns
+them into a dataflow; the Local runtime executes it in-process so you can
+debug and unit test, then the same program runs unchanged on the
+distributed runtimes (see the other examples).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LocalRuntime, compile_program, entity, transactional
+
+
+@entity
+class Item:
+    def __init__(self, item_id: str, price: int):
+        self.item_id: str = item_id
+        self.stock: int = 0
+        self.price_per_unit: int = price
+
+    def __key__(self):
+        return self.item_id
+
+    def price(self) -> int:
+        return self.price_per_unit
+
+    def update_stock(self, amount: int) -> bool:
+        self.stock += amount
+        return self.stock >= 0
+
+
+@entity
+class User:
+    def __init__(self, username: str):
+        self.username: str = username
+        self.balance: int = 100
+
+    def __key__(self):
+        return self.username
+
+    @transactional
+    def buy_item(self, amount: int, item: Item) -> bool:
+        total_price: int = amount * item.price()
+        if self.balance < total_price:
+            return False
+        available: bool = item.update_stock(-amount)
+        if not available:
+            item.update_stock(amount)  # compensate: put the stock back
+            return False
+        self.balance -= total_price
+        return True
+
+
+def main() -> None:
+    program = compile_program([Item, User])
+    print(program.dataflow.describe())
+    print()
+
+    runtime = LocalRuntime(program)
+    apple = runtime.create(Item, "apple", 3)
+    runtime.call(apple, "update_stock", 10)
+    alice = runtime.create(User, "alice")
+
+    print("alice buys 2 apples:", runtime.call(alice, "buy_item", 2, apple))
+    print("alice:", runtime.entity_state(alice))
+    print("apple:", runtime.entity_state(apple))
+
+    # Not enough stock: the transaction compensates and reports False,
+    # leaving both entities untouched.
+    print("alice buys 30 apples:", runtime.call(alice, "buy_item", 30, apple))
+    print("apple after failed purchase:", runtime.entity_state(apple))
+
+
+if __name__ == "__main__":
+    main()

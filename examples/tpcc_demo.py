@@ -1,0 +1,69 @@
+"""Partial TPC-C on StateFlow (the paper: "partly TPC-C ... with
+promising performance").
+
+Loads a small TPC-C universe (warehouses, districts, customers, stock),
+then drives NewOrder and Payment transactions through the simulated
+StateFlow deployment and prints latency and protocol statistics.
+
+Run:  python examples/tpcc_demo.py
+"""
+
+import random
+
+from repro import compile_program
+from repro.core.refs import EntityRef
+from repro.runtimes.stateflow import StateflowRuntime
+from repro.workloads import (
+    TPCC_ENTITIES,
+    order_line_refs,
+    sample_dataset,
+)
+
+
+def main() -> None:
+    program = compile_program(TPCC_ENTITIES)
+    runtime = StateflowRuntime(program)
+
+    dataset = sample_dataset(warehouses=2, districts_per_wh=2,
+                             customers_per_district=10, items=50)
+    for entity_name, rows in dataset.items():
+        runtime.preload(entity_name, rows)
+    runtime.start()
+
+    rng = random.Random(5)
+    latencies: dict[str, list[float]] = {"new_order": [], "payment": []}
+    for txn_index in range(60):
+        warehouse = f"wh-{rng.randrange(2)}"
+        district = f"{warehouse}:d-{rng.randrange(2)}"
+        customer = EntityRef("Customer", f"{district}:c-{rng.randrange(10)}")
+        if rng.random() < 0.6:
+            items = rng.sample(range(50), k=rng.randint(1, 5))
+            lines = order_line_refs(warehouse, items)
+            quantities = [rng.randint(1, 5) for _ in items]
+            result = runtime.invoke(customer, "new_order",
+                                    EntityRef("District", district),
+                                    lines, quantities)
+            latencies["new_order"].append(result.latency_ms)
+            assert result.ok and result.value >= 0, result.error
+        else:
+            result = runtime.invoke(customer, "payment", rng.randint(1, 500),
+                                    EntityRef("Warehouse", warehouse),
+                                    EntityRef("District", district))
+            latencies["payment"].append(result.latency_ms)
+            assert result.ok, result.error
+
+    for name, values in latencies.items():
+        values.sort()
+        print(f"{name:9s}: n={len(values)} "
+              f"p50={values[len(values) // 2]:.1f} ms "
+              f"max={values[-1]:.1f} ms")
+    print("aria:", runtime.coordinator.stats)
+
+    # Money conservation: customer spending equals warehouse+district YTD.
+    wh_ytd = sum(runtime.entity_state(EntityRef("Warehouse", f"wh-{w}"))["ytd"]
+                 for w in range(2))
+    print(f"warehouse YTD collected: {wh_ytd}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Benchmark harness for the paper's evaluation section."""
+
+from .harness import (
+    FIG3_CELLS,
+    FIG4_RATES,
+    ExperimentRow,
+    build_runtime,
+    check_figure3_shape,
+    check_figure4_shape,
+    env_ms,
+    format_table,
+    run_figure3,
+    run_figure4,
+    run_ycsb_cell,
+    ycsb_program,
+)
+from .overhead import (
+    COMPONENTS,
+    Blob,
+    OverheadRow,
+    format_overhead_table,
+    run_overhead_breakdown,
+)
+
+__all__ = [
+    "Blob",
+    "COMPONENTS",
+    "ExperimentRow",
+    "FIG3_CELLS",
+    "FIG4_RATES",
+    "OverheadRow",
+    "build_runtime",
+    "check_figure3_shape",
+    "check_figure4_shape",
+    "env_ms",
+    "format_overhead_table",
+    "format_table",
+    "run_figure3",
+    "run_figure4",
+    "run_overhead_breakdown",
+    "run_ycsb_cell",
+    "ycsb_program",
+]

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``compile <module.py> --out app.json`` — import a Python file, compile
+  every ``@entity`` class it defines, and write the portable IR;
+- ``describe <app.json>`` — print a human-readable summary of an IR file;
+- ``dot <app.json> [--method Entity.method]`` — emit Graphviz DOT for the
+  operator dataflow or one method's state machine;
+- ``run <module.py> <Entity> <method> <key> [args...]`` — quick local
+  execution against a fresh Local runtime (debugging aid).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+from .compiler.pipeline import compile_program
+from .core.entity import REGISTRY, EntityRegistry, is_entity_class
+from .core.refs import EntityRef
+from .ir.dot import dataflow_to_dot, machine_to_dot
+from .ir.serde import dataflow_from_json, dataflow_to_json
+from .runtimes.local import LocalRuntime
+
+
+def _load_module_entities(path: str) -> list[type]:
+    """Import *path* as a module and return its ``@entity`` classes."""
+    module_path = Path(path).resolve()
+    spec = importlib.util.spec_from_file_location(module_path.stem,
+                                                  module_path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot import {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_path.stem] = module
+    spec.loader.exec_module(module)
+    classes = [value for value in vars(module).values()
+               if isinstance(value, type) and is_entity_class(value)
+               and value.__module__ == module.__name__]
+    if not classes:
+        raise SystemExit(f"{path!r} defines no @entity classes")
+    return classes
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    classes = _load_module_entities(args.module)
+    program = compile_program(classes)
+    document = dataflow_to_json(program.dataflow, indent=2)
+    if args.out:
+        Path(args.out).write_text(document, encoding="utf-8")
+        print(f"wrote IR for {len(classes)} entities to {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    dataflow = dataflow_from_json(Path(args.ir).read_text(encoding="utf-8"))
+    print(dataflow.describe())
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    dataflow = dataflow_from_json(Path(args.ir).read_text(encoding="utf-8"))
+    if args.method:
+        entity_name, _, method = args.method.partition(".")
+        if not method:
+            raise SystemExit("--method expects Entity.method")
+        machine = dataflow.operator(entity_name).machine(method)
+        print(machine_to_dot(machine))
+    else:
+        print(dataflow_to_dot(dataflow))
+    return 0
+
+
+def _parse_literal(text: str):
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    classes = _load_module_entities(args.module)
+    program = compile_program(classes)
+    runtime = LocalRuntime(program)
+    call_args = [_parse_literal(a) for a in args.args]
+    if args.method == "__init__":
+        ref = runtime.create(args.entity, *call_args)
+        print(f"created {ref}")
+        print(runtime.entity_state(ref))
+        return 0
+    ref = EntityRef(args.entity, _parse_literal(args.key))
+    result = runtime.invoke(ref, args.method, *call_args)
+    if not result.ok:
+        print(f"error: {result.error}", file=sys.stderr)
+        return 1
+    print(result.value)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stateful entities -> distributed dataflows compiler")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = commands.add_parser(
+        "compile", help="compile a module's @entity classes to IR")
+    compile_cmd.add_argument("module")
+    compile_cmd.add_argument("--out", default=None)
+    compile_cmd.set_defaults(handler=_cmd_compile)
+
+    describe_cmd = commands.add_parser(
+        "describe", help="summarise a serialized IR file")
+    describe_cmd.add_argument("ir")
+    describe_cmd.set_defaults(handler=_cmd_describe)
+
+    dot_cmd = commands.add_parser(
+        "dot", help="emit Graphviz DOT for a dataflow or state machine")
+    dot_cmd.add_argument("ir")
+    dot_cmd.add_argument("--method", default=None,
+                         help="Entity.method for a state-machine graph")
+    dot_cmd.set_defaults(handler=_cmd_dot)
+
+    run_cmd = commands.add_parser(
+        "run", help="invoke a method on the Local runtime")
+    run_cmd.add_argument("module")
+    run_cmd.add_argument("entity")
+    run_cmd.add_argument("method")
+    run_cmd.add_argument("key")
+    run_cmd.add_argument("args", nargs="*")
+    run_cmd.set_defaults(handler=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""First static-analysis pass over a stateful entity (paper Section 2.2).
+
+"In the first pass of an Abstract Syntax Tree (AST) static analysis, we
+extract the class's variables (i.e. instance attributes referenced with
+self), the names of each method, and all respective types indicated by the
+programmer."
+
+Given the source of an ``@entity``-decorated class, this pass produces an
+:class:`~repro.core.descriptors.EntityDescriptor` with the state schema,
+method signatures (parameters and return types) and the partition-key
+attribute derived from ``__key__``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core.descriptors import (
+    EntityDescriptor,
+    MethodDescriptor,
+    ParamSpec,
+    StateField,
+)
+from ..core.entity import entity_source, transactional_methods
+from ..core.errors import (
+    CompilationError,
+    MissingKeyError,
+    MissingTypeHintError,
+    UnsupportedConstructError,
+)
+from ..core.types import annotation_name
+
+_TRANSACTIONAL_DECORATOR_NAMES = {"transactional"}
+_ENTITY_DECORATOR_NAMES = {"entity", "stateflow", "stateful_entity"}
+
+
+def parse_class_ast(source: str, class_name: str | None = None) -> ast.ClassDef:
+    """Parse *source* and return the (single, or named) class definition."""
+    tree = ast.parse(source)
+    classes = [node for node in tree.body if isinstance(node, ast.ClassDef)]
+    if class_name is not None:
+        classes = [node for node in classes if node.name == class_name]
+    if not classes:
+        raise CompilationError(
+            f"no class definition found in source"
+            + (f" for {class_name!r}" if class_name else ""))
+    if len(classes) > 1:
+        raise CompilationError(
+            "source must contain exactly one entity class definition; "
+            f"found {[c.name for c in classes]}")
+    return classes[0]
+
+
+def _decorator_names(node: ast.FunctionDef) -> set[str]:
+    names = set()
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name):
+            names.add(decorator.id)
+        elif isinstance(decorator, ast.Attribute):
+            names.add(decorator.attr)
+        elif isinstance(decorator, ast.Call):
+            target = decorator.func
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)
+    return names
+
+
+def _extract_state_fields(init: ast.FunctionDef, entity_name: str) -> list[StateField]:
+    """Collect ``self.<attr>`` assignments (with annotations) in __init__."""
+    fields: dict[str, StateField] = {}
+    for node in ast.walk(init):
+        target: ast.expr | None = None
+        annotation: ast.expr | None = None
+        if isinstance(node, ast.AnnAssign):
+            target = node.target
+            annotation = node.annotation
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            type_name = annotation_name(annotation) or "Any"
+            existing = fields.get(target.attr)
+            if existing is None or existing.type_name == "Any":
+                fields[target.attr] = StateField(target.attr, type_name)
+    return list(fields.values())
+
+
+def _extract_key_attribute(class_node: ast.ClassDef, entity_name: str) -> str:
+    """Derive the partition-key attribute from the ``__key__`` method.
+
+    The supported form is ``return self.<attribute>``; the paper requires a
+    key function whose result is stable for the entity's lifetime.
+    """
+    for node in class_node.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "__key__":
+            returns = [n for n in ast.walk(node) if isinstance(n, ast.Return)]
+            if len(returns) == 1 and isinstance(returns[0].value, ast.Attribute):
+                attribute = returns[0].value
+                if (isinstance(attribute.value, ast.Name)
+                        and attribute.value.id == "self"):
+                    return attribute.attr
+            raise CompilationError(
+                "__key__ must consist of a single `return self.<attribute>` "
+                "statement so the router can derive the partition key",
+                entity=entity_name, method="__key__", lineno=node.lineno)
+    raise MissingKeyError(
+        "stateful entities must define a __key__(self) method used to "
+        "partition instances across the cluster", entity=entity_name)
+
+
+def _method_descriptor(node: ast.FunctionDef, entity_name: str,
+                       transactional_names: frozenset[str],
+                       *, require_hints: bool = True) -> MethodDescriptor:
+    """Build a :class:`MethodDescriptor` from a method's AST."""
+    if node.args.vararg or node.args.kwarg or node.args.kwonlyargs:
+        raise UnsupportedConstructError(
+            "*args/**kwargs/keyword-only parameters are not supported on "
+            "stateful entity methods", entity=entity_name, method=node.name,
+            lineno=node.lineno)
+    params: list[ParamSpec] = []
+    positional = node.args.args
+    if not positional or positional[0].arg != "self":
+        raise UnsupportedConstructError(
+            "entity methods must take `self` as their first parameter",
+            entity=entity_name, method=node.name, lineno=node.lineno)
+    for arg in positional[1:]:
+        type_name = annotation_name(arg.annotation)
+        if type_name is None and require_hints:
+            raise MissingTypeHintError(
+                f"parameter {arg.arg!r} lacks a static type hint; StateFlow "
+                f"requires hints on the input/output of entity functions",
+                entity=entity_name, method=node.name, lineno=node.lineno)
+        params.append(ParamSpec(arg.arg, type_name or "Any"))
+    return_type = annotation_name(node.returns)
+    if return_type is None:
+        if require_hints and node.name not in ("__init__", "__key__"):
+            raise MissingTypeHintError(
+                "missing return type hint; StateFlow requires hints on the "
+                "input/output of entity functions",
+                entity=entity_name, method=node.name, lineno=node.lineno)
+        return_type = "None" if node.name == "__init__" else "Any"
+    is_txn = (node.name in transactional_names
+              or bool(_decorator_names(node) & _TRANSACTIONAL_DECORATOR_NAMES))
+    return MethodDescriptor(
+        name=node.name,
+        params=params,
+        return_type=return_type,
+        is_transactional=is_txn,
+        is_constructor=(node.name == "__init__"),
+        source_ast=node,
+    )
+
+
+def analyze_class(cls: type | None = None, *, source: str | None = None,
+                  class_name: str | None = None,
+                  require_hints: bool = True) -> EntityDescriptor:
+    """Run the first analysis pass and return the entity's descriptor.
+
+    Either *cls* (an ``@entity``-decorated class — its registered source is
+    used) or raw *source* text must be given.
+    """
+    if cls is not None:
+        source = entity_source(cls)
+        class_name = cls.__name__
+        txn_names = transactional_methods(cls)
+    elif source is None:
+        raise CompilationError("analyze_class needs a class or source text")
+    else:
+        txn_names = frozenset()
+
+    class_node = parse_class_ast(source, class_name)
+    entity_name = class_node.name
+
+    methods: dict[str, MethodDescriptor] = {}
+    init_node: ast.FunctionDef | None = None
+    for node in class_node.body:
+        if isinstance(node, (ast.AsyncFunctionDef,)):
+            raise UnsupportedConstructError(
+                "async methods are not supported",
+                entity=entity_name, method=node.name, lineno=node.lineno)
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name == "__key__":
+            continue  # handled by _extract_key_attribute
+        descriptor = _method_descriptor(node, entity_name, txn_names,
+                                        require_hints=require_hints)
+        methods[node.name] = descriptor
+        if node.name == "__init__":
+            init_node = node
+
+    if init_node is None:
+        raise CompilationError(
+            "stateful entities must define __init__ so their state schema "
+            "can be extracted", entity=entity_name)
+
+    state = _extract_state_fields(init_node, entity_name)
+    key_attribute = _extract_key_attribute(class_node, entity_name)
+    state_names = {f.name for f in state}
+    if key_attribute not in state_names:
+        raise CompilationError(
+            f"__key__ returns self.{key_attribute}, which is not an "
+            f"attribute assigned in __init__", entity=entity_name)
+
+    return EntityDescriptor(
+        name=entity_name,
+        state=state,
+        methods=methods,
+        key_attribute=key_attribute,
+        source=source,
+    )

@@ -1,0 +1,246 @@
+"""Second static-analysis pass: the inter-entity function call graph.
+
+"In the second round of analysis, classes that interact with each other are
+identified in order to create a function call graph" (Section 2.1).  For
+every method we determine which local names are entity-typed (parameters,
+entity-typed state attributes, annotated locals, constructor results), then
+find every call through such a name.  The resulting graph:
+
+- tells the splitter which calls are *remote* and therefore split points;
+- is checked for cycles, because unbounded recursion cannot be unrolled
+  into a finite state machine (Sections 2.2 and 5) and is rejected;
+- yields the set of methods that *need splitting* — those that perform any
+  remote interaction, directly or through same-entity helper methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..core.descriptors import EntityDescriptor
+from ..core.errors import RecursionNotSupportedError
+from ..core.types import TypeEnvironment, annotation_name
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call from ``caller_entity.caller_method`` to
+    ``callee_entity.callee_method`` found at *lineno*."""
+
+    caller_entity: str
+    caller_method: str
+    callee_entity: str
+    callee_method: str
+    lineno: int
+    is_self_call: bool = False
+    is_constructor: bool = False
+
+
+@dataclass(slots=True)
+class CallGraph:
+    """Function call graph across all analysed entities."""
+
+    entities: dict[str, EntityDescriptor]
+    sites: list[CallSite] = field(default_factory=list)
+
+    def edges(self) -> set[tuple[str, str]]:
+        """Method-level edges as ``Entity.method`` name pairs."""
+        return {(f"{s.caller_entity}.{s.caller_method}",
+                 f"{s.callee_entity}.{s.callee_method}") for s in self.sites}
+
+    def callees_of(self, entity: str, method: str) -> list[CallSite]:
+        return [s for s in self.sites
+                if s.caller_entity == entity and s.caller_method == method]
+
+    def interacting_entities(self) -> set[tuple[str, str]]:
+        """Entity-level edges (caller entity, callee entity)."""
+        return {(s.caller_entity, s.callee_entity) for s in self.sites
+                if not s.is_self_call}
+
+    def check_no_recursion(self) -> None:
+        """Raise :class:`RecursionNotSupportedError` on any call cycle."""
+        adjacency: dict[str, set[str]] = {}
+        for caller, callee in self.edges():
+            adjacency.setdefault(caller, set()).add(callee)
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: dict[str, int] = {}
+
+        def visit(node: str, path: list[str]) -> None:
+            color[node] = GREY
+            path.append(node)
+            for nxt in adjacency.get(node, ()):
+                if color.get(nxt, WHITE) == GREY:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    raise RecursionNotSupportedError(
+                        "recursive call chain detected: "
+                        + " -> ".join(cycle)
+                        + "; recursion would unroll into an infinite state "
+                        "machine and is not supported")
+                if color.get(nxt, WHITE) == WHITE:
+                    visit(nxt, path)
+            path.pop()
+            color[node] = BLACK
+
+        for node in list(adjacency):
+            if color.get(node, WHITE) == WHITE:
+                visit(node, [])
+
+    def methods_needing_split(self) -> set[tuple[str, str]]:
+        """Methods with remote interaction, directly or transitively
+        through same-entity helper calls."""
+        needs: set[tuple[str, str]] = set()
+        for site in self.sites:
+            if not site.is_self_call:
+                needs.add((site.caller_entity, site.caller_method))
+        # Propagate through self-calls: a method calling a local helper
+        # that needs splitting also needs splitting (the helper call
+        # becomes an invoke on the same operator).
+        changed = True
+        while changed:
+            changed = False
+            for site in self.sites:
+                caller = (site.caller_entity, site.caller_method)
+                callee = (site.callee_entity, site.callee_method)
+                if site.is_self_call and callee in needs and caller not in needs:
+                    needs.add(caller)
+                    changed = True
+        return needs
+
+
+def build_type_environment(descriptor: EntityDescriptor, method_name: str,
+                           entity_names: frozenset[str]) -> TypeEnvironment:
+    """Seed a method's type environment with entity-typed parameters."""
+    env = TypeEnvironment(entity_names)
+    method = descriptor.methods[method_name]
+    for param in method.params:
+        env.bind(param.name, param.type_name)
+    return env
+
+
+def entity_typed_state(descriptor: EntityDescriptor,
+                       entity_names: frozenset[str]) -> dict[str, str]:
+    """State attributes of *descriptor* that hold entity references."""
+    return {f.name: f.type_name for f in descriptor.state
+            if f.type_name in entity_names}
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Walks one method body, tracking entity-typed locals and recording
+    call sites through them."""
+
+    def __init__(self, descriptor: EntityDescriptor, method_name: str,
+                 entities: dict[str, EntityDescriptor]):
+        self._descriptor = descriptor
+        self._method_name = method_name
+        self._entities = entities
+        names = frozenset(entities)
+        self._env = build_type_environment(descriptor, method_name, names)
+        self._state_refs = entity_typed_state(descriptor, names)
+        self.sites: list[CallSite] = []
+
+    # -- type-environment maintenance ------------------------------------
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name):
+            self._env.bind(node.target.id, annotation_name(node.annotation))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            target = node.targets[0].id
+            value_type = self._infer(node.value)
+            self._env.bind(target, value_type)
+
+    def _infer(self, expr: ast.expr) -> str | None:
+        """Shallow type inference: constructor calls and aliases."""
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            if expr.func.id in self._entities:
+                return expr.func.id
+        if isinstance(expr, ast.Name):
+            return self._env.entity_type_of(expr.id)
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            return self._state_refs.get(expr.attr)
+        return None
+
+    # -- call detection ----------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._entities:
+            # Constructor call: Item("apple", 5)
+            self.sites.append(CallSite(
+                caller_entity=self._descriptor.name,
+                caller_method=self._method_name,
+                callee_entity=func.id,
+                callee_method="__init__",
+                lineno=node.lineno,
+                is_constructor=True,
+            ))
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self":
+                if func.attr in self._descriptor.methods:
+                    self.sites.append(CallSite(
+                        caller_entity=self._descriptor.name,
+                        caller_method=self._method_name,
+                        callee_entity=self._descriptor.name,
+                        callee_method=func.attr,
+                        lineno=node.lineno,
+                        is_self_call=True,
+                    ))
+                return
+            entity_type = self._env.entity_type_of(receiver.id)
+            if entity_type is not None:
+                self.sites.append(CallSite(
+                    caller_entity=self._descriptor.name,
+                    caller_method=self._method_name,
+                    callee_entity=entity_type,
+                    callee_method=func.attr,
+                    lineno=node.lineno,
+                ))
+            return
+        if (isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"):
+            entity_type = self._state_refs.get(receiver.attr)
+            if entity_type is not None:
+                self.sites.append(CallSite(
+                    caller_entity=self._descriptor.name,
+                    caller_method=self._method_name,
+                    callee_entity=entity_type,
+                    callee_method=func.attr,
+                    lineno=node.lineno,
+                ))
+
+    # Nested defs would capture a different scope; forbidden elsewhere, so
+    # do not descend into them here.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # pragma: no cover
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+def build_call_graph(entities: dict[str, EntityDescriptor]) -> CallGraph:
+    """Run the second analysis pass over every method of every entity."""
+    graph = CallGraph(entities=entities)
+    for descriptor in entities.values():
+        for method_name, method in descriptor.methods.items():
+            if method.source_ast is None:
+                continue
+            collector = _CallCollector(descriptor, method_name, entities)
+            for statement in method.source_ast.body:
+                collector.visit(statement)
+            graph.sites.extend(collector.sites)
+            method.calls = [(s.callee_entity, s.callee_method)
+                            for s in collector.sites]
+            method.entity_params = {
+                p.name: p.type_name for p in method.params
+                if p.type_name in entities}
+    return graph

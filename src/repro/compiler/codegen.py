@@ -1,0 +1,337 @@
+"""Code generation: turn function blocks into executable code objects.
+
+Every :class:`~repro.compiler.blocks.FunctionBlock` is compiled once (with
+:func:`compile`) into a Python code object.  At runtime a block executes in
+a namespace seeded with the entity instance (``self``), the travelling
+variable store, and the module globals of the entity's defining module —
+so helper functions and imports keep working inside split code.
+
+The compiled artefacts are deliberately separate from the serializable
+:class:`~repro.compiler.state_machine.StateMachine`: the IR ships source
+and graphs; each target runtime re-materialises code objects locally.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import sys
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.descriptors import EntityDescriptor, MethodDescriptor
+from ..core.errors import CompilationError, InvocationError
+from .blocks import (
+    CALL_ARGS_VAR,
+    CALL_TARGET_VAR,
+    CONDITION_VAR,
+    INTERNAL_NAMES,
+    RETURN_VALUE_VAR,
+    FunctionBlock,
+)
+from .splitting import SplitResult
+from .state_machine import StateMachine
+
+_MISSING = object()
+
+
+@dataclass(slots=True)
+class StepOutcome:
+    """Result of executing one block: the updated variable store plus the
+    terminator payload the block computed.
+
+    ``returned`` is True when the block hit a ``return`` statement nested
+    inside *local* control flow (an early exit that pre-empts the block's
+    static terminator); the method's return value is then
+    ``return_value``.
+    """
+
+    store: dict[str, Any]
+    returned: bool = False
+    return_value: Any = None
+    condition: bool | None = None
+    call_args: tuple | None = None
+    call_target: Any = None
+
+
+class _ReturnRewriter(ast.NodeTransformer):
+    """Prepares block statements for the function wrapper: rewrites every
+    ``return X`` into ``return (True, X)`` (so the wrapper can distinguish
+    an early method return from fall-through) and downgrades annotated
+    name assignments to plain ones (annotated names cannot be declared
+    ``global``)."""
+
+    def visit_Return(self, node: ast.Return) -> ast.Return:
+        self.generic_visit(node)
+        value = node.value if node.value is not None else ast.Constant(value=None)
+        return ast.copy_location(ast.Return(value=ast.Tuple(
+            elts=[ast.Constant(value=True), value], ctx=ast.Load())), node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> ast.stmt:
+        self.generic_visit(node)
+        if not isinstance(node.target, ast.Name):
+            return node
+        if node.value is None:
+            return ast.copy_location(ast.Pass(), node)
+        return ast.copy_location(
+            ast.Assign(targets=[ast.Name(id=node.target.id, ctx=ast.Store())],
+                       value=node.value), node)
+
+    # Do not descend into nested scopes (rejected earlier anyway).
+    def visit_FunctionDef(self, node):  # pragma: no cover - defensive
+        return node
+
+    def visit_Lambda(self, node):
+        return node
+
+
+def _wrap_block_in_function(statements: list[ast.stmt],
+                            written: frozenset[str]) -> ast.Module:
+    """Build the block wrapper::
+
+        def __block__():
+            global <written names>      # user vars live in the namespace
+            <statements, returns rewritten to (True, value)>
+            return (False, None)        # fall-through
+        __outcome__ = __block__()
+
+    The ``global`` declarations keep every assigned variable in the exec
+    namespace (the travelling store), while the function scope makes
+    nested ``return`` statements legal and comprehension scoping sound.
+    """
+    body: list[ast.stmt] = []
+    declarable = sorted(n for n in written if n.isidentifier())
+    if declarable:
+        body.append(ast.Global(names=declarable))
+    rewriter = _ReturnRewriter()
+    for statement in statements:
+        body.append(rewriter.visit(statement))
+    body.append(ast.Return(value=ast.Tuple(
+        elts=[ast.Constant(value=False), ast.Constant(value=None)],
+        ctx=ast.Load())))
+    func = ast.FunctionDef(
+        name="__block__",
+        args=ast.arguments(posonlyargs=[], args=[], vararg=None,
+                           kwonlyargs=[], kw_defaults=[], kwarg=None,
+                           defaults=[]),
+        body=body, decorator_list=[], returns=None)
+    call = ast.Assign(
+        targets=[ast.Name(id="__outcome__", ctx=ast.Store())],
+        value=ast.Call(func=ast.Name(id="__block__", ctx=ast.Load()),
+                       args=[], keywords=[]))
+    module = ast.Module(body=[func, call], type_ignores=[])
+    ast.fix_missing_locations(module)
+    return module
+
+
+@dataclass(slots=True, eq=False)
+class CompiledBlock:
+    """One block compiled to a code object."""
+
+    block_id: str
+    code: Any
+    reads: frozenset[str]
+    writes: frozenset[str]
+
+    @classmethod
+    def from_block(cls, block: FunctionBlock, entity: str,
+                   method: str) -> "CompiledBlock":
+        from .blocks import def_use
+        reads, writes = def_use(block.statements)
+        module = _wrap_block_in_function(
+            [_copy_stmt(s) for s in block.statements], writes)
+        filename = f"<stateflow:{entity}.{block.block_id}>"
+        try:
+            code = compile(module, filename, "exec")
+        except SyntaxError as exc:  # pragma: no cover - compiler bug guard
+            raise CompilationError(
+                f"generated block failed to compile: {exc}",
+                entity=entity, method=method) from exc
+        return cls(block_id=block.block_id, code=code,
+                   reads=reads, writes=writes)
+
+
+def _copy_stmt(statement: ast.stmt) -> ast.stmt:
+    """Deep-copy a statement so the rewriter never mutates the block's
+    canonical AST (which tests and the IR's ``source`` field rely on)."""
+    return copy.deepcopy(statement)
+
+
+@dataclass(slots=True, eq=False)
+class CompiledMethod:
+    """All blocks of one method, plus its state machine."""
+
+    descriptor: MethodDescriptor
+    machine: StateMachine
+    blocks: dict[str, CompiledBlock]
+    module_globals: dict[str, Any]
+
+    @property
+    def entry(self) -> str:
+        return self.machine.entry
+
+    def initial_store(self, args: tuple | list) -> dict[str, Any]:
+        """Bind positional call arguments to parameter names."""
+        params = self.descriptor.param_names
+        if len(args) != len(params):
+            raise InvocationError(
+                f"{self.machine.entity}.{self.machine.method} expects "
+                f"{len(params)} argument(s) {params}, got {len(args)}")
+        return dict(zip(params, args))
+
+    def execute_block(self, node_id: str, instance: Any,
+                      store: dict[str, Any]) -> StepOutcome:
+        """Run one block against *instance* with the given store."""
+        block = self.blocks[node_id]
+        namespace = dict(self.module_globals)
+        namespace.update(store)
+        namespace["self"] = instance
+        try:
+            exec(block.code, namespace)  # noqa: S102 - this *is* the compiler
+        except InvocationError:
+            raise
+        except Exception as exc:
+            raise InvocationError(
+                f"error while executing {self.machine.entity}."
+                f"{node_id}: {exc!r}", cause=repr(exc)) from exc
+        early_return, early_value = namespace["__outcome__"]
+        new_store = {}
+        for name in set(store) | set(block.writes):
+            if name in INTERNAL_NAMES:
+                continue
+            value = namespace.get(name, _MISSING)
+            if value is not _MISSING:
+                new_store[name] = value
+        if early_return:
+            return StepOutcome(store=new_store, returned=True,
+                               return_value=early_value)
+        return StepOutcome(
+            store=new_store,
+            return_value=namespace.get(RETURN_VALUE_VAR),
+            condition=namespace.get(CONDITION_VAR),
+            call_args=namespace.get(CALL_ARGS_VAR),
+            call_target=namespace.get(CALL_TARGET_VAR),
+        )
+
+
+@dataclass(slots=True, eq=False)
+class CompiledEntity:
+    """An entity class compiled for execution: materialised class object,
+    descriptor, and every method's compiled form."""
+
+    descriptor: EntityDescriptor
+    cls: type
+    methods: dict[str, CompiledMethod] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    def method(self, name: str) -> CompiledMethod:
+        if name not in self.methods:
+            raise InvocationError(
+                f"entity {self.name!r} has no method {name!r}")
+        return self.methods[name]
+
+    # -- instance <-> state dict ------------------------------------------
+    def blank_instance(self) -> Any:
+        """A bare instance without running ``__init__`` (state restored
+        from the operator's state backend instead)."""
+        return object.__new__(self.cls)
+
+    def make_instance(self, state: dict[str, Any]) -> Any:
+        instance = self.blank_instance()
+        for name, value in state.items():
+            setattr(instance, name, value)
+        return instance
+
+    def extract_state(self, instance: Any) -> dict[str, Any]:
+        return dict(vars(instance))
+
+    def key_of_state(self, state: dict[str, Any]) -> Any:
+        attribute = self.descriptor.key_attribute
+        if attribute is None:  # pragma: no cover - guarded by analysis
+            raise InvocationError(f"entity {self.name!r} has no key attribute")
+        return state[attribute]
+
+
+def _materialisation_namespace() -> dict[str, Any]:
+    """Globals for exec-ing entity source shipped inside the IR: the
+    decorators become no-ops (registration already happened at the
+    source side) and typing names resolve."""
+    import typing
+
+    def _noop_decorator(target=None, **_kwargs):
+        if target is None:
+            return lambda t: t
+        return target
+
+    return {
+        "entity": _noop_decorator,
+        "stateflow": _noop_decorator,
+        "stateful_entity": _noop_decorator,
+        "transactional": _noop_decorator,
+        "typing": typing,
+        "Optional": typing.Optional,
+        "List": typing.List,
+        "Dict": typing.Dict,
+        "Any": typing.Any,
+    }
+
+
+def materialize_class(descriptor: EntityDescriptor,
+                      extra_globals: dict[str, Any] | None = None) -> tuple[type, dict[str, Any]]:
+    """Recreate the entity class from its shipped source (used when the IR
+    was deserialised on a different "system" than where it was authored).
+
+    Returns ``(class object, namespace)``; the namespace doubles as module
+    globals for block execution.
+    """
+    if descriptor.source is None:
+        raise CompilationError(
+            "descriptor has no source to materialise",
+            entity=descriptor.name)
+    namespace = _materialisation_namespace()
+    if extra_globals:
+        namespace.update(extra_globals)
+    exec(compile(descriptor.source, f"<entity:{descriptor.name}>", "exec"),
+         namespace)
+    cls = namespace.get(descriptor.name)
+    if not isinstance(cls, type):
+        raise CompilationError(
+            f"materialising source did not produce class {descriptor.name!r}",
+            entity=descriptor.name)
+    return cls, namespace
+
+
+def compile_entity(descriptor: EntityDescriptor,
+                   splits: dict[str, SplitResult],
+                   machines: dict[str, StateMachine],
+                   cls: type | None = None) -> CompiledEntity:
+    """Compile every method of one entity.
+
+    *splits*/*machines* map method name to its split result and state
+    machine.  When *cls* is given (same-process deployment) its defining
+    module's globals back block execution; otherwise the class is
+    materialised from source.
+    """
+    if cls is not None:
+        module = sys.modules.get(cls.__module__)
+        module_globals = dict(module.__dict__) if module else {}
+    else:
+        cls, module_globals = materialize_class(descriptor)
+    compiled = CompiledEntity(descriptor=descriptor, cls=cls)
+    for method_name, split in splits.items():
+        machine = machines[method_name]
+        blocks = {
+            block_id: CompiledBlock.from_block(block, descriptor.name,
+                                               method_name)
+            for block_id, block in split.blocks.items()
+        }
+        compiled.methods[method_name] = CompiledMethod(
+            descriptor=descriptor.methods[method_name],
+            machine=machine,
+            blocks=blocks,
+            module_globals=module_globals,
+        )
+    return compiled

@@ -1,0 +1,81 @@
+"""AST helpers for desugaring control flow during function splitting.
+
+A ``for`` loop over a Python list (the subset the paper supports) is
+unrolled into explicit iterator/index bookkeeping so the state machine can
+"keep track of the current iteration for loop control structures, by
+enriching the state machine with additional state" (Section 2.5).  The
+loop counter lives in ordinary compiler temporaries (``_iter_N``/
+``_idx_N``) inside the travelling variable store, so a loop suspended at a
+remote call resumes at the right iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+
+ITER_PREFIX = "_iter_"
+INDEX_PREFIX = "_idx_"
+
+
+def _name(identifier: str, *, store: bool = False) -> ast.Name:
+    return ast.Name(id=identifier,
+                    ctx=ast.Store() if store else ast.Load())
+
+
+def loop_init_statements(loop_id: int, iterable: ast.expr) -> list[ast.stmt]:
+    """``_iter_N = list(<iterable>); _idx_N = 0``"""
+    materialise = ast.Assign(
+        targets=[_name(f"{ITER_PREFIX}{loop_id}", store=True)],
+        value=ast.Call(func=_name("list"), args=[iterable], keywords=[]))
+    reset = ast.Assign(
+        targets=[_name(f"{INDEX_PREFIX}{loop_id}", store=True)],
+        value=ast.Constant(value=0))
+    for node in (materialise, reset):
+        ast.fix_missing_locations(node)
+    return [materialise, reset]
+
+
+def loop_condition(loop_id: int) -> ast.expr:
+    """``_idx_N < len(_iter_N)``"""
+    expr = ast.Compare(
+        left=_name(f"{INDEX_PREFIX}{loop_id}"),
+        ops=[ast.Lt()],
+        comparators=[ast.Call(func=_name("len"),
+                              args=[_name(f"{ITER_PREFIX}{loop_id}")],
+                              keywords=[])])
+    ast.fix_missing_locations(expr)
+    return expr
+
+
+def loop_bind_statements(loop_id: int, target: ast.expr) -> list[ast.stmt]:
+    """``<target> = _iter_N[_idx_N]; _idx_N = _idx_N + 1``
+
+    The index is advanced eagerly so ``continue`` can jump straight back
+    to the loop header without a separate increment block.
+    """
+    bind = ast.Assign(
+        targets=[target],
+        value=ast.Subscript(
+            value=_name(f"{ITER_PREFIX}{loop_id}"),
+            slice=_name(f"{INDEX_PREFIX}{loop_id}"),
+            ctx=ast.Load()))
+    advance = ast.Assign(
+        targets=[_name(f"{INDEX_PREFIX}{loop_id}", store=True)],
+        value=ast.BinOp(left=_name(f"{INDEX_PREFIX}{loop_id}"),
+                        op=ast.Add(), right=ast.Constant(value=1)))
+    for node in (bind, advance):
+        ast.fix_missing_locations(node)
+    return [bind, advance]
+
+
+def assign_statement(name: str, value: ast.expr) -> ast.stmt:
+    """``<name> = <value>`` with locations fixed (payload assignments)."""
+    node = ast.Assign(targets=[_name(name, store=True)], value=value)
+    ast.fix_missing_locations(node)
+    return node
+
+
+def tuple_expression(items: list[ast.expr]) -> ast.expr:
+    node = ast.Tuple(elts=items, ctx=ast.Load())
+    ast.fix_missing_locations(node)
+    return node

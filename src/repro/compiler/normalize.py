@@ -1,0 +1,447 @@
+"""Normalization: hoist remote calls out of arbitrary expressions.
+
+The splitter (Section 2.4) wants remote calls to appear only as standalone
+statements of the form ``x = item.update_stock(amount)``.  Programmers,
+however, write ``total = amount * item.price()`` — the remote call buried
+inside an expression.  This pass rewrites every statement so that each
+remote call is evaluated into a fresh compiler temporary (``_t0``, ``_t1``,
+...) immediately before the statement that uses it, preserving Python's
+left-to-right evaluation order::
+
+    total_price: int = amount * item.price()
+        ==>
+    _t0 = item.price()
+    total_price = amount * _t0
+
+``while`` conditions containing remote calls are desugared into
+``while True: ...; if not cond: break`` so the condition is re-evaluated
+(and its remote calls re-issued) on every iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..core.descriptors import EntityDescriptor
+from ..core.errors import UnsupportedConstructError
+from ..core.types import TypeEnvironment, annotation_name
+from .callgraph import build_type_environment, entity_typed_state
+
+TEMP_PREFIX = "_t"
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteCall:
+    """A detected remote interaction inside an expression."""
+
+    entity_type: str
+    method: str
+    receiver: ast.expr | None  # None for constructor calls
+    node: ast.Call
+    is_constructor: bool = False
+    is_self_call: bool = False
+
+
+class RemoteCallDetector:
+    """Decides whether a ``Call`` node is a remote entity interaction,
+    given the evolving type environment of the enclosing method."""
+
+    def __init__(self, descriptor: EntityDescriptor, method_name: str,
+                 entities: dict[str, EntityDescriptor],
+                 split_methods: set[tuple[str, str]]):
+        self._descriptor = descriptor
+        self._entities = entities
+        self._split_methods = split_methods
+        names = frozenset(entities)
+        self.env = build_type_environment(descriptor, method_name, names)
+        self._state_refs = entity_typed_state(descriptor, names)
+
+    @property
+    def entities(self) -> dict[str, EntityDescriptor]:
+        return self._entities
+
+    def classify(self, node: ast.Call) -> RemoteCall | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self._entities:
+                return RemoteCall(entity_type=func.id, method="__init__",
+                                  receiver=None, node=node,
+                                  is_constructor=True)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self":
+                callee = (self._descriptor.name, func.attr)
+                if callee in self._split_methods:
+                    return RemoteCall(entity_type=self._descriptor.name,
+                                      method=func.attr, receiver=receiver,
+                                      node=node, is_self_call=True)
+                return None
+            entity_type = self.env.entity_type_of(receiver.id)
+            if entity_type is not None:
+                return RemoteCall(entity_type=entity_type, method=func.attr,
+                                  receiver=receiver, node=node)
+            return None
+        if (isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"):
+            entity_type = self._state_refs.get(receiver.attr)
+            if entity_type is not None:
+                return RemoteCall(entity_type=entity_type, method=func.attr,
+                                  receiver=receiver, node=node)
+        return None
+
+    def observe_assignment(self, target: str, value: ast.expr,
+                           annotation: ast.expr | None = None) -> None:
+        """Keep the type environment current while scanning statements."""
+        if annotation is not None:
+            self.env.bind(target, annotation_name(annotation))
+            return
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            if value.func.id in self._entities:
+                self.env.bind(target, value.func.id)
+                return
+        if isinstance(value, ast.Name):
+            alias = self.env.entity_type_of(value.id)
+            self.env.bind(target, alias)
+            return
+        self.env.bind(target, None)
+
+
+def contains_remote_call(statements: list[ast.stmt],
+                         detector: RemoteCallDetector) -> bool:
+    """True if any statement (recursively) performs a remote interaction.
+
+    Uses a snapshot of the detector's environment; bindings created inside
+    *statements* are tracked locally so nested constructor results count.
+    """
+    probe = _EnvProbe(detector)
+    for statement in statements:
+        if probe.scan(statement):
+            return True
+    return False
+
+
+class _EnvProbe:
+    """Read-only remote-call scan with a private copy of the env."""
+
+    def __init__(self, detector: RemoteCallDetector):
+        self._detector = detector
+        self._saved_env = detector.env
+
+    def scan(self, statement: ast.stmt) -> bool:
+        detector = self._detector
+        original = detector.env
+        detector.env = original.copy()
+        try:
+            return self._scan_stmt(statement)
+        finally:
+            detector.env = original
+
+    def _scan_stmt(self, statement: ast.stmt) -> bool:
+        found = False
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Call):
+                if self._detector.classify(node) is not None:
+                    found = True
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    self._detector.observe_assignment(target.id, node.value)
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if node.value is not None:
+                    self._detector.observe_assignment(
+                        node.target.id, node.value, node.annotation)
+        return found
+
+
+class Normalizer:
+    """Rewrites one method body into remote-call-normal form."""
+
+    def __init__(self, descriptor: EntityDescriptor, method_name: str,
+                 entities: dict[str, EntityDescriptor],
+                 split_methods: set[tuple[str, str]]):
+        self._entity_name = descriptor.name
+        self._method_name = method_name
+        self.detector = RemoteCallDetector(descriptor, method_name, entities,
+                                           split_methods)
+        self._counter = 0
+
+    # -- public entry -----------------------------------------------------
+    def normalize_body(self, statements: list[ast.stmt]) -> list[ast.stmt]:
+        result: list[ast.stmt] = []
+        for statement in statements:
+            result.extend(self._normalize_stmt(statement))
+        return result
+
+    # -- helpers -----------------------------------------------------------
+    def _fresh_temp(self) -> str:
+        name = f"{TEMP_PREFIX}{self._counter}"
+        self._counter += 1
+        return name
+
+    def _error(self, message: str, node: ast.AST) -> UnsupportedConstructError:
+        return UnsupportedConstructError(
+            message, entity=self._entity_name, method=self._method_name,
+            lineno=getattr(node, "lineno", None))
+
+    def _has_remote(self, expr: ast.expr) -> bool:
+        return any(isinstance(node, ast.Call)
+                   and self.detector.classify(node) is not None
+                   for node in ast.walk(expr))
+
+    # -- expression hoisting -------------------------------------------------
+    def _hoist(self, expr: ast.expr, *, keep_top: bool = False,
+               ) -> tuple[list[ast.stmt], ast.expr]:
+        """Extract remote calls from *expr*; returns (pre-statements,
+        rewritten expression).  With ``keep_top`` a remote call at the very
+        top of the expression is left in place (the splitter handles it)."""
+        if not self._has_remote(expr):
+            return [], expr
+
+        # Constructs where hoisting would change evaluation semantics.
+        if isinstance(expr, ast.BoolOp):
+            pre, first = self._hoist(expr.values[0])
+            for operand in expr.values[1:]:
+                if self._has_remote(operand):
+                    raise self._error(
+                        "remote calls in short-circuit positions of "
+                        "and/or are not supported; assign the call result "
+                        "to a variable first", operand)
+            return pre, ast.copy_location(
+                ast.BoolOp(op=expr.op, values=[first] + expr.values[1:]), expr)
+        if isinstance(expr, ast.IfExp):
+            raise self._error(
+                "remote calls inside conditional expressions are not "
+                "supported; use an if statement", expr)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            raise self._error(
+                "remote calls inside comprehensions are not supported; "
+                "use an explicit for loop", expr)
+        if isinstance(expr, ast.Lambda):
+            raise self._error(
+                "remote calls inside lambda are not supported", expr)
+
+        if isinstance(expr, ast.Call):
+            pre: list[ast.stmt] = []
+            func = expr.func
+            if isinstance(func, ast.Attribute) and self._has_remote(func.value):
+                # Chained remote receivers: a.f().g() — evaluate a.f()
+                # into a temp first, then call .g() on the temp.
+                recv_pre, new_receiver = self._hoist(func.value)
+                pre.extend(recv_pre)
+                func = ast.copy_location(ast.Attribute(
+                    value=new_receiver, attr=func.attr, ctx=func.ctx), func)
+                expr = ast.copy_location(ast.Call(
+                    func=func, args=expr.args, keywords=expr.keywords), expr)
+                ast.fix_missing_locations(expr)
+            classified = self.detector.classify(expr)
+            new_args: list[ast.expr] = []
+            for arg in expr.args:
+                arg_pre, new_arg = self._hoist(arg)
+                pre.extend(arg_pre)
+                new_args.append(new_arg)
+            new_keywords: list[ast.keyword] = []
+            for keyword in expr.keywords:
+                kw_pre, new_value = self._hoist(keyword.value)
+                pre.extend(kw_pre)
+                new_keywords.append(ast.keyword(arg=keyword.arg,
+                                                value=new_value))
+            if classified is not None and new_keywords:
+                raise self._error(
+                    "keyword arguments on remote calls are not supported",
+                    expr)
+            new_call = ast.copy_location(
+                ast.Call(func=expr.func, args=new_args,
+                         keywords=new_keywords), expr)
+            if classified is None:
+                return pre, new_call
+            if keep_top:
+                return pre, new_call
+            temp = self._fresh_temp()
+            self._bind_call_result(temp, classified)
+            assign = ast.copy_location(ast.Assign(
+                targets=[ast.Name(id=temp, ctx=ast.Store())],
+                value=new_call), expr)
+            ast.fix_missing_locations(assign)
+            return pre + [assign], ast.copy_location(
+                ast.Name(id=temp, ctx=ast.Load()), expr)
+
+        # Generic recursion over child expressions, preserving order.
+        pre: list[ast.stmt] = []
+
+        def rewrite(child: ast.expr) -> ast.expr:
+            child_pre, new_child = self._hoist(child)
+            pre.extend(child_pre)
+            return new_child
+
+        new_expr = _map_child_exprs(expr, rewrite)
+        return pre, new_expr
+
+    def _bind_call_result(self, name: str, call: RemoteCall) -> None:
+        """Bind *name* to the callee's return type so chained remote
+        interactions through returned entity refs stay detectable."""
+        if call.is_constructor:
+            self.detector.env.bind(name, call.entity_type)
+            return
+        descriptor = self.detector.entities.get(call.entity_type)
+        return_type = None
+        if descriptor is not None and call.method in descriptor.methods:
+            return_type = descriptor.methods[call.method].return_type
+        self.detector.env.bind(name, return_type)
+
+    # -- statement normalization ----------------------------------------------
+    def _normalize_stmt(self, statement: ast.stmt) -> list[ast.stmt]:
+        if isinstance(statement, ast.Assign):
+            if len(statement.targets) != 1:
+                if self._has_remote(statement.value):
+                    raise self._error(
+                        "chained assignment of a remote call result is not "
+                        "supported", statement)
+                return [statement]
+            target = statement.targets[0]
+            pre, value = self._hoist(
+                statement.value,
+                keep_top=isinstance(target, ast.Name))
+            statement = ast.copy_location(
+                ast.Assign(targets=statement.targets, value=value), statement)
+            ast.fix_missing_locations(statement)
+            if isinstance(target, ast.Name):
+                self.detector.observe_assignment(target.id, value)
+            return pre + [statement]
+
+        if isinstance(statement, ast.AnnAssign):
+            if statement.value is None:
+                return [statement]
+            keep = isinstance(statement.target, ast.Name)
+            pre, value = self._hoist(statement.value, keep_top=keep)
+            if isinstance(statement.target, ast.Name):
+                self.detector.observe_assignment(
+                    statement.target.id, value, statement.annotation)
+            # Keep the AnnAssign so the splitter re-observes the
+            # annotation; codegen downgrades it to a plain assignment.
+            new_stmt: ast.stmt = ast.copy_location(ast.AnnAssign(
+                target=statement.target, annotation=statement.annotation,
+                value=value, simple=statement.simple), statement)
+            ast.fix_missing_locations(new_stmt)
+            return pre + [new_stmt]
+
+        if isinstance(statement, ast.AugAssign):
+            pre, value = self._hoist(statement.value)
+            new_stmt = ast.copy_location(ast.AugAssign(
+                target=statement.target, op=statement.op, value=value),
+                statement)
+            ast.fix_missing_locations(new_stmt)
+            return pre + [new_stmt]
+
+        if isinstance(statement, ast.Expr):
+            pre, value = self._hoist(statement.value, keep_top=True)
+            new_stmt = ast.copy_location(ast.Expr(value=value), statement)
+            ast.fix_missing_locations(new_stmt)
+            return pre + [new_stmt]
+
+        if isinstance(statement, ast.Return):
+            if statement.value is None:
+                return [statement]
+            pre, value = self._hoist(statement.value)
+            new_stmt = ast.copy_location(ast.Return(value=value), statement)
+            ast.fix_missing_locations(new_stmt)
+            return pre + [new_stmt]
+
+        if isinstance(statement, ast.If):
+            pre, test = self._hoist(statement.test)
+            new_if = ast.copy_location(ast.If(
+                test=test,
+                body=self.normalize_body(statement.body),
+                orelse=self.normalize_body(statement.orelse)), statement)
+            ast.fix_missing_locations(new_if)
+            return pre + [new_if]
+
+        if isinstance(statement, ast.While):
+            body = self.normalize_body(statement.body)
+            if statement.orelse:
+                raise self._error("while/else is not supported", statement)
+            if self._has_remote(statement.test):
+                # Re-evaluate the (remote) condition each iteration.
+                pre, test = self._hoist(statement.test)
+                breaker = ast.If(
+                    test=ast.UnaryOp(op=ast.Not(), operand=test),
+                    body=[ast.Break()], orelse=[])
+                new_while = ast.While(
+                    test=ast.Constant(value=True),
+                    body=pre + [breaker] + body, orelse=[])
+                new_while = ast.copy_location(new_while, statement)
+                ast.fix_missing_locations(new_while)
+                return [new_while]
+            new_while = ast.copy_location(ast.While(
+                test=statement.test, body=body, orelse=[]), statement)
+            ast.fix_missing_locations(new_while)
+            return [new_while]
+
+        if isinstance(statement, ast.For):
+            if statement.orelse:
+                raise self._error("for/else is not supported", statement)
+            pre, iterable = self._hoist(statement.iter)
+            new_for = ast.copy_location(ast.For(
+                target=statement.target, iter=iterable,
+                body=self.normalize_body(statement.body), orelse=[]),
+                statement)
+            ast.fix_missing_locations(new_for)
+            return pre + [new_for]
+
+        if isinstance(statement, (ast.Break, ast.Continue, ast.Pass)):
+            return [statement]
+
+        if isinstance(statement, (ast.Assert, ast.Raise)):
+            if any(self._has_remote(child)
+                   for child in ast.walk(statement)
+                   if isinstance(child, ast.expr)):
+                raise self._error(
+                    "remote calls inside assert/raise are not supported",
+                    statement)
+            return [statement]
+
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            raise self._error(
+                "nested function/class definitions are not supported in "
+                "entity methods", statement)
+
+        if isinstance(statement, (ast.Try, ast.With, ast.Match)):
+            for node in ast.walk(statement):
+                if (isinstance(node, ast.Call)
+                        and self.detector.classify(node) is not None):
+                    raise self._error(
+                        f"remote calls inside {type(statement).__name__.lower()} "
+                        "blocks are not supported", statement)
+            return [statement]
+
+        if isinstance(statement, (ast.Global, ast.Nonlocal)):
+            raise self._error(
+                "global/nonlocal are not supported in entity methods",
+                statement)
+
+        return [statement]
+
+
+def _map_child_exprs(expr: ast.expr, fn) -> ast.expr:
+    """Shallow-copy *expr* applying *fn* to each direct child expression
+    (in evaluation order, which matches field order for Python ASTs)."""
+    new_expr = ast.copy_location(type(expr)(**{
+        name: _map_field(value, fn)
+        for name, value in ast.iter_fields(expr)
+    }), expr)
+    ast.fix_missing_locations(new_expr)
+    return new_expr
+
+
+def _map_field(value, fn):
+    if isinstance(value, ast.expr):
+        return fn(value)
+    if isinstance(value, list):
+        return [_map_field(item, fn) for item in value]
+    return value

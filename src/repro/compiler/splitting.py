@@ -1,0 +1,429 @@
+"""Function splitting (paper Section 2.4).
+
+"The algorithm traverses the statements of a function definition and the
+function is split either when a remote call occurs or on a control-flow
+structure."  This module builds, for one method, the set of
+:class:`~repro.compiler.blocks.FunctionBlock` pieces and the edges between
+them.  The paper's running example::
+
+    def buy_item(self, amount: int, item: Item):
+        total_price: int = amount * item.price()
+        is_removed: bool = item.update_stock(amount)
+        return total_price
+
+splits into ``buy_item_0`` (evaluates the arguments of the remote call and
+suspends) and ``buy_item_1`` (resumes with the remote return value).
+
+Control flow: an ``if`` yields condition/true-path/false-path blocks; a
+``for`` yields iterable-evaluation, body-path and after-loop blocks — the
+splitting recurses into the sub-paths (Section 2.4, "Control Flow").  By
+default we only split control flow that actually contains remote calls
+(local-only constructs execute natively inside one block); pass
+``split_all_control_flow=True`` for the paper-literal behaviour — the
+ABL-SPLIT ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..core.descriptors import EntityDescriptor
+from ..core.errors import CompilationError, UnsupportedConstructError
+from . import control_flow as cf
+from .blocks import (
+    CALL_ARGS_VAR,
+    CALL_TARGET_VAR,
+    CONDITION_VAR,
+    RETURN_VALUE_VAR,
+    BranchTerminator,
+    ConstructTerminator,
+    FunctionBlock,
+    InvokeTerminator,
+    JumpTerminator,
+    ReturnTerminator,
+)
+from .normalize import Normalizer, RemoteCall, contains_remote_call
+
+
+@dataclass(slots=True)
+class SplitResult:
+    """The split form of one method."""
+
+    entity_name: str
+    method_name: str
+    entry: str
+    blocks: dict[str, FunctionBlock] = field(default_factory=dict)
+
+    @property
+    def was_split(self) -> bool:
+        return len(self.blocks) > 1
+
+    def block(self, block_id: str) -> FunctionBlock:
+        return self.blocks[block_id]
+
+    def block_ids(self) -> list[str]:
+        return list(self.blocks)
+
+    def to_dict(self) -> dict:
+        return {
+            "entity": self.entity_name,
+            "method": self.method_name,
+            "entry": self.entry,
+            "blocks": {bid: blk.to_dict() for bid, blk in self.blocks.items()},
+        }
+
+
+class MethodSplitter:
+    """Splits a single (normalized) method body into function blocks."""
+
+    def __init__(self, descriptor: EntityDescriptor, method_name: str,
+                 entities: dict[str, EntityDescriptor],
+                 split_methods: set[tuple[str, str]],
+                 *, split_all_control_flow: bool = False):
+        self._descriptor = descriptor
+        self._method_name = method_name
+        self._entities = entities
+        self._split_methods = split_methods
+        self._split_all = split_all_control_flow
+        self._normalizer = Normalizer(descriptor, method_name, entities,
+                                      split_methods)
+        self._blocks: list[FunctionBlock] = []
+        self._loop_stack: list[tuple[FunctionBlock, FunctionBlock]] = []
+        self._loop_counter = 0
+
+    # ------------------------------------------------------------------
+    def split(self) -> SplitResult:
+        method = self._descriptor.methods[self._method_name]
+        if method.source_ast is None:
+            raise CompilationError(
+                "method has no source AST", entity=self._descriptor.name,
+                method=self._method_name)
+        body = self._normalizer.normalize_body(list(method.source_ast.body))
+        entry = self._new_block()
+        open_block = self._lower(body, entry)
+        if open_block is not None:
+            self._finish_return(open_block, ast.Constant(value=None))
+        self._prune_and_rename()
+        result = SplitResult(
+            entity_name=self._descriptor.name,
+            method_name=self._method_name,
+            entry=self._blocks[0].block_id,
+            blocks={block.block_id: block for block in self._blocks},
+        )
+        for block in result.blocks.values():
+            block.analyze_dataflow()
+        return result
+
+    # ------------------------------------------------------------------
+    def _new_block(self) -> FunctionBlock:
+        block = FunctionBlock(block_id=f"b{len(self._blocks)}",
+                              statements=[])
+        self._blocks.append(block)
+        return block
+
+    def _classify_stmt(self, statement: ast.stmt) -> tuple[RemoteCall, str | None] | None:
+        """Detect the normalized remote-call statement forms.
+
+        Returns ``(call, result_var)`` for ``x = <remote>()`` and
+        ``(call, None)`` for a bare ``<remote>()`` expression statement.
+        """
+        detector = self._normalizer.detector
+        if (isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and isinstance(statement.value, ast.Call)):
+            call = detector.classify(statement.value)
+            if call is not None:
+                return call, statement.targets[0].id
+        if (isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+                and isinstance(statement.value, ast.Call)):
+            call = detector.classify(statement.value)
+            if call is not None:
+                return call, statement.target.id
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Call):
+            call = detector.classify(statement.value)
+            if call is not None:
+                return call, None
+        return None
+
+    def _observe(self, statement: ast.stmt) -> None:
+        """Keep the detector's type environment in step while lowering."""
+        detector = self._normalizer.detector
+        if (isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)):
+            detector.observe_assignment(statement.targets[0].id,
+                                        statement.value)
+        elif (isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+                and statement.value is not None):
+            detector.observe_assignment(statement.target.id,
+                                        statement.value,
+                                        statement.annotation)
+
+    # ------------------------------------------------------------------
+    def _lower(self, statements: list[ast.stmt],
+               current: FunctionBlock) -> FunctionBlock | None:
+        """Append *statements* to *current*, splitting as needed.
+
+        Returns the block left "open" when the statement list falls
+        through, or ``None`` if every path terminated (return/break/...).
+        """
+        for index, statement in enumerate(statements):
+            remote = self._classify_stmt(statement)
+            if remote is not None:
+                current = self._lower_remote(statement, remote, current)
+                continue
+            if isinstance(statement, ast.Return):
+                self._finish_return(
+                    current, statement.value or ast.Constant(value=None))
+                return None
+            if isinstance(statement, ast.Break):
+                _, after = self._loop_stack[-1]
+                current.terminator = JumpTerminator(target=after.block_id)
+                return None
+            if isinstance(statement, ast.Continue):
+                header, _ = self._loop_stack[-1]
+                current.terminator = JumpTerminator(target=header.block_id)
+                return None
+            if isinstance(statement, ast.If) and (
+                    self._needs_cf_split(statement.body + statement.orelse)
+                    or (self._loop_stack and _contains_loose_escape(
+                        statement.body + statement.orelse))):
+                # Split when the if has remote calls, or when it carries a
+                # break/continue out of a loop that is itself being split
+                # (the escape must become an explicit Jump).
+                current = self._lower_if(statement, current)
+                if current is None:
+                    return None
+                continue
+            if isinstance(statement, ast.While) and self._needs_cf_split(
+                    statement.body):
+                current = self._lower_while(statement, current)
+                continue
+            if isinstance(statement, ast.For) and self._needs_cf_split(
+                    statement.body):
+                current = self._lower_for(statement, current)
+                continue
+            self._observe(statement)
+            current.statements.append(statement)
+        return current
+
+    def _needs_cf_split(self, statements: list[ast.stmt]) -> bool:
+        if self._split_all:
+            return True
+        return contains_remote_call(statements, self._normalizer.detector)
+
+    # -- remote calls ----------------------------------------------------
+    def _lower_remote(self, statement: ast.stmt, info: tuple[RemoteCall, str | None],
+                      current: FunctionBlock) -> FunctionBlock:
+        call, result_var = info
+        node = call.node
+        args_tuple = cf.tuple_expression(list(node.args))
+        current.statements.append(
+            cf.assign_statement(CALL_ARGS_VAR, args_tuple))
+        continuation = self._new_block()
+        if call.is_constructor:
+            current.terminator = ConstructTerminator(
+                entity_type=call.entity_type,
+                continuation=continuation.block_id,
+                result_var=result_var)
+            if result_var is not None:
+                self._normalizer.detector.env.bind(result_var,
+                                                   call.entity_type)
+            return continuation
+        receiver = call.receiver
+        if receiver is None:  # pragma: no cover - defensive
+            raise UnsupportedConstructError(
+                "remote method call without receiver",
+                entity=self._descriptor.name, method=self._method_name)
+        if call.is_self_call:
+            # Invoke on this same operator/key; target resolved at runtime.
+            receiver_src = "self"
+        else:
+            current.statements.append(
+                cf.assign_statement(CALL_TARGET_VAR, receiver))
+            receiver_src = ast.unparse(receiver)
+        current.terminator = InvokeTerminator(
+            entity_type=call.entity_type,
+            method=call.method,
+            receiver=receiver_src,
+            continuation=continuation.block_id,
+            result_var=result_var,
+            is_self_call=call.is_self_call)
+        if result_var is not None:
+            # Bind the result variable to the callee's return type so a
+            # returned entity ref remains usable for further remote calls.
+            callee = self._entities.get(call.entity_type)
+            return_type = None
+            if callee is not None and call.method in callee.methods:
+                return_type = callee.methods[call.method].return_type
+            self._normalizer.detector.env.bind(result_var, return_type)
+        return continuation
+
+    # -- control flow ------------------------------------------------------
+    def _lower_if(self, statement: ast.If,
+                  current: FunctionBlock) -> FunctionBlock | None:
+        current.statements.append(
+            cf.assign_statement(CONDITION_VAR, statement.test))
+        true_block = self._new_block()
+        false_block = self._new_block() if statement.orelse else None
+        join: FunctionBlock | None = None
+        current.terminator = BranchTerminator(
+            true_target=true_block.block_id,
+            false_target="",  # patched below
+        )
+        true_end = self._lower(list(statement.body), true_block)
+        false_end: FunctionBlock | None
+        if false_block is not None:
+            false_end = self._lower(list(statement.orelse), false_block)
+        else:
+            false_end = None
+        if true_end is None and false_block is not None and false_end is None:
+            # Both paths terminated; no join block needed.
+            current.terminator.false_target = false_block.block_id
+            return None
+        join = self._new_block()
+        if false_block is not None:
+            current.terminator.false_target = false_block.block_id
+            if false_end is not None:
+                false_end.terminator = JumpTerminator(target=join.block_id)
+        else:
+            current.terminator.false_target = join.block_id
+        if true_end is not None:
+            true_end.terminator = JumpTerminator(target=join.block_id)
+        return join
+
+    def _lower_while(self, statement: ast.While,
+                     current: FunctionBlock) -> FunctionBlock:
+        header = self._new_block()
+        current.terminator = JumpTerminator(target=header.block_id)
+        header.statements.append(
+            cf.assign_statement(CONDITION_VAR, statement.test))
+        body_block = self._new_block()
+        after = self._new_block()
+        header.terminator = BranchTerminator(
+            true_target=body_block.block_id,
+            false_target=after.block_id)
+        self._loop_stack.append((header, after))
+        body_end = self._lower(list(statement.body), body_block)
+        self._loop_stack.pop()
+        if body_end is not None:
+            body_end.terminator = JumpTerminator(target=header.block_id)
+        return after
+
+    def _lower_for(self, statement: ast.For,
+                   current: FunctionBlock) -> FunctionBlock:
+        loop_id = self._loop_counter
+        self._loop_counter += 1
+        current.statements.extend(
+            cf.loop_init_statements(loop_id, statement.iter))
+        header = self._new_block()
+        current.terminator = JumpTerminator(target=header.block_id)
+        header.statements.append(
+            cf.assign_statement(CONDITION_VAR, cf.loop_condition(loop_id)))
+        body_block = self._new_block()
+        after = self._new_block()
+        header.terminator = BranchTerminator(
+            true_target=body_block.block_id,
+            false_target=after.block_id)
+        body_block.statements.extend(
+            cf.loop_bind_statements(loop_id, statement.target))
+        self._loop_stack.append((header, after))
+        body_end = self._lower(list(statement.body), body_block)
+        self._loop_stack.pop()
+        if body_end is not None:
+            body_end.terminator = JumpTerminator(target=header.block_id)
+        return after
+
+    # -- returns -----------------------------------------------------------
+    def _finish_return(self, block: FunctionBlock, value: ast.expr) -> None:
+        block.statements.append(cf.assign_statement(RETURN_VALUE_VAR, value))
+        block.terminator = ReturnTerminator()
+
+    # -- cleanup -----------------------------------------------------------
+    def _prune_and_rename(self) -> None:
+        """Collapse empty jump-only blocks, drop unreachable ones, and give
+        survivors the paper-style names ``<method>_<i>``."""
+        by_id = {block.block_id: block for block in self._blocks}
+
+        def resolve(block_id: str, seen: frozenset[str] = frozenset()) -> str:
+            block = by_id[block_id]
+            if (not block.statements
+                    and isinstance(block.terminator, JumpTerminator)
+                    and block_id not in seen):
+                return resolve(block.terminator.target, seen | {block_id})
+            return block_id
+
+        entry_id = resolve(self._blocks[0].block_id)
+        # Rewrite all terminator targets through the resolution map.
+        for block in self._blocks:
+            terminator = block.terminator
+            if isinstance(terminator, JumpTerminator):
+                terminator.target = resolve(terminator.target)
+            elif isinstance(terminator, BranchTerminator):
+                terminator.true_target = resolve(terminator.true_target)
+                terminator.false_target = resolve(terminator.false_target)
+            elif isinstance(terminator, (InvokeTerminator, ConstructTerminator)):
+                terminator.continuation = resolve(terminator.continuation)
+        # Keep only blocks reachable from the (resolved) entry.
+        reachable: list[FunctionBlock] = []
+        seen: set[str] = set()
+        stack = [entry_id]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            block = by_id[block_id]
+            reachable.append(block)
+            terminator = block.terminator
+            if isinstance(terminator, JumpTerminator):
+                stack.append(terminator.target)
+            elif isinstance(terminator, BranchTerminator):
+                stack.append(terminator.true_target)
+                stack.append(terminator.false_target)
+            elif isinstance(terminator, (InvokeTerminator, ConstructTerminator)):
+                stack.append(terminator.continuation)
+        # Stable order: creation order of reachable blocks, entry first.
+        ordered = [b for b in self._blocks if b.block_id in seen]
+        ordered.remove(by_id[entry_id])
+        ordered.insert(0, by_id[entry_id])
+        rename = {block.block_id: f"{self._method_name}_{index}"
+                  for index, block in enumerate(ordered)}
+        for block in ordered:
+            block.block_id = rename[block.block_id]
+            terminator = block.terminator
+            if isinstance(terminator, JumpTerminator):
+                terminator.target = rename[terminator.target]
+            elif isinstance(terminator, BranchTerminator):
+                terminator.true_target = rename[terminator.true_target]
+                terminator.false_target = rename[terminator.false_target]
+            elif isinstance(terminator, (InvokeTerminator, ConstructTerminator)):
+                terminator.continuation = rename[terminator.continuation]
+        self._blocks = ordered
+
+
+def _contains_loose_escape(statements: list[ast.stmt]) -> bool:
+    """True if *statements* contain a break/continue that escapes to an
+    enclosing loop (i.e. not captured by a loop nested inside them)."""
+    for statement in statements:
+        if isinstance(statement, (ast.Break, ast.Continue)):
+            return True
+        if isinstance(statement, ast.If):
+            if _contains_loose_escape(statement.body + statement.orelse):
+                return True
+    return False
+
+
+def split_method(descriptor: EntityDescriptor, method_name: str,
+                 entities: dict[str, EntityDescriptor],
+                 split_methods: set[tuple[str, str]],
+                 *, split_all_control_flow: bool = False) -> SplitResult:
+    """Split one method of *descriptor* into function blocks."""
+    splitter = MethodSplitter(descriptor, method_name, entities,
+                              split_methods,
+                              split_all_control_flow=split_all_control_flow)
+    return splitter.split()

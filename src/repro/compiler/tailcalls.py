@@ -1,0 +1,150 @@
+"""Tail-call elimination: recursion -> loops (paper Section 5).
+
+"From a compiler perspective, since a program can be CPS-transformed,
+recursion can be translated into loops via tail-call elimination [8]."
+The state machine cannot unroll unbounded recursion, but a method whose
+*only* self-recursion is in tail position is equivalent to a loop::
+
+    def countdown(self, n: int) -> int:
+        if n <= 0:
+            return 0
+        return self.countdown(n - 1)
+
+becomes::
+
+    def countdown(self, n: int) -> int:
+        while True:
+            if n <= 0:
+                return 0
+            (n,) = (n - 1,)
+            continue
+            return None  # fall-through of the original body
+
+after which splitting proceeds normally (and the loop may still contain
+remote calls, which split as usual).  Methods with non-tail recursion are
+left untouched and still rejected by the recursion check.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core.descriptors import EntityDescriptor
+
+
+def _is_self_tail_call(node: ast.Return, method_name: str) -> bool:
+    call = node.value
+    return (isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == method_name
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self")
+
+
+class _TailCallScanner(ast.NodeVisitor):
+    """Finds self tail calls and whether any sits inside a nested loop
+    (where ``continue`` would target the wrong loop)."""
+
+    def __init__(self, method_name: str):
+        self.method_name = method_name
+        self.tail_calls = 0
+        self.tail_call_in_loop = False
+        self.non_tail_self_calls = 0
+        self._loop_depth = 0
+        self._return_values: set[int] = set()
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if _is_self_tail_call(node, self.method_name):
+            self.tail_calls += 1
+            if self._loop_depth > 0:
+                self.tail_call_in_loop = True
+            # Do not descend: the call in tail position is accounted for.
+            return
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr == self.method_name
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"):
+            self.non_tail_self_calls += 1
+        self.generic_visit(node)
+
+
+class _TailCallRewriter(ast.NodeTransformer):
+    """Replaces ``return self.m(a, b)`` with rebinding + continue."""
+
+    def __init__(self, method_name: str, param_names: list[str]):
+        self.method_name = method_name
+        self.param_names = param_names
+
+    def visit_Return(self, node: ast.Return) -> list[ast.stmt] | ast.Return:
+        if not _is_self_tail_call(node, self.method_name):
+            return node
+        call = node.value
+        assert isinstance(call, ast.Call)
+        if len(call.args) != len(self.param_names) or call.keywords:
+            return node  # arity mismatch: leave for the recursion check
+        rebind = ast.Assign(
+            targets=[ast.Tuple(
+                elts=[ast.Name(id=name, ctx=ast.Store())
+                      for name in self.param_names],
+                ctx=ast.Store())],
+            value=ast.Tuple(elts=list(call.args), ctx=ast.Load()))
+        statements: list[ast.stmt] = [rebind, ast.Continue()]
+        for statement in statements:
+            ast.copy_location(statement, node)
+            ast.fix_missing_locations(statement)
+        return statements
+
+    # Nested scopes are rejected elsewhere; do not rewrite inside loops
+    # (the scanner already vetoed such methods).
+    def visit_FunctionDef(self, node):  # pragma: no cover - defensive
+        return node
+
+
+def eliminate_tail_calls(descriptor: EntityDescriptor) -> list[str]:
+    """Rewrite every purely-tail-recursive method of *descriptor* into a
+    loop, in place.  Returns the names of the transformed methods."""
+    transformed = []
+    for method in descriptor.methods.values():
+        node = method.source_ast
+        if node is None:
+            continue
+        scanner = _TailCallScanner(method.name)
+        for statement in node.body:
+            scanner.visit(statement)
+        eligible = (scanner.tail_calls > 0
+                    and not scanner.tail_call_in_loop
+                    and scanner.non_tail_self_calls == 0)
+        if not eligible:
+            continue
+        rewriter = _TailCallRewriter(method.name, method.param_names)
+        new_body = [rewriter.visit(statement) for statement in node.body]
+        flattened: list[ast.stmt] = []
+        for item in new_body:
+            if isinstance(item, list):
+                flattened.extend(item)
+            else:
+                flattened.append(item)
+        # Fall-through of the original body meant `return None`; inside
+        # the loop it must stay a return, not another iteration.
+        flattened.append(ast.Return(value=ast.Constant(value=None)))
+        loop = ast.While(test=ast.Constant(value=True), body=flattened,
+                         orelse=[])
+        ast.copy_location(loop, node)
+        ast.fix_missing_locations(loop)
+        node.body = [loop]
+        transformed.append(method.name)
+    return transformed

@@ -1,0 +1,136 @@
+"""Static descriptions of entities and their methods.
+
+These are produced by the compiler's first analysis pass (Section 2.2/2.3):
+the state schema (instance attributes assigned through ``self``), the method
+signatures with their type hints, and the partition-key accessor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(slots=True)
+class ParamSpec:
+    """One method parameter: its name and the *name* of its annotation."""
+
+    name: str
+    type_name: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"name": self.name, "type": self.type_name}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "ParamSpec":
+        return cls(name=data["name"], type_name=data["type"])
+
+
+@dataclass(slots=True)
+class MethodDescriptor:
+    """Everything static analysis knows about one entity method."""
+
+    name: str
+    params: list[ParamSpec]
+    return_type: str
+    is_transactional: bool = False
+    is_constructor: bool = False
+    source_ast: ast.FunctionDef | None = None
+    # Names of other entities this method calls (filled by the call-graph
+    # pass); maps local variable name -> entity class name.
+    entity_params: dict[str, str] = field(default_factory=dict)
+    calls: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def param_names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def has_remote_interaction(self) -> bool:
+        """True if this method calls methods of other entities."""
+        return bool(self.calls)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "params": [p.to_dict() for p in self.params],
+            "return_type": self.return_type,
+            "is_transactional": self.is_transactional,
+            "is_constructor": self.is_constructor,
+            "entity_params": dict(self.entity_params),
+            "calls": [list(c) for c in self.calls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MethodDescriptor":
+        return cls(
+            name=data["name"],
+            params=[ParamSpec.from_dict(p) for p in data["params"]],
+            return_type=data["return_type"],
+            is_transactional=data["is_transactional"],
+            is_constructor=data["is_constructor"],
+            entity_params=dict(data.get("entity_params", {})),
+            calls=[tuple(c) for c in data.get("calls", [])],
+        )
+
+
+@dataclass(slots=True)
+class StateField:
+    """One instance attribute of an entity: ``self.<name>: <type> = ...``."""
+
+    name: str
+    type_name: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"name": self.name, "type": self.type_name}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "StateField":
+        return cls(name=data["name"], type_name=data["type"])
+
+
+@dataclass(slots=True)
+class EntityDescriptor:
+    """Everything static analysis knows about one stateful entity class."""
+
+    name: str
+    state: list[StateField]
+    methods: dict[str, MethodDescriptor]
+    key_attribute: str | None = None
+    source: str | None = None
+
+    @property
+    def state_names(self) -> list[str]:
+        return [f.name for f in self.state]
+
+    def method(self, name: str) -> MethodDescriptor:
+        return self.methods[name]
+
+    def public_methods(self) -> list[MethodDescriptor]:
+        """Methods invocable through the dataflow (no dunders but
+        ``__init__``, which materialises new entities)."""
+        result = []
+        for descriptor in self.methods.values():
+            if descriptor.name == "__init__" or not descriptor.name.startswith("__"):
+                result.append(descriptor)
+        return result
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": [f.to_dict() for f in self.state],
+            "methods": {n: m.to_dict() for n, m in self.methods.items()},
+            "key_attribute": self.key_attribute,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EntityDescriptor":
+        return cls(
+            name=data["name"],
+            state=[StateField.from_dict(f) for f in data["state"]],
+            methods={n: MethodDescriptor.from_dict(m)
+                     for n, m in data["methods"].items()},
+            key_attribute=data.get("key_attribute"),
+            source=data.get("source"),
+        )

@@ -1,0 +1,163 @@
+"""The programmer-facing annotations: ``@entity`` and ``@transactional``.
+
+Mirrors Figure 1 of the paper::
+
+    @entity
+    class Item:
+        def __init__(self, item_id: str, price: int):
+            self.item_id: str = item_id
+            self.stock: int = 0
+            self.price: int = price
+
+        def __key__(self):
+            return self.item_id
+
+        def update_stock(self, amount: int) -> bool:
+            self.stock += amount
+            return self.stock >= 0
+
+Decorating a class registers it (with its source code) so the compiler
+pipeline can later analyse the AST.  ``@transactional`` marks a method whose
+cross-entity state effects must commit atomically with ACID guarantees; the
+StateFlow runtime executes such methods under its Aria-style deterministic
+protocol (Section 3).
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+from typing import Any, Callable, Iterable, TypeVar
+
+from .errors import CompilationError
+
+_TRANSACTIONAL_ATTR = "__stateful_entity_transactional__"
+_ENTITY_ATTR = "__stateful_entity__"
+_SOURCE_ATTR = "__stateful_entity_source__"
+
+T = TypeVar("T")
+
+
+class EntityRegistry:
+    """Holds every ``@entity``-decorated class known to this process.
+
+    The compiler consumes the registry (or an explicit list of classes); the
+    registry also lets tests build isolated universes of entities via
+    :meth:`scoped`.
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type] = {}
+
+    def register(self, cls: type, source: str | None = None) -> type:
+        name = cls.__name__
+        if source is None:
+            source = _source_of(cls)
+        setattr(cls, _ENTITY_ATTR, True)
+        setattr(cls, _SOURCE_ATTR, source)
+        self._classes[name] = cls
+        return cls
+
+    def unregister(self, name: str) -> None:
+        self._classes.pop(name, None)
+
+    def get(self, name: str) -> type:
+        return self._classes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._classes)
+
+    def classes(self) -> list[type]:
+        return list(self._classes.values())
+
+    def clear(self) -> None:
+        self._classes.clear()
+
+
+#: Process-global registry used by the bare ``@entity`` decorator.
+REGISTRY = EntityRegistry()
+
+
+def _source_of(cls: type) -> str:
+    """Dedented source code of *cls* (the compiler parses this)."""
+    try:
+        return textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError) as exc:  # e.g. classes built in exec()
+        raise CompilationError(
+            f"cannot obtain source code for entity {cls.__name__!r}; "
+            f"pass `source=` to @entity or define the class in a file"
+        ) from exc
+
+
+def entity(cls: type | None = None, *, source: str | None = None,
+           registry: EntityRegistry | None = None) -> Any:
+    """Class decorator turning a plain Python class into a stateful entity.
+
+    Usage::
+
+        @entity
+        class User: ...
+
+        @entity(source=source_text)      # classes created dynamically
+        class Generated: ...
+    """
+    target_registry = registry if registry is not None else REGISTRY
+
+    def wrap(klass: type) -> type:
+        return target_registry.register(klass, source=source)
+
+    if cls is None:
+        return wrap
+    return wrap(cls)
+
+
+#: Paper Figure 1 uses ``@entity``; Section 2.1 mentions ``@stateflow``.
+#: Both names are accepted.
+stateflow = entity
+stateful_entity = entity
+
+
+def transactional(func: Callable[..., T]) -> Callable[..., T]:
+    """Mark a method as a multi-entity ACID transaction (Figure 1's
+    ``User.buy_item``).  The method body is unchanged; the marker travels
+    into the IR so transactional runtimes wrap its execution."""
+    setattr(func, _TRANSACTIONAL_ATTR, True)
+    return func
+
+
+def is_entity_class(cls: type) -> bool:
+    """True if *cls* was decorated with ``@entity``."""
+    return bool(getattr(cls, _ENTITY_ATTR, False))
+
+
+def is_transactional(func: Any) -> bool:
+    """True if *func* was decorated with ``@transactional``."""
+    return bool(getattr(func, _TRANSACTIONAL_ATTR, False))
+
+
+def entity_source(cls: type) -> str:
+    """The registered source code of an entity class."""
+    source = getattr(cls, _SOURCE_ATTR, None)
+    if source is None:
+        return _source_of(cls)
+    return source
+
+
+def transactional_methods(cls: type) -> frozenset[str]:
+    """Names of the ``@transactional`` methods of *cls*."""
+    names = set()
+    for name, member in inspect.getmembers(cls, inspect.isfunction):
+        if is_transactional(member):
+            names.add(name)
+    return frozenset(names)
+
+
+def scoped_registry(classes: Iterable[type]) -> EntityRegistry:
+    """Build an isolated registry containing exactly *classes* (tests)."""
+    registry = EntityRegistry()
+    for cls in classes:
+        registry.register(cls)
+    return registry

@@ -1,0 +1,45 @@
+"""Partition-keyed handles to remote stateful entities.
+
+An :class:`EntityRef` is what actually travels through the dataflow when
+user code passes "an Item" to a method: the pair *(entity class name, key)*.
+The runtime resolves the ref to the operator partition that owns the key and
+reconstructs the object there (Section 2.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class EntityRef:
+    """A serializable reference to one stateful entity instance.
+
+    Attributes:
+        entity: the entity class name (operator name in the dataflow).
+        key: the partition key, as returned by the entity's ``__key__``.
+    """
+
+    entity: str
+    key: Any
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.entity}/{self.key}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"entity": self.entity, "key": self.key}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EntityRef":
+        return cls(entity=data["entity"], key=data["key"])
+
+
+def is_entity_ref(value: Any) -> bool:
+    """True if *value* is a reference to a remote entity."""
+    return isinstance(value, EntityRef)
+
+
+def ref_for(entity_name: str, key: Any) -> EntityRef:
+    """Build a reference to entity *entity_name* partitioned on *key*."""
+    return EntityRef(entity=entity_name, key=key)

@@ -1,0 +1,101 @@
+"""Type-hint resolution used by the static analysis passes.
+
+The paper requires static type hints on the input/output of stateful entity
+functions (Section 2.2).  The compiler only needs *names*: it must tell
+entity types apart from plain Python types to find remote calls, so we map
+annotation AST nodes to dotted-name strings and keep a per-method type
+environment of which local names are entity-typed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+# Python scalar/container types the programming model supports for entity
+# state and method arguments.  Anything else must either be an entity type
+# or explicitly registered by the user.
+BUILTIN_TYPE_NAMES = frozenset({
+    "int", "float", "str", "bool", "bytes", "None", "NoneType",
+    "list", "dict", "set", "tuple", "Any",
+    "List", "Dict", "Set", "Tuple", "Optional",
+})
+
+
+def annotation_name(node: ast.expr | None) -> str | None:
+    """Resolve an annotation AST node to a readable type name.
+
+    Handles plain names (``int``), dotted names (``typing.Optional``),
+    strings (``"Item"`` forward references), subscripted generics
+    (``list[int]`` -> ``list``), and constants (``None``).  Returns ``None``
+    when there is no annotation.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return "None"
+        if isinstance(node.value, str):
+            # Forward reference: the string *is* the type name.
+            return node.value
+        return type(node.value).__name__
+    if isinstance(node, ast.Attribute):
+        base = annotation_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    if isinstance(node, ast.Subscript):
+        # list[int] / Optional[Item] -> keep the container name; for
+        # Optional[X] keep the inner name, since Optional[Item] still means
+        # the variable may hold an Item ref.
+        container = annotation_name(node.value)
+        if container in {"Optional", "typing.Optional"}:
+            return annotation_name(node.slice)
+        return container
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # PEP 604 unions: ``Item | None`` -> prefer the non-None side.
+        left = annotation_name(node.left)
+        right = annotation_name(node.right)
+        if left in {"None", "NoneType"}:
+            return right
+        return left
+    return ast.unparse(node)
+
+
+class TypeEnvironment:
+    """Tracks which local names refer to stateful entities inside a method.
+
+    Seeded with entity-typed parameters and entity-typed state attributes;
+    extended when the analysis sees ``x: Item = ...`` annotations or
+    ``x = Item(...)`` constructor calls.
+    """
+
+    def __init__(self, entity_names: frozenset[str]):
+        self._entity_names = entity_names
+        self._bindings: dict[str, str] = {}
+
+    @property
+    def entity_names(self) -> frozenset[str]:
+        return self._entity_names
+
+    def is_entity_type(self, type_name: str | None) -> bool:
+        return type_name is not None and type_name in self._entity_names
+
+    def bind(self, name: str, type_name: str | None) -> None:
+        """Record that *name* holds a value of *type_name* (if an entity)."""
+        if self.is_entity_type(type_name):
+            self._bindings[name] = type_name  # type: ignore[arg-type]
+        elif name in self._bindings:
+            # Re-assignment to a non-entity value shadows the old binding.
+            del self._bindings[name]
+
+    def entity_type_of(self, name: str) -> str | None:
+        """The entity class name bound to local *name*, or ``None``."""
+        return self._bindings.get(name)
+
+    def bound_entities(self) -> dict[str, str]:
+        return dict(self._bindings)
+
+    def copy(self) -> "TypeEnvironment":
+        clone = TypeEnvironment(self._entity_names)
+        clone._bindings = dict(self._bindings)
+        return clone

@@ -1,0 +1,5 @@
+"""Querying stateful entities (paper Section 5 / S-QUERY [46])."""
+
+from .engine import Predicate, QueryEngine, QueryError, QueryResult
+
+__all__ = ["Predicate", "QueryEngine", "QueryError", "QueryResult"]

@@ -1,0 +1,183 @@
+"""Querying stateful entities (paper Section 5).
+
+"The ability to query the global state of a dataflow processor ... can
+transform a dataflow processor into a full-fledged, distributed database
+system. [...] querying (e.g., with SQL) a set of entities still poses a
+number of challenges, especially with respect to the tradeoff between the
+freshness and consistency of query results."
+
+This module implements that trade-off explicitly, in the spirit of
+S-QUERY [46] and RAMP read-atomic transactions [7]:
+
+- ``consistency="live"`` reads the current committed operator state —
+  freshest, and on StateFlow still transactionally consistent because
+  commits are atomic at batch boundaries; on runtimes without
+  transactions the live view may expose in-progress call chains.
+- ``consistency="snapshot"`` reads the latest completed system snapshot —
+  a globally consistent (but stale) cut, the read-atomic option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..core.errors import StatefulEntityError
+
+
+class QueryError(StatefulEntityError):
+    """Invalid query or unsupported consistency level."""
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Rows returned by a query, with provenance metadata."""
+
+    entity: str
+    rows: list[dict[str, Any]]
+    consistency: str
+    #: Simulated time of the state the query observed (snapshot time for
+    #: snapshot reads, "now" for live reads); None outside simulations.
+    as_of_ms: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def keys(self) -> list[Any]:
+        return [row["__key__"] for row in self.rows]
+
+    def scalars(self, field: str) -> list[Any]:
+        return [row[field] for row in self.rows]
+
+
+Predicate = Callable[[dict[str, Any]], bool]
+
+
+class QueryEngine:
+    """Read-only queries over a runtime's entity state.
+
+    Works against any runtime exposing its state: the Local runtime's
+    HashMap, the StateFun-style runtime's operator state, and StateFlow's
+    committed store + snapshot store.
+    """
+
+    def __init__(self, runtime):
+        self._runtime = runtime
+
+    # -- state sources ------------------------------------------------------
+    def _live_items(self) -> Iterable[tuple[tuple[str, Any], dict[str, Any]]]:
+        runtime = self._runtime
+        if hasattr(runtime, "committed"):          # StateFlow
+            store = runtime.committed
+            return [(key, store.get(*key)) for key in store.keys()]
+        if hasattr(runtime, "state"):              # Local / StateFun
+            return list(runtime.state.store.items())
+        raise QueryError(
+            f"runtime {type(runtime).__name__} exposes no queryable state")
+
+    def _snapshot_items(self) -> tuple[Iterable, float]:
+        runtime = self._runtime
+        coordinator = getattr(runtime, "coordinator", None)
+        if coordinator is None:
+            raise QueryError(
+                "snapshot-consistency queries need a snapshotting runtime "
+                "(StateFlow); use consistency='live' instead")
+        snapshot = coordinator.snapshots.latest()
+        if snapshot is None:
+            raise QueryError("no snapshot completed yet")
+        return list(snapshot.state.items()), snapshot.taken_at_ms
+
+    # -- core ------------------------------------------------------------
+    def select(self, entity: str, *,
+               where: Predicate | None = None,
+               project: list[str] | None = None,
+               order_by: str | None = None,
+               descending: bool = False,
+               limit: int | None = None,
+               consistency: str = "live") -> QueryResult:
+        """SQL-ish scan over every instance of *entity*.
+
+        ``where`` receives the full state dict; ``project`` restricts the
+        returned fields (the partition key is always included as
+        ``__key__``).
+        """
+        if consistency == "live":
+            items = self._live_items()
+            as_of = getattr(getattr(self._runtime, "sim", None), "now", None)
+        elif consistency == "snapshot":
+            items, as_of = self._snapshot_items()
+        else:
+            raise QueryError(
+                f"unknown consistency level {consistency!r}; "
+                f"pick 'live' or 'snapshot'")
+
+        rows = []
+        for (entity_name, key), state in items:
+            if entity_name != entity or state is None:
+                continue
+            if where is not None and not where(state):
+                continue
+            if project is None:
+                row = dict(state)
+            else:
+                missing = [f for f in project if f not in state]
+                if missing:
+                    raise QueryError(
+                        f"unknown field(s) {missing} on entity {entity!r}")
+                row = {field: state[field] for field in project}
+            row["__key__"] = key
+            rows.append(row)
+
+        if order_by is not None:
+            if rows and order_by not in rows[0]:
+                raise QueryError(
+                    f"cannot order by unselected field {order_by!r}")
+            rows.sort(key=lambda row: row[order_by], reverse=descending)
+        else:
+            rows.sort(key=lambda row: str(row["__key__"]))
+        if limit is not None:
+            rows = rows[:limit]
+        return QueryResult(entity=entity, rows=rows,
+                           consistency=consistency, as_of_ms=as_of)
+
+    # -- aggregates -----------------------------------------------------
+    def count(self, entity: str, *, where: Predicate | None = None,
+              consistency: str = "live") -> int:
+        return len(self.select(entity, where=where,
+                               consistency=consistency))
+
+    def sum(self, entity: str, field: str, *,
+            where: Predicate | None = None,
+            consistency: str = "live") -> Any:
+        result = self.select(entity, where=where, consistency=consistency)
+        return sum(row[field] for row in result.rows)
+
+    def avg(self, entity: str, field: str, *,
+            where: Predicate | None = None,
+            consistency: str = "live") -> float:
+        result = self.select(entity, where=where, consistency=consistency)
+        if not result.rows:
+            raise QueryError("avg over empty result")
+        return sum(row[field] for row in result.rows) / len(result.rows)
+
+    def min(self, entity: str, field: str, *,
+            consistency: str = "live") -> Any:
+        result = self.select(entity, consistency=consistency)
+        if not result.rows:
+            raise QueryError("min over empty result")
+        return min(row[field] for row in result.rows)
+
+    def max(self, entity: str, field: str, *,
+            consistency: str = "live") -> Any:
+        result = self.select(entity, consistency=consistency)
+        if not result.rows:
+            raise QueryError("max over empty result")
+        return max(row[field] for row in result.rows)
+
+    def top_k(self, entity: str, field: str, k: int, *,
+              consistency: str = "live") -> QueryResult:
+        return self.select(entity, order_by=field, descending=True,
+                           limit=k, consistency=consistency)

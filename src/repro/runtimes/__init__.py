@@ -1,0 +1,18 @@
+"""Execution backends for the stateful dataflow IR."""
+
+from .base import InvocationResult, Runtime
+from .executor import (
+    Instrumentation,
+    MapStateAccess,
+    OperatorExecutor,
+)
+from .local import LocalRuntime
+
+__all__ = [
+    "Instrumentation",
+    "InvocationResult",
+    "LocalRuntime",
+    "MapStateAccess",
+    "OperatorExecutor",
+    "Runtime",
+]

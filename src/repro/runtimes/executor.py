@@ -1,0 +1,411 @@
+"""Engine-independent operator logic.
+
+This is the behaviour of one dataflow operator from Figure 2: reconstruct
+the entity from operator state, execute state-machine blocks until the
+invocation either returns (REPLY / RESUME to the caller) or performs a
+remote call (INVOKE / CREATE to another operator), and flush the entity's
+state back.  Every runtime (Local, StateFun-style, StateFlow) wraps this
+executor with its own messaging, partitioning, and consistency machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from ..compiler.blocks import (
+    BranchTerminator,
+    ConstructTerminator,
+    InvokeTerminator,
+    JumpTerminator,
+    ReturnTerminator,
+)
+from ..compiler.codegen import CompiledEntity, CompiledMethod
+from ..core.errors import (
+    EntityNotFoundError,
+    InvocationError,
+    RuntimeExecutionError,
+)
+from ..core.refs import EntityRef
+from ..core.serialization import check_serializable, dumps
+from ..ir.events import Event, EventKind, ExecutionState, Frame
+
+
+class StateAccess(Protocol):
+    """How the executor touches operator state.  Implementations range
+    from a plain dict (Local) to Aria's snapshot-read/buffered-write view
+    (StateFlow transactions)."""
+
+    def get(self, entity: str, key: Any) -> dict[str, Any] | None: ...
+
+    def put(self, entity: str, key: Any, state: dict[str, Any]) -> None: ...
+
+    def create(self, entity: str, key: Any, state: dict[str, Any]) -> None: ...
+
+
+class MapStateAccess:
+    """Plain in-memory state: the Local runtime's HashMap backend."""
+
+    def __init__(self, store: dict | None = None):
+        self.store: dict[tuple[str, Any], dict[str, Any]] = (
+            store if store is not None else {})
+
+    def get(self, entity: str, key: Any) -> dict[str, Any] | None:
+        state = self.store.get((entity, key))
+        return dict(state) if state is not None else None
+
+    def put(self, entity: str, key: Any, state: dict[str, Any]) -> None:
+        self.store[(entity, key)] = dict(state)
+
+    def create(self, entity: str, key: Any, state: dict[str, Any]) -> None:
+        self.put(entity, key, state)
+
+    def exists(self, entity: str, key: Any) -> bool:
+        return (entity, key) in self.store
+
+
+@dataclass(slots=True)
+class Instrumentation:
+    """Wall-clock accumulator for the overhead-breakdown experiment
+    (paper Section 4, "System overhead")."""
+
+    components: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, component: str, seconds: float) -> None:
+        self.components[component] = self.components.get(component, 0.0) + seconds
+        self.counts[component] = self.counts.get(component, 0) + 1
+
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def share(self, component: str) -> float:
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return self.components.get(component, 0.0) / total
+
+
+class OperatorExecutor:
+    """Executes events against compiled entities.
+
+    ``handle`` is a pure step function: one inbound event in, a list of
+    outbound events out.  It never blocks — a remote call suspends the
+    frame and emits an INVOKE, exactly as Section 2.3 requires ("a
+    streaming dataflow should never stop and wait").
+    """
+
+    def __init__(self, entities: dict[str, CompiledEntity],
+                 *, check_state_serializable: bool = True,
+                 instrumentation: Instrumentation | None = None):
+        self._entities = entities
+        self._check_serializable = check_state_serializable
+        self._instr = instrumentation
+
+    # ------------------------------------------------------------------
+    def entity(self, name: str) -> CompiledEntity:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise RuntimeExecutionError(
+                f"no compiled entity {name!r}") from None
+
+    def handle(self, event: Event, state: StateAccess) -> list[Event]:
+        """Process one event, returning the outbound events it causes."""
+        try:
+            if event.kind is EventKind.INVOKE:
+                return self._handle_invoke(event, state)
+            if event.kind is EventKind.RESUME:
+                return self._handle_resume(event, state)
+            if event.kind is EventKind.CREATE:
+                return self._handle_create(event, state)
+        except RuntimeExecutionError as exc:
+            return [self._error_reply(event, exc)]
+        raise RuntimeExecutionError(
+            f"operator cannot handle event kind {event.kind!r}")
+
+    # ------------------------------------------------------------------
+    def _handle_invoke(self, event: Event, state: StateAccess) -> list[Event]:
+        assert event.method is not None
+        compiled = self.entity(event.target.entity)
+        method = compiled.method(event.method)
+        execution = event.execution or ExecutionState()
+        frame = Frame(entity=event.target.entity, key=event.target.key,
+                      method=event.method, node=method.entry,
+                      store=method.initial_store(event.args))
+        execution.push(frame)
+        return self._run(event, execution, state)
+
+    def _handle_resume(self, event: Event, state: StateAccess) -> list[Event]:
+        execution = event.execution
+        assert execution is not None and execution.depth > 0
+        frame = execution.top
+        if frame.result_var is not None:
+            frame.store[frame.result_var] = event.payload
+            frame.result_var = None
+        return self._run(event, execution, state)
+
+    def _handle_create(self, event: Event, state: StateAccess) -> list[Event]:
+        """Materialise a constructed entity, then resume the creator."""
+        entity_name = event.target.entity
+        key = event.target.key
+        state.create(entity_name, key, dict(event.payload))
+        ref = EntityRef(entity=entity_name, key=key)
+        execution = event.execution
+        if execution is None or execution.depth == 0:
+            # Client-initiated creation: reply with the new ref.
+            return [Event(kind=EventKind.REPLY,
+                          target=EntityRef("__client__", event.request_id),
+                          payload=ref, request_id=event.request_id,
+                          txn=event.txn, ingress_time=event.ingress_time)]
+        caller = execution.top
+        return [Event(kind=EventKind.RESUME,
+                      target=EntityRef(caller.entity, caller.key),
+                      payload=ref, execution=execution,
+                      request_id=event.request_id, txn=event.txn,
+                      ingress_time=event.ingress_time)]
+
+    # ------------------------------------------------------------------
+    def _run(self, event: Event, execution: ExecutionState,
+             state: StateAccess) -> list[Event]:
+        """Drive the top frame until it leaves this operator."""
+        frame = execution.top
+        compiled = self.entity(frame.entity)
+        method = compiled.method(frame.method)
+        is_constructor = frame.method == "__init__"
+
+        started = time.perf_counter() if self._instr else 0.0
+        if is_constructor:
+            entity_state: dict[str, Any] | None = {}
+            instance = compiled.blank_instance()
+        else:
+            entity_state = state.get(frame.entity, frame.key)
+            if entity_state is None:
+                raise EntityNotFoundError(
+                    f"no entity {frame.entity}/{frame.key!r}")
+            instance = compiled.make_instance(entity_state)
+        if self._instr:
+            self._instr.add("object_construction",
+                            time.perf_counter() - started)
+
+        while True:
+            outcome = self._execute_block(method, frame, instance)
+            node = method.machine.node(frame.node)
+            terminator = node.terminator
+
+            if outcome.returned:
+                # Early `return` inside local control flow pre-empts the
+                # block's static terminator.
+                return self._finish_return(event, execution, state, compiled,
+                                           instance, frame, outcome,
+                                           is_constructor)
+            if isinstance(terminator, JumpTerminator):
+                frame.store = outcome.store
+                frame.node = terminator.target
+                continue
+            if isinstance(terminator, BranchTerminator):
+                frame.store = outcome.store
+                frame.node = (terminator.true_target if outcome.condition
+                              else terminator.false_target)
+                continue
+            if isinstance(terminator, ReturnTerminator):
+                return self._finish_return(event, execution, state, compiled,
+                                           instance, frame, outcome,
+                                           is_constructor)
+            if isinstance(terminator, InvokeTerminator):
+                return self._suspend_invoke(event, execution, state, compiled,
+                                            instance, frame, outcome,
+                                            terminator)
+            if isinstance(terminator, ConstructTerminator):
+                return self._suspend_construct(event, execution, state,
+                                               compiled, instance, frame,
+                                               outcome, terminator)
+            raise RuntimeExecutionError(
+                f"unknown terminator {terminator!r}")  # pragma: no cover
+
+    def _execute_block(self, method: CompiledMethod, frame: Frame,
+                       instance: Any):
+        started = time.perf_counter() if self._instr else 0.0
+        outcome = method.execute_block(frame.node, instance, frame.store)
+        if self._instr:
+            self._instr.add("function_execution",
+                            time.perf_counter() - started)
+        return outcome
+
+    def _flush_state(self, compiled: CompiledEntity, instance: Any,
+                     frame: Frame, state: StateAccess,
+                     *, create: bool = False) -> None:
+        started = time.perf_counter() if self._instr else 0.0
+        new_state = compiled.extract_state(instance)
+        if self._check_serializable:
+            check_serializable(new_state)
+        serde_duration = 0.0
+        if self._instr:
+            # The overhead experiment attributes the wire/storage codec
+            # cost separately; it grows with the entity's state size.
+            serde_started = time.perf_counter()
+            dumps(new_state)
+            serde_duration = time.perf_counter() - serde_started
+            self._instr.add("state_serde", serde_duration)
+        if create:
+            state.create(frame.entity, compiled.key_of_state(new_state),
+                         new_state)
+        else:
+            state.put(frame.entity, frame.key, new_state)
+        if self._instr:
+            self._instr.add("state_storage",
+                            time.perf_counter() - started - serde_duration)
+
+    # -- terminator handlers -------------------------------------------------
+    def _finish_return(self, event: Event, execution: ExecutionState,
+                       state: StateAccess, compiled: CompiledEntity,
+                       instance: Any, frame: Frame, outcome,
+                       is_constructor: bool) -> list[Event]:
+        value: Any = outcome.return_value
+        if is_constructor:
+            new_state = compiled.extract_state(instance)
+            if self._check_serializable:
+                check_serializable(new_state)
+            key = compiled.key_of_state(new_state)
+            state.create(frame.entity, key, new_state)
+            value = EntityRef(entity=frame.entity, key=key)
+        else:
+            self._flush_state(compiled, instance, frame, state)
+
+        # State-machine bookkeeping (the "split instrumentation" cost of
+        # the overhead experiment) is just the frame pop; reply/resume
+        # event assembly happens for unsplit functions too and counts as
+        # runtime messaging.
+        started = time.perf_counter() if self._instr else 0.0
+        execution.pop()
+        if self._instr:
+            self._instr.add("split_instrumentation",
+                            time.perf_counter() - started)
+        if execution.depth == 0:
+            return [Event(kind=EventKind.REPLY,
+                          target=EntityRef("__client__", event.request_id),
+                          payload=value, request_id=event.request_id,
+                          txn=event.txn, ingress_time=event.ingress_time)]
+        caller = execution.top
+        return [Event(kind=EventKind.RESUME,
+                      target=EntityRef(caller.entity, caller.key),
+                      payload=value, execution=execution,
+                      request_id=event.request_id, txn=event.txn,
+                      ingress_time=event.ingress_time)]
+
+    def _suspend_invoke(self, event: Event, execution: ExecutionState,
+                        state: StateAccess, compiled: CompiledEntity,
+                        instance: Any, frame: Frame, outcome,
+                        terminator: InvokeTerminator) -> list[Event]:
+        self._flush_state(compiled, instance, frame, state)
+        started = time.perf_counter() if self._instr else 0.0
+        frame.store = outcome.store
+        frame.node = terminator.continuation
+        frame.result_var = terminator.result_var
+        if terminator.is_self_call:
+            target = EntityRef(entity=frame.entity, key=frame.key)
+        else:
+            target = outcome.call_target
+            if not isinstance(target, EntityRef):
+                raise InvocationError(
+                    f"remote call receiver {terminator.receiver!r} did not "
+                    f"hold an EntityRef (got {type(target).__name__})")
+        args = tuple(outcome.call_args or ())
+        invoke = Event(kind=EventKind.INVOKE, target=target,
+                       method=terminator.method, args=args,
+                       execution=execution, request_id=event.request_id,
+                       txn=event.txn, ingress_time=event.ingress_time)
+        if self._instr:
+            self._instr.add("split_instrumentation",
+                            time.perf_counter() - started)
+        return [invoke]
+
+    def _suspend_construct(self, event: Event, execution: ExecutionState,
+                           state: StateAccess, compiled: CompiledEntity,
+                           instance: Any, frame: Frame, outcome,
+                           terminator: ConstructTerminator) -> list[Event]:
+        self._flush_state(compiled, instance, frame, state)
+        frame.store = outcome.store
+        frame.node = terminator.continuation
+        frame.result_var = terminator.result_var
+        # Run the callee's __init__ locally (validated to be remote-free)
+        # to derive the new entity's key, then ship its state to the
+        # owning partition.
+        callee = self.entity(terminator.entity_type)
+        init = callee.method("__init__")
+        init_frame = Frame(entity=terminator.entity_type, key=None,
+                           method="__init__", node=init.entry,
+                           store=init.initial_store(
+                               tuple(outcome.call_args or ())))
+        new_instance = callee.blank_instance()
+        while True:
+            init_outcome = init.execute_block(init_frame.node, new_instance,
+                                              init_frame.store)
+            node = init.machine.node(init_frame.node)
+            if init_outcome.returned:
+                break
+            if isinstance(node.terminator, JumpTerminator):
+                init_frame.store = init_outcome.store
+                init_frame.node = node.terminator.target
+                continue
+            if isinstance(node.terminator, BranchTerminator):
+                init_frame.store = init_outcome.store
+                init_frame.node = (node.terminator.true_target
+                                   if init_outcome.condition
+                                   else node.terminator.false_target)
+                continue
+            if isinstance(node.terminator, ReturnTerminator):
+                break
+            raise RuntimeExecutionError(
+                "constructors must not perform remote calls")
+        new_state = callee.extract_state(new_instance)
+        if self._check_serializable:
+            check_serializable(new_state)
+        key = callee.key_of_state(new_state)
+        create = Event(kind=EventKind.CREATE,
+                       target=EntityRef(terminator.entity_type, key),
+                       payload=new_state, execution=execution,
+                       request_id=event.request_id, txn=event.txn,
+                       ingress_time=event.ingress_time)
+        return [create]
+
+    # ------------------------------------------------------------------
+    def _error_reply(self, event: Event, exc: RuntimeExecutionError) -> Event:
+        return Event(kind=EventKind.REPLY,
+                     target=EntityRef("__client__", event.request_id),
+                     payload=None, error=str(exc),
+                     request_id=event.request_id, txn=event.txn,
+                     ingress_time=event.ingress_time)
+
+
+def run_constructor(compiled: CompiledEntity,
+                    args: tuple) -> tuple[Any, dict[str, Any]]:
+    """Execute an entity's ``__init__`` to completion locally and return
+    ``(key, state)``.  Used for bulk pre-loading benchmark datasets
+    without driving the full protocol for every row (constructors are
+    validated to be remote-free, so this is always safe)."""
+    init = compiled.method("__init__")
+    instance = compiled.blank_instance()
+    store = init.initial_store(args)
+    node_id = init.entry
+    while True:
+        outcome = init.execute_block(node_id, instance, store)
+        if outcome.returned:
+            break
+        terminator = init.machine.node(node_id).terminator
+        if isinstance(terminator, JumpTerminator):
+            store = outcome.store
+            node_id = terminator.target
+            continue
+        if isinstance(terminator, BranchTerminator):
+            store = outcome.store
+            node_id = (terminator.true_target if outcome.condition
+                       else terminator.false_target)
+            continue
+        if isinstance(terminator, ReturnTerminator):
+            break
+        raise RuntimeExecutionError(
+            "constructors must not perform remote calls")
+    state = compiled.extract_state(instance)
+    return compiled.key_of_state(state), state

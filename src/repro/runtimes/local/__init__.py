@@ -1,0 +1,5 @@
+"""Local (in-process, HashMap-state) runtime."""
+
+from .runtime import LocalRuntime
+
+__all__ = ["LocalRuntime"]

@@ -1,0 +1,28 @@
+"""StateFlow: transactional dataflow runtime (coordinator + workers,
+Aria-style deterministic transactions, consistent snapshots)."""
+
+from .aria import AriaStats, BatchMember, ConflictReport, TxnOutcome, decide
+from .coordinator import Coordinator, CoordinatorConfig, TxnRecord
+from .runtime import StateflowConfig, StateflowRuntime, default_kafka_config
+from .snapshots import Snapshot, SnapshotStore
+from .state_backend import AriaStateView, CommittedStore
+from .worker import Worker
+
+__all__ = [
+    "AriaStateView",
+    "AriaStats",
+    "BatchMember",
+    "CommittedStore",
+    "ConflictReport",
+    "Coordinator",
+    "CoordinatorConfig",
+    "Snapshot",
+    "SnapshotStore",
+    "StateflowConfig",
+    "StateflowRuntime",
+    "TxnOutcome",
+    "TxnRecord",
+    "Worker",
+    "decide",
+    "default_kafka_config",
+]

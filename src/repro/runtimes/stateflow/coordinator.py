@@ -1,0 +1,498 @@
+"""The StateFlow coordinator: sequencing, Aria batches, snapshots,
+recovery (paper Section 3 — "StateFlow requires a single core
+coordinator, and the rest are used for its workers").
+
+Responsibilities:
+
+- admit client requests from the replayable (Kafka) source and sequence
+  them into deterministic transaction batches;
+- drive Aria's execution phase (dispatch), commit barrier, conflict
+  detection and write installation;
+- retry aborted transactions in later batches with their original
+  priority;
+- gate transactional outputs on epoch boundaries (exactly-once output
+  visibility, paper Section 5) and deduplicate replies;
+- take batch-boundary consistent snapshots and run recovery: restore the
+  latest snapshot, rewind the source, replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ...core.refs import EntityRef
+from ...ir.events import Event, EventKind, TxnContext
+from ...substrates.simulation import CpuPool, Simulation
+from .aria import AriaStats, BatchMember, decide
+from .snapshots import SnapshotStore
+from .state_backend import CommittedStore
+
+
+@dataclass(slots=True)
+class TxnRecord:
+    """One client request as a (retryable) transaction."""
+
+    arrival_seq: int
+    target: EntityRef
+    method: str
+    args: tuple
+    request_id: int
+    ingress_time: float
+    is_transactional_method: bool
+    attempt: int = 0
+    ctx: TxnContext | None = None
+    result: Any = None
+    error: str | None = None
+    done: bool = False
+
+    def fresh_event(self) -> Event:
+        return Event(kind=EventKind.INVOKE, target=self.target,
+                     method=self.method, args=self.args,
+                     request_id=self.request_id, txn=self.ctx,
+                     ingress_time=self.ingress_time)
+
+
+#: Fallback transactions get TIDs above this base so reports are
+#: distinguishable from execution-phase reports of the same batch.
+FALLBACK_TID_BASE = 1_000_000
+
+
+@dataclass(slots=True, eq=False)
+class _Batch:
+    batch_id: int
+    #: Multi-key transactions (snapshot execution + conflict detection).
+    txns: dict[int, TxnRecord]
+    outstanding: set[int]
+    started_at: float
+    last_progress: float = 0.0
+    #: Single-key transactions: executed serially per owning worker after
+    #: the multi-key commit — our "extension of Aria" (they can never
+    #: conflict across partitions, so they skip reservations entirely).
+    single: list[TxnRecord] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class CoordinatorHooks:
+    """Runtime-provided effects (network sends, Kafka control)."""
+
+    dispatch: Callable[[Event], None]
+    apply_writes: Callable[[int, dict, Callable[[], None]], None]
+    emit_reply: Callable[[Event], None]
+    worker_of: Callable[[str, Any], int]
+    worker_count: int
+    source_positions: Callable[[], dict]
+    source_seek: Callable[[dict], None]
+    restore_workers: Callable[[], None]
+    #: True when (entity, method) touches only its own key (unsplit, not
+    #: a constructor) and may take the single-key path.
+    is_single_key: Callable[[str, str], bool] = lambda entity, method: False
+    #: Run a list of single-key events serially at one worker; the
+    #: callback receives the reply events.
+    execute_single_key: Callable[
+        [int, list[Event], Callable[[list[Event]], None]], None] = None  # type: ignore[assignment]
+
+
+@dataclass(slots=True)
+class CoordinatorConfig:
+    batch_interval_ms: float = 10.0
+    max_batch_size: int = 512
+    epoch_interval_ms: float = 40.0
+    snapshot_interval_ms: float = 500.0
+    failure_detect_ms: float = 400.0
+    recovery_pause_ms: float = 25.0
+    max_txn_attempts: int = 10
+    conflict_check_ms_per_txn: float = 0.01
+    dispatch_ms_per_txn: float = 0.02
+    reordering: bool = True
+    release_txn_outputs_at_epoch: bool = True
+    #: "sequential" = Aria's Calvin-style fallback: conflict-aborted
+    #: transactions re-execute serially (in TID order) against live state
+    #: inside the same batch — no retry spiral under hot keys.
+    #: "retry" = re-enqueue into the next batch (ablation baseline).
+    fallback: str = "sequential"
+
+
+class Coordinator:
+    """Single-core coordinator of the StateFlow dataflow."""
+
+    def __init__(self, sim: Simulation, committed: CommittedStore,
+                 hooks: CoordinatorHooks,
+                 config: CoordinatorConfig | None = None):
+        self.sim = sim
+        self.committed = committed
+        self.hooks = hooks
+        self.config = config or CoordinatorConfig()
+        self.cpu = CpuPool(sim, 1, name="coordinator")
+        self.snapshots = SnapshotStore()
+        self.stats = AriaStats()
+        self.pending: list[TxnRecord] = []
+        self.active: _Batch | None = None
+        self.replied: set[int] = set()
+        self.duplicate_replies = 0
+        self.recoveries = 0
+        self.recovering = False
+        self.failed_txns = 0
+        self._epoch_buffer: list[Event] = []
+        self._arrival_seq = 0
+        self._batch_seq = 0
+        self._snapshot_requested = False
+        self._running = False
+        #: Sequential-fallback machinery: queue of aborted transactions
+        #: re-executing one at a time inside the current batch.
+        self._fallback_queue: list[TxnRecord] = []
+        self._fallback_current: TxnRecord | None = None
+        self._fallback_tid = FALLBACK_TID_BASE
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Take the initial snapshot and start the periodic ticks."""
+        self._running = True
+        self._take_snapshot()
+        self._schedule_tick(self.config.batch_interval_ms, self._tick_batch)
+        self._schedule_tick(self.config.epoch_interval_ms, self._tick_epoch)
+        self._schedule_tick(self.config.snapshot_interval_ms,
+                            self._tick_snapshot)
+        self._schedule_tick(self.config.failure_detect_ms / 2,
+                            self._tick_watchdog)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_tick(self, interval: float,
+                       action: Callable[[], None]) -> None:
+        def fire() -> None:
+            if not self._running:
+                return
+            action()
+            self.sim.schedule(interval, fire)
+
+        self.sim.schedule(interval, fire)
+
+    # -- request admission -------------------------------------------------
+    def on_request(self, event: Event,
+                   *, is_transactional_method: bool) -> None:
+        """A client request arrived from the replayable source."""
+        record = TxnRecord(
+            arrival_seq=self._arrival_seq,
+            target=event.target, method=event.method or "",
+            args=event.args, request_id=event.request_id or -1,
+            ingress_time=(event.ingress_time
+                          if event.ingress_time is not None else self.sim.now),
+            is_transactional_method=is_transactional_method)
+        self._arrival_seq += 1
+        self.pending.append(record)
+        if self.active is None and not self.recovering:
+            # Do not wait a full tick when idle; seal on the next
+            # sub-interval boundary to bound formation latency.
+            pass  # the periodic batch tick will pick it up
+
+    # -- batches --------------------------------------------------------
+    def _tick_batch(self) -> None:
+        if self.active is None and self.pending and not self.recovering:
+            self._start_batch()
+
+    def _start_batch(self) -> None:
+        self.pending.sort(key=lambda t: t.arrival_seq)
+        taken = self.pending[:self.config.max_batch_size]
+        del self.pending[:len(taken)]
+        batch = _Batch(batch_id=self._batch_seq, txns={}, outstanding=set(),
+                       started_at=self.sim.now, last_progress=self.sim.now)
+        self._batch_seq += 1
+        for tid, txn in enumerate(taken):
+            txn.ctx = TxnContext(tid=tid, batch_id=batch.batch_id,
+                                 attempt=txn.attempt)
+            txn.done = False
+            txn.result = None
+            txn.error = None
+            if self.hooks.is_single_key(txn.target.entity, txn.method):
+                batch.single.append(txn)
+                self.stats.single_key += 1
+            else:
+                batch.txns[tid] = txn
+                batch.outstanding.add(tid)
+        self.active = batch
+
+        def dispatch_all() -> None:
+            if self.active is not batch:  # recovery raced us
+                return
+            if not batch.outstanding:
+                # No multi-key work: skip straight past the barrier.
+                self._commit_phase(batch)
+                return
+            for txn in batch.txns.values():
+                self.hooks.dispatch(txn.fresh_event())
+
+        self.cpu.submit(self.config.dispatch_ms_per_txn * len(taken),
+                        dispatch_all)
+
+    def on_txn_report(self, event: Event) -> None:
+        """Root REPLY of a transaction's execution or fallback phase."""
+        ctx = event.txn
+        batch = self.active
+        if ctx is None or batch is None or ctx.batch_id != batch.batch_id:
+            return  # stale report from before a recovery
+        batch.last_progress = self.sim.now
+        if ctx.tid >= FALLBACK_TID_BASE:
+            self._on_fallback_report(event, ctx)
+            return
+        txn = batch.txns.get(ctx.tid)
+        if txn is None or txn.done:
+            return
+        txn.done = True
+        txn.result = event.payload
+        txn.error = event.error
+        batch.outstanding.discard(ctx.tid)
+        if not batch.outstanding:
+            self._commit_phase(batch)
+
+    # -- commit phase ------------------------------------------------------
+    def _commit_phase(self, batch: _Batch) -> None:
+        def run_detection() -> None:
+            if self.active is not batch:
+                return
+            members = [
+                BatchMember.from_context(txn.ctx, failed=txn.error is not None)
+                for txn in batch.txns.values()
+            ]
+            report = decide(members, reordering=self.config.reordering)
+            self.stats.observe(report)
+            committed_tids = [tid for tid in sorted(report.commits)
+                              if batch.txns[tid].error is None]
+            buckets: dict[int, dict] = {}
+            for tid in committed_tids:
+                ctx = batch.txns[tid].ctx
+                assert ctx is not None
+                for (entity, key), value in ctx.write_set.items():
+                    worker = self.hooks.worker_of(entity, key)
+                    buckets.setdefault(worker, {})[(entity, key)] = value
+            if not buckets:
+                self._finalize_batch(batch, report)
+                return
+            remaining = {"count": len(buckets)}
+
+            def one_ack() -> None:
+                remaining["count"] -= 1
+                if remaining["count"] == 0 and self.active is batch:
+                    self._finalize_batch(batch, report)
+
+            for worker, writes in buckets.items():
+                self.hooks.apply_writes(worker, writes, one_ack)
+
+        cost = (self.config.conflict_check_ms_per_txn * len(batch.txns)
+                + 0.05)
+        self.cpu.submit(cost, run_detection)
+
+    def _finalize_batch(self, batch: _Batch, report) -> None:
+        aborted = set(report.aborts)
+        fallback: list[TxnRecord] = []
+        for tid, txn in batch.txns.items():
+            if tid in aborted:
+                txn.attempt += 1
+                if self.config.fallback == "sequential":
+                    fallback.append(txn)
+                else:
+                    self.stats.retries += 1
+                    if txn.attempt >= self.config.max_txn_attempts:
+                        self.failed_txns += 1
+                        self._enqueue_reply(txn, error=(
+                            f"transaction aborted after {txn.attempt} "
+                            f"attempts ({report.aborts[tid].value})"))
+                    else:
+                        self.pending.append(txn)
+            else:
+                self._enqueue_reply(txn, error=txn.error)
+        # Aria's fallback: re-execute the conflict-aborted transactions
+        # serially, in TID order, against live state — after the
+        # single-key phase has run.
+        fallback.sort(key=lambda t: t.ctx.tid if t.ctx else 0)
+        self._fallback_queue = fallback
+        self._single_key_phase(batch)
+
+    # -- single-key phase ---------------------------------------------------
+    def _single_key_phase(self, batch: _Batch) -> None:
+        """Execute the batch's single-key transactions serially per
+        owning worker (parallel across workers), against live state."""
+        if self.active is not batch or not batch.single:
+            self._fallback_or_close(batch)
+            return
+        groups: dict[int, list[TxnRecord]] = {}
+        for txn in sorted(batch.single,
+                          key=lambda t: t.ctx.tid if t.ctx else 0):
+            worker = self.hooks.worker_of(txn.target.entity, txn.target.key)
+            groups.setdefault(worker, []).append(txn)
+        by_request = {txn.request_id: txn for txn in batch.single}
+        remaining = {"count": len(groups)}
+
+        def on_worker_done(replies: list[Event]) -> None:
+            if self.active is not batch:
+                return
+            batch.last_progress = self.sim.now
+            for reply in replies:
+                txn = by_request.get(reply.request_id or -1)
+                if txn is None or txn.done:
+                    continue
+                txn.done = True
+                txn.result = reply.payload
+                txn.error = reply.error
+                self._enqueue_reply(txn, error=txn.error)
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self._fallback_or_close(batch)
+
+        for worker, txns in groups.items():
+            events = [txn.fresh_event() for txn in txns]
+            self.hooks.execute_single_key(worker, events, on_worker_done)
+
+    def _fallback_or_close(self, batch: _Batch) -> None:
+        if self.active is not batch:
+            return
+        if self._fallback_queue:
+            self._fallback_next(batch)
+        else:
+            self._close_batch()
+
+    def _close_batch(self) -> None:
+        self.active = None
+        self._fallback_queue = []
+        self._fallback_current = None
+        if self._snapshot_requested:
+            self._take_snapshot()
+        if self.pending and not self.recovering:
+            self._start_batch()
+
+    # -- sequential fallback -------------------------------------------------
+    def _fallback_next(self, batch: _Batch) -> None:
+        if self.active is not batch:
+            return
+        if not self._fallback_queue:
+            self._close_batch()
+            return
+        txn = self._fallback_queue.pop(0)
+        self._fallback_current = txn
+        self._fallback_tid += 1
+        self.stats.fallback_runs += 1
+        txn.ctx = TxnContext(tid=self._fallback_tid,
+                             batch_id=batch.batch_id, attempt=txn.attempt)
+        batch.last_progress = self.sim.now
+        self.hooks.dispatch(txn.fresh_event())
+
+    def _on_fallback_report(self, event: Event, ctx: TxnContext) -> None:
+        batch = self.active
+        txn = self._fallback_current
+        if batch is None or txn is None or txn.ctx is not ctx:
+            return
+        txn.result = event.payload
+        txn.error = event.error
+        txn.done = True
+        buckets: dict[int, dict] = {}
+        if txn.error is None:
+            for (entity, key), value in ctx.write_set.items():
+                worker = self.hooks.worker_of(entity, key)
+                buckets.setdefault(worker, {})[(entity, key)] = value
+        if not buckets:
+            self._enqueue_reply(txn, error=txn.error)
+            self._fallback_next(batch)
+            return
+        remaining = {"count": len(buckets)}
+
+        def one_ack() -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0 and self.active is batch:
+                self._enqueue_reply(txn, error=txn.error)
+                self._fallback_next(batch)
+
+        for worker, writes in buckets.items():
+            self.hooks.apply_writes(worker, writes, one_ack)
+
+    # -- replies ----------------------------------------------------------
+    def _enqueue_reply(self, txn: TxnRecord, error: str | None) -> None:
+        reply = Event(kind=EventKind.REPLY,
+                      target=EntityRef("__client__", txn.request_id),
+                      payload=txn.result, error=error,
+                      request_id=txn.request_id,
+                      ingress_time=txn.ingress_time)
+        if (txn.is_transactional_method
+                and self.config.release_txn_outputs_at_epoch):
+            self._epoch_buffer.append(reply)
+        else:
+            self._emit(reply)
+
+    def _emit(self, reply: Event) -> None:
+        if reply.request_id in self.replied:
+            self.duplicate_replies += 1
+            return
+        self.replied.add(reply.request_id)
+        self.hooks.emit_reply(reply)
+
+    def _tick_epoch(self) -> None:
+        buffered, self._epoch_buffer = self._epoch_buffer, []
+        for reply in buffered:
+            self._emit(reply)
+
+    # -- snapshots & recovery ----------------------------------------------
+    def _tick_snapshot(self) -> None:
+        self._snapshot_requested = True
+        if self.active is None and not self.recovering:
+            self._take_snapshot()
+
+    def _take_snapshot(self) -> None:
+        self._snapshot_requested = False
+        # Pending requests were already consumed from the source, so a
+        # pure offset rewind would lose them: snapshot them as channel
+        # state (fresh copies — ctx/results are per-attempt).
+        pending_copy = [
+            TxnRecord(arrival_seq=txn.arrival_seq, target=txn.target,
+                      method=txn.method, args=txn.args,
+                      request_id=txn.request_id,
+                      ingress_time=txn.ingress_time,
+                      is_transactional_method=txn.is_transactional_method,
+                      attempt=txn.attempt)
+            for txn in self.pending
+        ]
+        self.snapshots.take(
+            taken_at_ms=self.sim.now,
+            state=self.committed.snapshot(),
+            source_offsets=self.hooks.source_positions(),
+            replied=self.replied,
+            batch_seq=self._batch_seq,
+            arrival_seq=self._arrival_seq,
+            pending=pending_copy)
+
+    def _tick_watchdog(self) -> None:
+        if self.recovering or self.active is None:
+            return
+        stalled_since = max(self.active.started_at,
+                            self.active.last_progress)
+        if self.sim.now - stalled_since >= self.config.failure_detect_ms:
+            self.recover()
+
+    def recover(self) -> None:
+        """Restore the latest snapshot and replay the source."""
+        snapshot = self.snapshots.latest()
+        assert snapshot is not None  # start() always takes one
+        self.recovering = True
+        self.recoveries += 1
+        self.active = None
+        self.pending.clear()
+        self._epoch_buffer.clear()
+        self._fallback_queue = []
+        self._fallback_current = None
+        self.hooks.restore_workers()
+        self.committed.restore(snapshot.state)
+        self.replied = set(snapshot.replied)
+        self.pending = [
+            TxnRecord(arrival_seq=txn.arrival_seq, target=txn.target,
+                      method=txn.method, args=txn.args,
+                      request_id=txn.request_id,
+                      ingress_time=txn.ingress_time,
+                      is_transactional_method=txn.is_transactional_method,
+                      attempt=txn.attempt)
+            for txn in snapshot.pending
+        ]
+        self.hooks.source_seek(snapshot.source_offsets)
+
+        def resume() -> None:
+            self.recovering = False
+
+        self.sim.schedule(self.config.recovery_pause_ms, resume)

@@ -1,0 +1,293 @@
+"""StateFlow: the paper's transactional dataflow prototype, simulated.
+
+Deployment (Section 4): one single-core coordinator plus workers on the
+remaining system cores (default 5).  Requests enter through a replayable
+Kafka source; function-to-function communication uses direct inter-worker
+channels (cyclic dataflow); every function — including its remote-call
+state effects — executes as an ACID transaction under the Aria-style
+deterministic protocol; consistent snapshots + source replay provide
+exactly-once fault tolerance.
+
+``channel_mode="kafka"`` degrades function-to-function communication to
+Kafka loop-backs (what StateFun must do) — the ABL-COMM ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ...compiler.pipeline import CompiledProgram
+from ...core.errors import RuntimeExecutionError
+from ...core.refs import EntityRef
+from ...ir.dataflow import stable_hash
+from ...ir.events import Event, EventKind
+from ...substrates.kafka import KafkaBroker, KafkaConfig, KafkaRecord
+from ...substrates.network import LatencyModel, Network, NetworkConfig
+from ...substrates.simulation import MetricRecorder, Simulation
+from ..base import InvocationResult, Runtime
+from ..executor import OperatorExecutor, run_constructor
+from .coordinator import Coordinator, CoordinatorConfig, CoordinatorHooks
+from .state_backend import CommittedStore
+from .worker import Worker
+
+INGRESS_TOPIC = "stateflow-ingress"
+EGRESS_TOPIC = "stateflow-egress"
+LOOPBACK_TOPIC = "stateflow-loopback"
+
+
+def default_kafka_config() -> KafkaConfig:
+    """Kafka latency profile shared by both simulated systems."""
+    return KafkaConfig(
+        produce_latency=LatencyModel(median_ms=5.0, sigma=0.35),
+        fetch_latency=LatencyModel(median_ms=5.0, sigma=0.35))
+
+
+@dataclass(slots=True)
+class StateflowConfig:
+    """Tunables of the simulated StateFlow deployment."""
+
+    workers: int = 5
+    #: Worker CPU per event (block execution + messaging bundling).
+    exec_service_ms: float = 0.3
+    #: Worker CPU per committed key write.
+    state_op_ms: float = 0.05
+    #: "direct" = inter-worker channels; "kafka" = loop back through the
+    #: broker on every hop (ablation ABL-COMM).
+    channel_mode: str = "direct"
+    check_state_serializable: bool = False
+    ingress_partitions: int = 4
+    egress_partitions: int = 4
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    kafka: KafkaConfig = field(default_factory=default_kafka_config)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    sync_wait_ms: float = 120_000.0
+
+
+class StateflowRuntime(Runtime):
+    """Simulated StateFlow deployment (see module docstring)."""
+
+    name = "stateflow"
+
+    def __init__(self, program: CompiledProgram,
+                 *, sim: Simulation | None = None,
+                 config: StateflowConfig | None = None):
+        super().__init__(program)
+        self.config = config or StateflowConfig()
+        self.sim = sim or Simulation()
+        self.network = Network(self.sim, self.config.network)
+        self.broker = KafkaBroker(self.sim, self.config.kafka)
+        self.committed = CommittedStore()
+        self.metrics = MetricRecorder()
+        self._executor = OperatorExecutor(
+            program.entities,
+            check_state_serializable=self.config.check_state_serializable)
+        self.workers = [
+            Worker(index, self.sim, self._executor, self.committed,
+                   self._on_worker_out,
+                   exec_service_ms=self.config.exec_service_ms,
+                   state_op_ms=self.config.state_op_ms)
+            for index in range(self.config.workers)
+        ]
+        hooks = CoordinatorHooks(
+            dispatch=self._dispatch_to_worker,
+            apply_writes=self._apply_writes,
+            emit_reply=self._emit_reply,
+            worker_of=self.worker_of,
+            worker_count=self.config.workers,
+            source_positions=lambda: self.broker.positions("stateflow-coord"),
+            source_seek=self._seek_source,
+            restore_workers=self._restore_workers,
+            is_single_key=self._is_single_key,
+            execute_single_key=self._execute_single_key)
+        self.coordinator = Coordinator(self.sim, self.committed, hooks,
+                                       self.config.coordinator)
+
+        self.broker.create_topic(INGRESS_TOPIC,
+                                 self.config.ingress_partitions)
+        self.broker.create_topic(EGRESS_TOPIC, self.config.egress_partitions)
+        if self.config.channel_mode == "kafka":
+            self.broker.create_topic(LOOPBACK_TOPIC,
+                                     self.config.ingress_partitions)
+            self.broker.subscribe("stateflow-workers", LOOPBACK_TOPIC,
+                                  self._on_loopback_record)
+        self.broker.subscribe("stateflow-coord", INGRESS_TOPIC,
+                              self._on_ingress_record)
+        self.broker.subscribe("stateflow-client", EGRESS_TOPIC,
+                              self._on_egress_record)
+
+        self._request_ids = iter(range(1, 1 << 62))
+        self._sync_replies: dict[int, Event] = {}
+        self._delivered: set[int] = set()
+        self.duplicate_client_replies = 0
+        self._reply_callbacks: dict[int, Callable[[Event], None]] = {}
+        self._started = False
+
+    # -- partitioning ------------------------------------------------------
+    def worker_of(self, entity: str, key: Any) -> int:
+        return stable_hash(f"{entity}|{key}") % self.config.workers
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Start the coordinator (call after any bulk pre-loading so the
+        initial snapshot covers the loaded data)."""
+        if not self._started:
+            self._started = True
+            self.coordinator.start()
+
+    def preload(self, entity: str | type, rows: list[tuple]) -> list[EntityRef]:
+        """Bulk-create entities directly in the committed store (bench
+        dataset loading).  Must be called before :meth:`start`."""
+        if self._started:
+            raise RuntimeExecutionError(
+                "preload() must run before the coordinator starts so the "
+                "initial snapshot covers the data")
+        name = entity if isinstance(entity, str) else entity.__name__
+        compiled = self.program.entities[name]
+        refs = []
+        for args in rows:
+            key, state = run_constructor(compiled, tuple(args))
+            self.committed.put(name, key, state)
+            refs.append(EntityRef(name, key))
+        return refs
+
+    # -- message routing ---------------------------------------------------
+    def _dispatch_to_worker(self, event: Event) -> None:
+        worker = self.workers[self.worker_of(event.target.entity,
+                                             event.target.key)]
+        self.network.send(lambda: worker.deliver(event))
+
+    def _on_worker_out(self, event: Event) -> None:
+        if event.kind is EventKind.REPLY:
+            self.network.send(lambda: self.coordinator.on_txn_report(event))
+            return
+        if self.config.channel_mode == "kafka":
+            self.broker.produce(LOOPBACK_TOPIC,
+                                key=f"{event.target.entity}|{event.target.key}",
+                                value=event)
+            return
+        self._dispatch_to_worker(event)
+
+    def _on_loopback_record(self, record: KafkaRecord) -> None:
+        self._dispatch_to_worker(record.value)
+
+    def _is_single_key(self, entity: str, method: str) -> bool:
+        """Single-key = unsplit state machine and not a constructor: the
+        invocation touches only its target key's partition."""
+        if method == "__init__":
+            return False
+        compiled = self.program.entities.get(entity)
+        if compiled is None or method not in compiled.methods:
+            return False
+        return not compiled.methods[method].machine.is_split
+
+    def _execute_single_key(self, worker_index: int, events: list,
+                            on_done: Callable[[list], None]) -> None:
+        worker = self.workers[worker_index]
+        self.network.send(lambda: worker.execute_single_key(
+            events, lambda replies: self.network.send(
+                lambda: on_done(replies))))
+
+    def _apply_writes(self, worker_index: int, writes: dict,
+                      on_done: Callable[[], None]) -> None:
+        worker = self.workers[worker_index]
+        self.network.send(lambda: worker.apply_writes(
+            writes, lambda: self.network.send(on_done)))
+
+    def _restore_workers(self) -> None:
+        for worker in self.workers:
+            worker.restart()
+
+    def _seek_source(self, offsets: dict) -> None:
+        self.broker.pause("stateflow-coord")
+        for (topic, partition), offset in offsets.items():
+            self.broker.seek("stateflow-coord", topic, partition, offset)
+        self.broker.resume("stateflow-coord")
+
+    # -- ingress / egress ---------------------------------------------------
+    def _is_transactional(self, entity: str, method: str | None) -> bool:
+        descriptor = self.program.entities[entity].descriptor
+        spec = descriptor.methods.get(method or "")
+        return bool(spec and spec.is_transactional)
+
+    def _on_ingress_record(self, record: KafkaRecord) -> None:
+        event: Event = record.value
+        self.coordinator.on_request(
+            event, is_transactional_method=self._is_transactional(
+                event.target.entity, event.method))
+
+    def _emit_reply(self, reply: Event) -> None:
+        self.broker.produce(EGRESS_TOPIC, key=reply.request_id, value=reply)
+
+    def _on_egress_record(self, record: KafkaRecord) -> None:
+        reply: Event = record.value
+        request_id = reply.request_id
+        if request_id in self._delivered:
+            self.duplicate_client_replies += 1
+            return
+        self._delivered.add(request_id)
+        if reply.ingress_time is not None:
+            self.metrics.record(self.sim.now - reply.ingress_time,
+                                self.sim.now, label=reply.error or "")
+        callback = self._reply_callbacks.pop(request_id, None)
+        if callback is not None:
+            callback(reply)
+        else:
+            self._sync_replies[request_id] = reply
+
+    # -- client API ------------------------------------------------------
+    def submit(self, ref: EntityRef, method: str, args: tuple,
+               on_reply: Callable[[Event], None] | None = None) -> int:
+        """Asynchronous client request (bench driver entry point)."""
+        self.start()
+        request_id = next(self._request_ids)
+        event = Event(kind=EventKind.INVOKE, target=ref, method=method,
+                      args=tuple(args), request_id=request_id,
+                      ingress_time=self.sim.now)
+        if on_reply is not None:
+            self._reply_callbacks[request_id] = on_reply
+        self.broker.produce(INGRESS_TOPIC,
+                            key=f"{ref.entity}|{ref.key}", value=event)
+        return request_id
+
+    def _await_reply(self, request_id: int) -> Event:
+        deadline = self.sim.now + self.config.sync_wait_ms
+        arrived = self.sim.run_until(
+            lambda: request_id in self._sync_replies, max_time=deadline)
+        if not arrived:
+            raise RuntimeExecutionError(
+                f"no reply for request {request_id} within "
+                f"{self.config.sync_wait_ms} ms of simulated time")
+        return self._sync_replies.pop(request_id)
+
+    def create(self, entity: str | type, *args: Any) -> EntityRef:
+        name = entity if isinstance(entity, str) else entity.__name__
+        request_id = self.submit(EntityRef(name, None), "__init__", args)
+        reply = self._await_reply(request_id)
+        result = InvocationResult(value=reply.payload, error=reply.error)
+        return result.unwrap()
+
+    def invoke(self, ref: EntityRef, method: str, *args: Any,
+               ) -> InvocationResult:
+        started = self.sim.now
+        request_id = self.submit(ref, method, args)
+        reply = self._await_reply(request_id)
+        return InvocationResult(value=reply.payload, error=reply.error,
+                                latency_ms=self.sim.now - started)
+
+    def entity_state(self, ref: EntityRef) -> dict[str, Any] | None:
+        return self.committed.get(ref.entity, ref.key)
+
+    # -- failure injection ---------------------------------------------------
+    def fail_worker(self, index: int, at_ms: float | None = None) -> None:
+        """Kill a worker (state lost, events dropped) at simulated time
+        *at_ms* (now if omitted).  Recovery restores it from the last
+        snapshot automatically."""
+        worker = self.workers[index]
+        if at_ms is None:
+            worker.kill()
+        else:
+            self.sim.schedule_at(at_ms, worker.kill)
+
+    def close(self) -> None:
+        self.coordinator.stop()

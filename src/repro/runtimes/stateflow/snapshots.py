@@ -1,0 +1,81 @@
+"""Consistent snapshots and recovery bookkeeping (paper Section 3).
+
+"For fault-tolerance StateFlow implements the consistent snapshots
+protocol [13, 15] ... alongside a replayable source as an ingress,
+allowing StateFlow to rollback messages and restore the snapshot upon
+failure."
+
+StateFlow's deterministic batches give natural epoch boundaries: between
+two batches no transaction is in flight, so a cut taken there is globally
+consistent (the alignment that Chandy–Lamport markers establish in a
+general dataflow).  A snapshot therefore captures, atomically at a batch
+boundary:
+
+- every worker's committed operator state,
+- the replayable source's (Kafka) consumer offsets,
+- the coordinator's queue of admitted-but-uncommitted requests (they
+  were already consumed from the source, so offset rewind alone would
+  lose them — they are the "channel state" of the classic protocol),
+- the set of request ids already answered (egress dedup),
+- protocol counters (batch sequence, transaction arrival sequence).
+
+Recovery restores the latest complete snapshot and seeks the source back
+to its offsets; replayed requests re-execute and the egress dedup set
+suppresses duplicate replies — exactly-once end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(slots=True)
+class Snapshot:
+    """One complete, consistent snapshot."""
+
+    snapshot_id: int
+    taken_at_ms: float
+    #: Deep copy of the committed store: {(entity, key): state}.
+    state: dict[tuple[str, Any], dict[str, Any]]
+    #: Kafka positions of the ingress consumer group:
+    #: {(topic, partition): offset}.
+    source_offsets: dict[tuple[str, int], int]
+    #: Request ids whose replies were emitted before this snapshot.
+    replied: set[int]
+    #: Monotonic counters to restore protocol determinism.
+    batch_seq: int
+    arrival_seq: int
+    #: Requests consumed from the source but not yet committed at the
+    #: snapshot boundary (restored into the coordinator's queue).
+    pending: list[Any] = field(default_factory=list)
+
+
+class SnapshotStore:
+    """Durable (simulated) home of completed snapshots."""
+
+    def __init__(self, *, keep: int = 4):
+        self._snapshots: list[Snapshot] = []
+        self._keep = keep
+        self._next_id = 0
+
+    def take(self, *, taken_at_ms: float, state: dict,
+             source_offsets: dict, replied: set[int],
+             batch_seq: int, arrival_seq: int,
+             pending: list[Any] | None = None) -> Snapshot:
+        snapshot = Snapshot(
+            snapshot_id=self._next_id, taken_at_ms=taken_at_ms,
+            state=state, source_offsets=dict(source_offsets),
+            replied=set(replied), batch_seq=batch_seq,
+            arrival_seq=arrival_seq, pending=list(pending or []))
+        self._next_id += 1
+        self._snapshots.append(snapshot)
+        if len(self._snapshots) > self._keep:
+            self._snapshots.pop(0)
+        return snapshot
+
+    def latest(self) -> Snapshot | None:
+        return self._snapshots[-1] if self._snapshots else None
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

@@ -1,0 +1,87 @@
+"""StateFlow's state backend: committed store + transactional views.
+
+Two layers:
+
+- :class:`CommittedStore` — the authoritative, snapshot-able operator
+  state (what Chandy–Lamport-style snapshots persist).
+- :class:`AriaStateView` — the per-transaction view used during Aria's
+  execution phase: reads come from the batch-start snapshot (the committed
+  store, since batch writes only apply at commit) plus the transaction's
+  own buffered writes; writes/creates are buffered in the travelling
+  :class:`~repro.ir.events.TxnContext`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from ...core.errors import EntityNotFoundError
+from ...ir.events import TxnContext
+
+
+class CommittedStore:
+    """Authoritative entity state, keyed by ``(entity, key)``."""
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[str, Any], dict[str, Any]] = {}
+
+    # -- StateAccess protocol -------------------------------------------
+    def get(self, entity: str, key: Any) -> dict[str, Any] | None:
+        state = self._data.get((entity, key))
+        return dict(state) if state is not None else None
+
+    def put(self, entity: str, key: Any, state: dict[str, Any]) -> None:
+        self._data[(entity, key)] = dict(state)
+
+    def create(self, entity: str, key: Any, state: dict[str, Any]) -> None:
+        self.put(entity, key, state)
+
+    # -- snapshot support -------------------------------------------------
+    def snapshot(self) -> dict[tuple[str, Any], dict[str, Any]]:
+        """Deep copy of all state (the snapshot payload)."""
+        return copy.deepcopy(self._data)
+
+    def restore(self, snapshot: dict[tuple[str, Any], dict[str, Any]]) -> None:
+        self._data = copy.deepcopy(snapshot)
+
+    def keys(self) -> list[tuple[str, Any]]:
+        return list(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def apply_writes(self, writes: dict[tuple[str, Any], dict[str, Any]]) -> None:
+        """Install a committed transaction's buffered writes."""
+        for (entity, key), state in writes.items():
+            self.put(entity, key, state)
+
+
+class AriaStateView:
+    """A transaction's window onto the store during the execution phase.
+
+    Reads: own buffered writes first, then the committed (batch-start)
+    state.  Writes: buffered into the transaction context, never touching
+    the committed store.  Every access is recorded for conflict detection.
+    """
+
+    def __init__(self, committed: CommittedStore, txn: TxnContext):
+        self._committed = committed
+        self._txn = txn
+
+    def get(self, entity: str, key: Any) -> dict[str, Any] | None:
+        self._txn.record_read(entity, key)
+        buffered = self._txn.write_set.get((entity, key))
+        if buffered is not None:
+            return dict(buffered)
+        return self._committed.get(entity, key)
+
+    def put(self, entity: str, key: Any, state: dict[str, Any]) -> None:
+        self._txn.record_write(entity, key, dict(state))
+
+    def create(self, entity: str, key: Any, state: dict[str, Any]) -> None:
+        if (self._committed.get(entity, key) is not None
+                or (entity, key) in self._txn.write_set):
+            raise EntityNotFoundError(
+                f"entity {entity}/{key!r} already exists")
+        self._txn.record_create(entity, key, dict(state))

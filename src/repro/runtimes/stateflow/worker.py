@@ -1,0 +1,100 @@
+"""A StateFlow worker: one core executing operator partitions.
+
+Workers own partitions of every operator (partitioning by entity key),
+execute state-machine blocks against the transaction's
+:class:`~repro.runtimes.stateflow.state_backend.AriaStateView`, and
+exchange events over direct channels — the "internal function-to-function
+communication" that lets StateFlow avoid Kafka round trips (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ...ir.events import Event
+from ...substrates.simulation import CpuPool, Simulation
+from ..executor import OperatorExecutor
+from .state_backend import AriaStateView, CommittedStore
+
+
+class Worker:
+    """One single-core StateFlow worker."""
+
+    def __init__(self, index: int, sim: Simulation,
+                 executor: OperatorExecutor, committed: CommittedStore,
+                 emit: Callable[[Event], None],
+                 *, exec_service_ms: float, state_op_ms: float):
+        self.index = index
+        self.sim = sim
+        self.cpu = CpuPool(sim, 1, name=f"worker-{index}")
+        self.alive = True
+        self.events_processed = 0
+        self.writes_applied = 0
+        self._executor = executor
+        self._committed = committed
+        self._emit = emit
+        self._exec_service_ms = exec_service_ms
+        self._state_op_ms = state_op_ms
+
+    # ------------------------------------------------------------------
+    def deliver(self, event: Event) -> None:
+        """Entry point: an event arrived over a channel.  Dead workers
+        drop everything (the failure model)."""
+        if not self.alive:
+            return
+
+        def process() -> None:
+            if not self.alive:
+                return
+            self.events_processed += 1
+            view = AriaStateView(self._committed, event.txn)
+            for outbound in self._executor.handle(event, view):
+                self._emit(outbound)
+
+        self.cpu.submit(self._exec_service_ms, process)
+
+    # ------------------------------------------------------------------
+    def execute_single_key(self, events: list[Event],
+                           on_done: Callable[[list[Event]], None]) -> None:
+        """Single-key phase: run *events* serially, in the given
+        (TID) order, directly against committed state.  Single-key
+        functions have unsplit state machines, so each produces exactly
+        one REPLY and touches only its own partition — no reservations,
+        no cross-worker traffic."""
+        if not self.alive:
+            return
+
+        def process() -> None:
+            if not self.alive:
+                return
+            replies: list[Event] = []
+            for event in events:
+                self.events_processed += 1
+                replies.extend(self._executor.handle(event, self._committed))
+            on_done(replies)
+
+        self.cpu.submit(self._exec_service_ms * max(len(events), 1), process)
+
+    # ------------------------------------------------------------------
+    def apply_writes(self, writes: dict[tuple[str, Any], dict[str, Any]],
+                     on_done: Callable[[], None]) -> None:
+        """Commit phase: install a batch's write sets for the partitions
+        this worker owns."""
+        if not self.alive:
+            return
+
+        def install() -> None:
+            if not self.alive:
+                return
+            self._committed.apply_writes(writes)
+            self.writes_applied += len(writes)
+            on_done()
+
+        self.cpu.submit(self._state_op_ms * max(len(writes), 1), install)
+
+    # -- failure model ------------------------------------------------------
+    def kill(self) -> None:
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True

@@ -1,0 +1,5 @@
+"""Simulated Apache Flink StateFun runtime."""
+
+from .runtime import BatchingChannel, StatefunConfig, StatefunRuntime
+
+__all__ = ["BatchingChannel", "StatefunConfig", "StatefunRuntime"]

@@ -1,0 +1,30 @@
+"""Simulated infrastructure: DES kernel, network, Kafka, cluster."""
+
+from .cluster import Cluster, ClusterLayout, Node
+from .kafka import KafkaBroker, KafkaConfig, KafkaError, KafkaRecord
+from .network import LatencyModel, Network, NetworkConfig
+from .simulation import (
+    CpuPool,
+    MetricRecorder,
+    ScheduledEvent,
+    Simulation,
+    SimulationError,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterLayout",
+    "CpuPool",
+    "KafkaBroker",
+    "KafkaConfig",
+    "KafkaError",
+    "KafkaRecord",
+    "LatencyModel",
+    "MetricRecorder",
+    "Network",
+    "NetworkConfig",
+    "Node",
+    "ScheduledEvent",
+    "Simulation",
+    "SimulationError",
+]

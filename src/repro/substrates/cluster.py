@@ -1,0 +1,65 @@
+"""Simulated cluster nodes (the paper's 14-CPU testbed).
+
+"We conducted all the experiments on 14 CPUs: 4 for the Kafka cluster, 6
+for the systems, and 4 for the benchmark clients.  For Statefun, we gave
+half of the resources to the Flink cluster and the other to the remote
+functions.  StateFlow requires a single core coordinator, and the rest
+are used for its workers." (Section 4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .simulation import CpuPool, Simulation
+
+
+@dataclass(slots=True, eq=False)
+class Node:
+    """One machine: a named CPU pool plus a liveness flag (failure
+    injection flips it; a dead node drops all messages)."""
+
+    name: str
+    cpu: CpuPool
+    alive: bool = True
+
+    def kill(self) -> None:
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True
+
+
+@dataclass(slots=True)
+class ClusterLayout:
+    """CPU budget split, defaulting to the paper's allocation."""
+
+    kafka_cores: int = 4
+    system_cores: int = 6
+    client_cores: int = 4
+
+    @property
+    def total(self) -> int:
+        return self.kafka_cores + self.system_cores + self.client_cores
+
+
+class Cluster:
+    """Factory/owner of the simulation's nodes."""
+
+    def __init__(self, sim: Simulation, layout: ClusterLayout | None = None):
+        self.sim = sim
+        self.layout = layout or ClusterLayout()
+        self.nodes: dict[str, Node] = {}
+
+    def add_node(self, name: str, cores: int) -> Node:
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = Node(name=name, cpu=CpuPool(self.sim, cores, name=name))
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def alive_nodes(self) -> list[Node]:
+        return [node for node in self.nodes.values() if node.alive]

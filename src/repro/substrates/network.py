@@ -1,0 +1,84 @@
+"""Network latency models for the simulated cluster.
+
+Per-hop latencies are sampled from a log-normal distribution (the standard
+heavy-tailed model for datacenter RPC latency); each model is seeded from
+the simulation RNG, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from .simulation import Simulation
+
+
+@dataclass(slots=True)
+class LatencyModel:
+    """Log-normal hop latency with a fixed floor.
+
+    ``median_ms`` is the distribution's median; ``sigma`` the log-space
+    standard deviation (tail heaviness); ``floor_ms`` a physical minimum.
+    """
+
+    median_ms: float
+    sigma: float = 0.3
+    floor_ms: float = 0.01
+
+    def sample(self, sim: Simulation) -> float:
+        mu = math.log(max(self.median_ms, 1e-9))
+        value = sim.rng.lognormvariate(mu, self.sigma)
+        return max(value, self.floor_ms)
+
+    def scaled(self, factor: float) -> "LatencyModel":
+        return LatencyModel(median_ms=self.median_ms * factor,
+                            sigma=self.sigma, floor_ms=self.floor_ms)
+
+
+@dataclass(slots=True)
+class NetworkConfig:
+    """Latency profile of the simulated datacenter fabric."""
+
+    #: One TCP hop between two nodes in the same cluster.
+    intra_cluster: LatencyModel = None  # type: ignore[assignment]
+    #: HTTP round-trip half (request *or* response) between the Flink
+    #: cluster and the remote Python function runtime (StateFun only).
+    rpc_hop: LatencyModel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.intra_cluster is None:
+            self.intra_cluster = LatencyModel(median_ms=0.25, sigma=0.25)
+        if self.rpc_hop is None:
+            self.rpc_hop = LatencyModel(median_ms=1.0, sigma=0.3)
+
+
+class Network:
+    """Delivers messages between simulated nodes with sampled latency."""
+
+    def __init__(self, sim: Simulation, config: NetworkConfig | None = None):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, callback: Callable[[], None],
+             *, model: LatencyModel | None = None,
+             size_bytes: int = 0) -> None:
+        """Deliver after one sampled hop (default: intra-cluster)."""
+        latency = (model or self.config.intra_cluster).sample(self.sim)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self.sim.schedule(latency, callback)
+
+    def rpc(self, execute: Callable[[Callable[[], None]], None],
+            on_complete: Callable[[], None]) -> None:
+        """Round trip to a remote service: request hop, then *execute*
+        (which calls its continuation when the service finishes), then a
+        response hop back to *on_complete*."""
+
+        def deliver_request() -> None:
+            execute(lambda: self.send(on_complete,
+                                      model=self.config.rpc_hop))
+
+        self.send(deliver_request, model=self.config.rpc_hop)

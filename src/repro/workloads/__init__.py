@@ -1,0 +1,43 @@
+"""Benchmark workloads: YCSB A/B/T/M, key distributions, load driver,
+partial TPC-C."""
+
+from .distributions import (
+    KeyDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+    make_distribution,
+)
+from .generator import DriverConfig, LoadResult, WorkloadDriver
+from .tpcc import (
+    TPCC_ENTITIES,
+    Customer,
+    District,
+    Stock,
+    Warehouse,
+    order_line_refs,
+    sample_dataset,
+    stock_key,
+)
+from .ycsb import WORKLOAD_MIXES, Account, Operation, YcsbWorkload
+
+__all__ = [
+    "Account",
+    "Customer",
+    "District",
+    "DriverConfig",
+    "KeyDistribution",
+    "LoadResult",
+    "Operation",
+    "Stock",
+    "TPCC_ENTITIES",
+    "UniformDistribution",
+    "WORKLOAD_MIXES",
+    "Warehouse",
+    "WorkloadDriver",
+    "YcsbWorkload",
+    "ZipfianDistribution",
+    "make_distribution",
+    "order_line_refs",
+    "sample_dataset",
+    "stock_key",
+]

@@ -1,0 +1,100 @@
+"""Key-access distributions for the YCSB workloads.
+
+"For the latency tests, we use Zipfian and uniform key distributions"
+(Section 4).  The Zipfian generator follows the standard YCSB
+implementation (Gray's algorithm with precomputed zeta constants) with the
+usual skew parameter theta = 0.99.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class KeyDistribution:
+    """Common interface: ``next_index()`` in ``[0, item_count)``."""
+
+    name = "abstract"
+
+    def __init__(self, item_count: int, seed: int = 7):
+        if item_count < 1:
+            raise ValueError("need at least one item")
+        self.item_count = item_count
+        self.rng = random.Random(seed)
+
+    def next_index(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class UniformDistribution(KeyDistribution):
+    """Every key equally likely."""
+
+    name = "uniform"
+
+    def next_index(self) -> int:
+        return self.rng.randrange(self.item_count)
+
+
+class ZipfianDistribution(KeyDistribution):
+    """YCSB-style Zipfian over ``item_count`` keys.
+
+    Rank 0 is the hottest key; with theta=0.99 and 1000 keys the top key
+    draws roughly 9-10 % of accesses.  Key ranks are scattered over the
+    key space by a multiplicative hash (YCSB's "scrambled" flavour is
+    optional via ``scramble=True``) so hot keys do not cluster in one
+    partition.
+    """
+
+    name = "zipfian"
+
+    def __init__(self, item_count: int, seed: int = 7,
+                 theta: float = 0.99, scramble: bool = False):
+        super().__init__(item_count, seed)
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.theta = theta
+        self.scramble = scramble
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        if item_count <= 2:
+            # Gray's eta formula degenerates for tiny key spaces; the
+            # two-branch fast path below already covers ranks 0 and 1.
+            self._eta = 1.0
+        else:
+            self._eta = ((1 - (2.0 / item_count) ** (1 - theta))
+                         / (1 - self._zeta2 / self._zetan))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next_index(self) -> int:
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5 ** self.theta:
+            rank = 1
+        else:
+            rank = int(self.item_count
+                       * (self._eta * u - self._eta + 1) ** self._alpha)
+        rank = min(rank, self.item_count - 1)
+        if not self.scramble:
+            return rank
+        return (rank * 2654435761) % self.item_count
+
+    def expected_top_share(self) -> float:
+        """Theoretical probability of the hottest key (rank 0)."""
+        return 1.0 / self._zetan
+
+
+def make_distribution(name: str, item_count: int, seed: int = 7,
+                      theta: float = 0.99) -> KeyDistribution:
+    """Factory: ``"zipfian"`` or ``"uniform"``."""
+    if name == "zipfian":
+        return ZipfianDistribution(item_count, seed, theta)
+    if name == "uniform":
+        return UniformDistribution(item_count, seed)
+    raise ValueError(f"unknown distribution {name!r}")

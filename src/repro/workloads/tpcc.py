@@ -1,0 +1,156 @@
+"""Partial TPC-C as stateful entities (paper: StateFlow executes "partly
+TPC-C").
+
+We implement the NewOrder and Payment transactions over Warehouse,
+District, Customer, and Stock entities — enough to exercise multi-entity
+transactions, loops over remote calls (NewOrder iterates the order
+lines), and cross-partition conflicts.  Order lines are carried as lists
+of entity refs; the ``line: Stock = stocks[i]`` annotation pattern tells
+the compiler the element type.
+"""
+
+from __future__ import annotations
+
+from ..core.entity import entity, transactional
+from ..core.refs import EntityRef
+
+
+@entity
+class Warehouse:
+    def __init__(self, w_id: str, tax: int):
+        self.w_id: str = w_id
+        self.tax: int = tax
+        self.ytd: int = 0
+
+    def __key__(self):
+        return self.w_id
+
+    def collect(self, amount: int) -> int:
+        self.ytd += amount
+        return self.ytd
+
+
+@entity
+class District:
+    def __init__(self, d_id: str, tax: int):
+        self.d_id: str = d_id
+        self.tax: int = tax
+        self.ytd: int = 0
+        self.next_o_id: int = 1
+
+    def __key__(self):
+        return self.d_id
+
+    def collect(self, amount: int) -> int:
+        self.ytd += amount
+        return self.ytd
+
+    def next_order_id(self) -> int:
+        order_id: int = self.next_o_id
+        self.next_o_id += 1
+        return order_id
+
+
+@entity
+class Stock:
+    def __init__(self, s_id: str, quantity: int, price: int):
+        self.s_id: str = s_id
+        self.quantity: int = quantity
+        self.price: int = price
+        self.ytd: int = 0
+
+    def __key__(self):
+        return self.s_id
+
+    def take(self, amount: int) -> int:
+        """Allocate stock, restocking by 91 when the level would drop
+        below 10 (the TPC-C rule); returns the line cost."""
+        if self.quantity - amount < 10:
+            self.quantity += 91
+        self.quantity -= amount
+        self.ytd += amount
+        return self.price * amount
+
+
+@entity
+class Customer:
+    def __init__(self, c_id: str, credit_limit: int):
+        self.c_id: str = c_id
+        self.balance: int = 0
+        self.credit_limit: int = credit_limit
+        self.ytd_payment: int = 0
+        self.order_count: int = 0
+
+    def __key__(self):
+        return self.c_id
+
+    def spend(self, amount: int) -> int:
+        self.balance += amount
+        self.order_count += 1
+        return self.balance
+
+    @transactional
+    def payment(self, amount: int, warehouse: Warehouse,
+                district: District) -> bool:
+        """TPC-C Payment: credit the customer, debit warehouse/district
+        year-to-date totals — three entities, atomically."""
+        self.balance -= amount
+        self.ytd_payment += amount
+        w_total: int = warehouse.collect(amount)
+        d_total: int = district.collect(amount)
+        return w_total >= 0 and d_total >= 0
+
+    @transactional
+    def new_order(self, district: District, stocks: list,
+                  quantities: list) -> int:
+        """TPC-C NewOrder (simplified): draw an order id from the
+        district, then take every order line from its stock entity.
+        Returns the order total, or -1 when the credit limit blocks it.
+
+        The loop over remote ``Stock.take`` calls exercises the
+        compiler's loop splitting with per-iteration state.
+        """
+        order_id: int = district.next_order_id()
+        total: int = 0
+        i: int = 0
+        while i < len(stocks):
+            line: Stock = stocks[i]
+            amount: int = quantities[i]
+            cost: int = line.take(amount)
+            total = total + cost
+            i = i + 1
+        if self.balance + total > self.credit_limit:
+            return -1
+        spent: int = self.spend(total)
+        return total if spent <= self.credit_limit else total
+
+
+TPCC_ENTITIES = [Warehouse, District, Stock, Customer]
+
+
+def stock_key(warehouse: str, item: int) -> str:
+    return f"{warehouse}:item-{item:04d}"
+
+
+def sample_dataset(warehouses: int = 1, districts_per_wh: int = 2,
+                   customers_per_district: int = 5, items: int = 20,
+                   ) -> dict[str, list[tuple]]:
+    """Constructor rows for a small TPC-C universe (for preloading)."""
+    rows: dict[str, list[tuple]] = {
+        "Warehouse": [], "District": [], "Stock": [], "Customer": []}
+    for w in range(warehouses):
+        w_id = f"wh-{w}"
+        rows["Warehouse"].append((w_id, 7))
+        for item in range(items):
+            rows["Stock"].append((stock_key(w_id, item), 100, 10 + item))
+        for d in range(districts_per_wh):
+            d_id = f"{w_id}:d-{d}"
+            rows["District"].append((d_id, 9))
+            for c in range(customers_per_district):
+                rows["Customer"].append((f"{d_id}:c-{c}", 1_000_000))
+    return rows
+
+
+def order_line_refs(warehouse: str, item_indices: list[int]) -> list[EntityRef]:
+    return [EntityRef("Stock", stock_key(warehouse, i))
+            for i in item_indices]

@@ -1,0 +1,149 @@
+"""YCSB / YCSB+T workloads (paper Section 4).
+
+"We are using workloads A and B from the original YCSB benchmark.  A is
+update-heavy — 50% reads 50% updates and B is read-heavy — 95% reads 5%
+updates.  In addition, we use the transactional workload T from YCSB+T,
+which atomically transfers an amount from one entity's bank account to
+another (2 reads and 2 writes).  For the throughput test, we defined a
+mixed workload M (45% reads 45% updates 10% transfers)."
+
+The benchmark table is modelled as one stateful entity class,
+:class:`Account`, whose ``transfer`` method is the YCSB+T transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.entity import entity, transactional
+from ..core.refs import EntityRef
+from .distributions import KeyDistribution, make_distribution
+
+
+@entity
+class Account:
+    """One YCSB row / YCSB+T bank account."""
+
+    def __init__(self, account_id: str, balance: int):
+        self.account_id: str = account_id
+        self.balance: int = balance
+        self.payload: str = ""
+
+    def __key__(self):
+        return self.account_id
+
+    def read(self) -> int:
+        """YCSB read: return the row."""
+        return self.balance
+
+    def write(self, value: str) -> bool:
+        """YCSB update: overwrite the payload field."""
+        self.payload = value
+        return True
+
+    def add(self, delta: int) -> int:
+        """Increment helper (used by exactly-once tests: commutative, so
+        the final balance certifies each request applied exactly once)."""
+        self.balance += delta
+        return self.balance
+
+    def deposit(self, amount: int) -> int:
+        self.balance += amount
+        return self.balance
+
+    @transactional
+    def transfer(self, amount: int, other: Account) -> bool:
+        """YCSB+T: atomically move *amount* to *other* (2 reads, 2
+        writes across two partitions)."""
+        if self.balance < amount:
+            return False
+        self.balance -= amount
+        new_balance: int = other.deposit(amount)
+        return new_balance >= 0
+
+
+#: Operation mixes: (read, update, transfer) shares.
+WORKLOAD_MIXES: dict[str, tuple[float, float, float]] = {
+    "A": (0.50, 0.50, 0.00),
+    "B": (0.95, 0.05, 0.00),
+    "T": (0.00, 0.00, 1.00),
+    "M": (0.45, 0.45, 0.10),
+}
+
+
+@dataclass(slots=True)
+class Operation:
+    """One generated request."""
+
+    kind: str            # "read" | "update" | "transfer"
+    ref: EntityRef
+    method: str
+    args: tuple
+
+    @property
+    def label(self) -> str:
+        return self.kind
+
+
+class YcsbWorkload:
+    """Generates YCSB operations over ``record_count`` accounts."""
+
+    def __init__(self, name: str, record_count: int = 1000,
+                 distribution: str = "zipfian", seed: int = 11,
+                 theta: float = 0.99, initial_balance: int = 1_000_000,
+                 transfer_amount: int = 1):
+        if name not in WORKLOAD_MIXES:
+            raise ValueError(
+                f"unknown YCSB workload {name!r}; pick from "
+                f"{sorted(WORKLOAD_MIXES)}")
+        self.name = name
+        self.record_count = record_count
+        self.distribution_name = distribution
+        self.mix = WORKLOAD_MIXES[name]
+        self.initial_balance = initial_balance
+        self.transfer_amount = transfer_amount
+        self._keys: KeyDistribution = make_distribution(
+            distribution, record_count, seed=seed, theta=theta)
+        self._op_rng = self._keys.rng  # one seeded stream for both choices
+        self._update_counter = 0
+
+    # -- dataset ----------------------------------------------------------
+    @staticmethod
+    def account_key(index: int) -> str:
+        return f"acct-{index:06d}"
+
+    def dataset_rows(self) -> list[tuple[str, int]]:
+        """Constructor arguments for pre-loading all accounts."""
+        return [(self.account_key(i), self.initial_balance)
+                for i in range(self.record_count)]
+
+    def total_balance(self) -> int:
+        """Invariant: transfers conserve this sum."""
+        return self.record_count * self.initial_balance
+
+    def ref(self, index: int) -> EntityRef:
+        return EntityRef("Account", self.account_key(index))
+
+    # -- operation stream --------------------------------------------------
+    def next_operation(self) -> Operation:
+        read_share, update_share, _ = self.mix
+        draw = self._op_rng.random()
+        index = self._keys.next_index()
+        if draw < read_share:
+            return Operation(kind="read", ref=self.ref(index),
+                             method="read", args=())
+        if draw < read_share + update_share:
+            self._update_counter += 1
+            return Operation(kind="update", ref=self.ref(index),
+                             method="write",
+                             args=(f"value-{self._update_counter}",))
+        other = self._keys.next_index()
+        while other == index:
+            other = self._keys.next_index()
+        return Operation(kind="transfer", ref=self.ref(index),
+                         method="transfer",
+                         args=(self.transfer_amount, self.ref(other)))
+
+    def operations(self, count: int) -> list[Operation]:
+        return [self.next_operation() for _ in range(count)]

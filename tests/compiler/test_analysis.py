@@ -1,0 +1,163 @@
+"""Pass 1: state schema, method signatures, hints, key extraction."""
+
+import pytest
+
+from zoo import Item, User
+
+from repro.compiler import analyze_class, parse_class_ast
+from repro.core.errors import (
+    CompilationError,
+    MissingKeyError,
+    MissingTypeHintError,
+    UnsupportedConstructError,
+)
+
+
+class TestShopAnalysis:
+    def test_state_schema(self):
+        descriptor = analyze_class(Item)
+        fields = {f.name: f.type_name for f in descriptor.state}
+        assert fields == {"item_id": "str", "stock": "int",
+                          "price_per_unit": "int"}
+
+    def test_key_attribute(self):
+        assert analyze_class(Item).key_attribute == "item_id"
+        assert analyze_class(User).key_attribute == "username"
+
+    def test_method_signatures(self):
+        descriptor = analyze_class(User)
+        buy = descriptor.methods["buy_item"]
+        assert [p.name for p in buy.params] == ["amount", "item"]
+        assert [p.type_name for p in buy.params] == ["int", "Item"]
+        assert buy.return_type == "bool"
+
+    def test_transactional_marker_travels(self):
+        descriptor = analyze_class(User)
+        assert descriptor.methods["buy_item"].is_transactional
+        assert not analyze_class(Item).methods["price"].is_transactional
+
+    def test_constructor_descriptor(self):
+        descriptor = analyze_class(Item)
+        init = descriptor.methods["__init__"]
+        assert init.is_constructor
+        assert init.return_type == "None"
+
+    def test_key_method_excluded_from_methods(self):
+        assert "__key__" not in analyze_class(Item).methods
+
+
+def _analyze(source: str):
+    return analyze_class(source=source)
+
+
+class TestLimitations:
+    def test_missing_param_hint_rejected(self):
+        source = (
+            "class Bad:\n"
+            "    def __init__(self, bid: str):\n"
+            "        self.bid: str = bid\n"
+            "    def __key__(self):\n"
+            "        return self.bid\n"
+            "    def method(self, x) -> int:\n"
+            "        return x\n")
+        with pytest.raises(MissingTypeHintError) as excinfo:
+            _analyze(source)
+        assert excinfo.value.method == "method"
+
+    def test_missing_return_hint_rejected(self):
+        source = (
+            "class Bad:\n"
+            "    def __init__(self, bid: str):\n"
+            "        self.bid: str = bid\n"
+            "    def __key__(self):\n"
+            "        return self.bid\n"
+            "    def method(self, x: int):\n"
+            "        return x\n")
+        with pytest.raises(MissingTypeHintError):
+            _analyze(source)
+
+    def test_missing_key_rejected(self):
+        source = (
+            "class Bad:\n"
+            "    def __init__(self, bid: str):\n"
+            "        self.bid: str = bid\n")
+        with pytest.raises(MissingKeyError):
+            _analyze(source)
+
+    def test_complex_key_rejected(self):
+        source = (
+            "class Bad:\n"
+            "    def __init__(self, bid: str):\n"
+            "        self.bid: str = bid\n"
+            "    def __key__(self):\n"
+            "        return self.bid.upper()\n")
+        with pytest.raises(CompilationError):
+            _analyze(source)
+
+    def test_key_must_be_state_attribute(self):
+        source = (
+            "class Bad:\n"
+            "    def __init__(self, bid: str):\n"
+            "        self.bid: str = bid\n"
+            "    def __key__(self):\n"
+            "        return self.other\n")
+        with pytest.raises(CompilationError):
+            _analyze(source)
+
+    def test_missing_init_rejected(self):
+        source = (
+            "class Bad:\n"
+            "    def __key__(self):\n"
+            "        return self.x\n")
+        with pytest.raises(CompilationError):
+            _analyze(source)
+
+    def test_varargs_rejected(self):
+        source = (
+            "class Bad:\n"
+            "    def __init__(self, bid: str):\n"
+            "        self.bid: str = bid\n"
+            "    def __key__(self):\n"
+            "        return self.bid\n"
+            "    def method(self, *args) -> int:\n"
+            "        return 0\n")
+        with pytest.raises(UnsupportedConstructError):
+            _analyze(source)
+
+    def test_async_method_rejected(self):
+        source = (
+            "class Bad:\n"
+            "    def __init__(self, bid: str):\n"
+            "        self.bid: str = bid\n"
+            "    def __key__(self):\n"
+            "        return self.bid\n"
+            "    async def method(self) -> int:\n"
+            "        return 0\n")
+        with pytest.raises(UnsupportedConstructError):
+            _analyze(source)
+
+    def test_hints_optional_when_relaxed(self):
+        source = (
+            "class Relaxed:\n"
+            "    def __init__(self, rid: str):\n"
+            "        self.rid: str = rid\n"
+            "    def __key__(self):\n"
+            "        return self.rid\n"
+            "    def method(self, x):\n"
+            "        return x\n")
+        descriptor = analyze_class(source=source, require_hints=False)
+        assert descriptor.methods["method"].params[0].type_name == "Any"
+
+
+class TestParseClassAst:
+    def test_finds_named_class(self):
+        node = parse_class_ast("class A:\n    pass\n", "A")
+        assert node.name == "A"
+
+    def test_no_class_rejected(self):
+        with pytest.raises(CompilationError):
+            parse_class_ast("x = 1\n")
+
+    def test_two_classes_rejected(self):
+        with pytest.raises(CompilationError):
+            parse_class_ast("class A:\n    pass\nclass B:\n    pass\n")

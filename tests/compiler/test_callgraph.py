@@ -1,0 +1,104 @@
+"""Pass 2: inter-entity call graph, recursion detection."""
+
+import pytest
+
+from zoo import Counter, Item, User, Zoo
+
+from repro.compiler import analyze_class, build_call_graph
+from repro.core.errors import RecursionNotSupportedError
+
+
+def _graph(*classes):
+    descriptors = {cls.__name__: analyze_class(cls) for cls in classes}
+    return build_call_graph(descriptors), descriptors
+
+
+class TestShopGraph:
+    def test_edges(self):
+        graph, _ = _graph(Item, User)
+        assert ("User.buy_item", "Item.price") in graph.edges()
+        assert ("User.buy_item", "Item.update_stock") in graph.edges()
+
+    def test_interacting_entities(self):
+        graph, _ = _graph(Item, User)
+        assert graph.interacting_entities() == {("User", "Item")}
+
+    def test_callees_of(self):
+        graph, _ = _graph(Item, User)
+        sites = graph.callees_of("User", "buy_item")
+        assert {s.callee_method for s in sites} == {"price", "update_stock"}
+        # update_stock is called twice (buy + compensation).
+        assert sum(1 for s in sites
+                   if s.callee_method == "update_stock") == 2
+
+    def test_methods_needing_split(self):
+        graph, _ = _graph(Item, User)
+        assert graph.methods_needing_split() == {("User", "buy_item")}
+
+    def test_descriptor_enriched(self):
+        _, descriptors = _graph(Item, User)
+        buy = descriptors["User"].methods["buy_item"]
+        assert buy.entity_params == {"item": "Item"}
+        assert buy.has_remote_interaction()
+
+
+class TestZooGraph:
+    def test_self_call_detected(self):
+        graph, _ = _graph(Counter, Zoo)
+        sites = graph.callees_of("Zoo", "helper_chain")
+        assert any(s.is_self_call and s.callee_method == "double_add"
+                   for s in sites)
+
+    def test_self_call_propagates_split(self):
+        graph, _ = _graph(Counter, Zoo)
+        needs = graph.methods_needing_split()
+        assert ("Zoo", "double_add") in needs
+        assert ("Zoo", "helper_chain") in needs
+
+    def test_constructor_call_detected(self):
+        graph, _ = _graph(Counter, Zoo)
+        sites = graph.callees_of("Zoo", "constructs")
+        assert any(s.is_constructor and s.callee_entity == "Counter"
+                   for s in sites)
+
+    def test_local_only_method_not_split(self):
+        graph, _ = _graph(Counter, Zoo)
+        assert ("Zoo", "local_only") not in graph.methods_needing_split()
+
+
+class TestRecursionDetection:
+    def _source(self, body: str) -> str:
+        return (
+            "class Rec:\n"
+            "    def __init__(self, rid: str):\n"
+            "        self.rid: str = rid\n"
+            "    def __key__(self):\n"
+            "        return self.rid\n"
+            + body)
+
+    def test_direct_self_recursion_rejected(self):
+        source = self._source(
+            "    def spin(self, x: int) -> int:\n"
+            "        return self.spin(x - 1)\n")
+        descriptors = {"Rec": __import__("repro").compiler.analyze_class(
+            source=source)}
+        from repro.compiler import build_call_graph
+        graph = build_call_graph(descriptors)
+        with pytest.raises(RecursionNotSupportedError):
+            graph.check_no_recursion()
+
+    def test_mutual_recursion_rejected(self):
+        source = self._source(
+            "    def ping(self, x: int) -> int:\n"
+            "        return self.pong(x)\n"
+            "    def pong(self, x: int) -> int:\n"
+            "        return self.ping(x)\n")
+        from repro.compiler import analyze_class, build_call_graph
+        graph = build_call_graph({"Rec": analyze_class(source=source)})
+        with pytest.raises(RecursionNotSupportedError) as excinfo:
+            graph.check_no_recursion()
+        assert "->" in str(excinfo.value)
+
+    def test_acyclic_chain_accepted(self):
+        graph, _ = _graph(Item, User)
+        graph.check_no_recursion()  # must not raise

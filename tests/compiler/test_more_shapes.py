@@ -1,0 +1,111 @@
+"""Splitting shapes beyond the basic zoo, oracle-checked."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from shapes import Cell, OracleCell, OracleShape, Shape
+
+from repro import compile_program
+from repro.runtimes import LocalRuntime
+
+
+@pytest.fixture(scope="module")
+def shapes_program():
+    return compile_program([Cell, Shape])
+
+
+def _fresh(shapes_program):
+    runtime = LocalRuntime(shapes_program)
+    cell = runtime.create("Cell", "c1")
+    other = runtime.create("Cell", "c2")
+    shape = runtime.create("Shape", "s1", cell)
+    return runtime, cell, other, shape
+
+
+def _oracle():
+    cell = OracleCell("c1")
+    other = OracleCell("c2")
+    shape = OracleShape("s1", cell)
+    return cell, other, shape
+
+
+def test_remote_call_through_state_ref(shapes_program):
+    runtime, cell, _, shape = _fresh(shapes_program)
+    assert runtime.call(shape, "via_state_ref", 7) == 7
+    assert runtime.call(shape, "via_state_ref", 3) == 10
+    assert runtime.entity_state(shape)["score"] == 17
+    assert runtime.entity_state(cell)["value"] == 10
+
+
+@given(n=st.integers(0, 5))
+@settings(max_examples=10, deadline=None)
+def test_nested_loops(shapes_program, n):
+    runtime, cell, _, shape = _fresh(shapes_program)
+    oracle_cell, _, oracle = _oracle()
+    assert runtime.call(shape, "nested_loops", cell, n) == \
+        oracle.nested_loops(oracle_cell, n)
+    assert runtime.entity_state(cell)["value"] == oracle_cell.value
+
+
+@given(x=st.integers(-3, 8))
+@settings(max_examples=15, deadline=None)
+def test_elif_chain(shapes_program, x):
+    runtime, cell, _, shape = _fresh(shapes_program)
+    oracle_cell, _, oracle = _oracle()
+    assert runtime.call(shape, "elif_chain", cell, x) == \
+        oracle.elif_chain(oracle_cell, x)
+
+
+def test_tuple_unpack_of_remote_result(shapes_program):
+    runtime, cell, _, shape = _fresh(shapes_program)
+    assert runtime.call(shape, "tuple_unpack", cell, 4) == 4 * 10 + 4
+
+
+@given(n=st.integers(0, 6), stop=st.integers(1, 8))
+@settings(max_examples=15, deadline=None)
+def test_return_inside_loop(shapes_program, n, stop):
+    runtime, cell, _, shape = _fresh(shapes_program)
+    oracle_cell, _, oracle = _oracle()
+    assert runtime.call(shape, "return_inside_loop", cell, n, stop) == \
+        oracle.return_inside_loop(oracle_cell, n, stop)
+    assert runtime.entity_state(cell)["value"] == oracle_cell.value
+
+
+def test_augassign_remote(shapes_program):
+    runtime, cell, _, shape = _fresh(shapes_program)
+    oracle_cell, _, oracle = _oracle()
+    assert runtime.call(shape, "augassign_remote", cell, 5) == \
+        oracle.augassign_remote(oracle_cell, 5)
+
+
+def test_remote_result_as_remote_argument(shapes_program):
+    runtime, cell, other, shape = _fresh(shapes_program)
+    oracle_cell, oracle_other, oracle = _oracle()
+    assert runtime.call(shape, "arg_is_remote_result", cell, other, 6) == \
+        oracle.arg_is_remote_result(oracle_cell, oracle_other, 6)
+    assert runtime.entity_state(other)["value"] == oracle_other.value
+
+
+def test_entity_ref_in_state_is_serializable(shapes_program):
+    """Shape stores an EntityRef in state; it must survive the codec."""
+    from repro.core.serialization import dumps, loads
+
+    runtime, cell, _, shape = _fresh(shapes_program)
+    state = runtime.entity_state(shape)
+    assert loads(dumps(state)) == state
+
+
+def test_shapes_on_stateflow_match_local(shapes_program):
+    from repro.runtimes.stateflow import StateflowRuntime
+
+    finals = []
+    for runtime_cls in (LocalRuntime, StateflowRuntime):
+        runtime = runtime_cls(shapes_program)
+        cell = runtime.create("Cell", "c1")
+        shape = runtime.create("Shape", "s1", cell)
+        values = [runtime.call(shape, "via_state_ref", 2),
+                  runtime.call(shape, "nested_loops", cell, 4),
+                  runtime.call(shape, "elif_chain", cell, 3)]
+        finals.append((values, runtime.entity_state(cell)))
+    assert finals[0] == finals[1]

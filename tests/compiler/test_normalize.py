@@ -1,0 +1,191 @@
+"""Normalization: remote-call hoisting and its guardrails."""
+
+import ast
+
+import pytest
+
+from repro.compiler import analyze_class
+from repro.compiler.normalize import Normalizer
+from repro.core.errors import UnsupportedConstructError
+
+COUNTER_SOURCE = (
+    "class Counter:\n"
+    "    def __init__(self, cid: str):\n"
+    "        self.cid: str = cid\n"
+    "        self.value: int = 0\n"
+    "    def __key__(self):\n"
+    "        return self.cid\n"
+    "    def add(self, amount: int) -> int:\n"
+    "        self.value += amount\n"
+    "        return self.value\n")
+
+
+def _normalizer(method_source: str):
+    """Build a normalizer for a one-method driver class."""
+    driver_source = (
+        "class Driver:\n"
+        "    def __init__(self, did: str):\n"
+        "        self.did: str = did\n"
+        "    def __key__(self):\n"
+        "        return self.did\n"
+        + method_source)
+    descriptors = {
+        "Counter": analyze_class(source=COUNTER_SOURCE),
+        "Driver": analyze_class(source=driver_source),
+    }
+    normalizer = Normalizer(descriptors["Driver"], "method", descriptors,
+                            set())
+    body = descriptors["Driver"].methods["method"].source_ast.body
+    return normalizer, list(body)
+
+
+def _unparse(statements) -> str:
+    return ast.unparse(ast.Module(body=statements, type_ignores=[]))
+
+
+class TestHoisting:
+    def test_call_in_binop_hoisted(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        total: int = x * c.add(1)\n"
+            "        return total\n")
+        text = _unparse(normalizer.normalize_body(body))
+        assert "_t0 = c.add(1)" in text
+        assert "x * _t0" in text
+
+    def test_direct_assign_kept_in_place(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        r: int = c.add(x)\n"
+            "        return r\n")
+        text = _unparse(normalizer.normalize_body(body))
+        assert "_t0" not in text  # already in normal form
+
+    def test_two_calls_ordered_left_to_right(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        return c.add(1) + c.add(2)\n")
+        text = _unparse(normalizer.normalize_body(body))
+        assert text.index("c.add(1)") < text.index("c.add(2)")
+        assert "return _t0 + _t1" in text
+
+    def test_call_as_argument_hoisted(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        r: int = c.add(c.add(x))\n"
+            "        return r\n")
+        text = _unparse(normalizer.normalize_body(body))
+        assert "_t0 = c.add(x)" in text
+        assert "c.add(_t0)" in text
+
+    def test_if_condition_hoisted(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        if c.add(x) > 2:\n"
+            "            return 1\n"
+            "        return 0\n")
+        statements = normalizer.normalize_body(body)
+        assert isinstance(statements[0], ast.Assign)
+        assert isinstance(statements[1], ast.If)
+
+    def test_while_condition_rewritten_to_loop_forever(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        while c.add(1) < x:\n"
+            "            pass\n"
+            "        return 0\n")
+        statements = normalizer.normalize_body(body)
+        loop = statements[0]
+        assert isinstance(loop, ast.While)
+        assert isinstance(loop.test, ast.Constant) and loop.test.value is True
+        # First statements in the body re-evaluate the remote condition.
+        assert isinstance(loop.body[0], ast.Assign)
+
+    def test_for_iterable_hoisted(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        total: int = 0\n"
+            "        for i in range(c.add(x)):\n"
+            "            total += i\n"
+            "        return total\n")
+        statements = normalizer.normalize_body(body)
+        kinds = [type(s) for s in statements]
+        assert ast.For in kinds
+        loop = statements[kinds.index(ast.For)]
+        assert "c.add" not in ast.unparse(loop.iter)
+
+    def test_non_remote_calls_untouched(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        return len(str(x))\n")
+        text = _unparse(normalizer.normalize_body(body))
+        assert "_t" not in text
+
+
+class TestGuardrails:
+    def _expect_unsupported(self, method_source: str):
+        normalizer, body = _normalizer(method_source)
+        with pytest.raises(UnsupportedConstructError):
+            normalizer.normalize_body(body)
+
+    def test_short_circuit_rejected(self):
+        self._expect_unsupported(
+            "    def method(self, c: Counter, x: int) -> bool:\n"
+            "        return x > 0 and c.add(1) > 0\n")
+
+    def test_conditional_expression_rejected(self):
+        self._expect_unsupported(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        return c.add(1) if x > 0 else 0\n")
+
+    def test_comprehension_rejected(self):
+        self._expect_unsupported(
+            "    def method(self, c: Counter, x: int) -> list:\n"
+            "        return [c.add(i) for i in range(x)]\n")
+
+    def test_lambda_rejected(self):
+        self._expect_unsupported(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        f = lambda: c.add(1)\n"
+            "        return 0\n")
+
+    def test_nested_def_rejected(self):
+        self._expect_unsupported(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        def inner():\n"
+            "            return 1\n"
+            "        return inner()\n")
+
+    def test_remote_in_try_rejected(self):
+        self._expect_unsupported(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        try:\n"
+            "            r: int = c.add(1)\n"
+            "        except Exception:\n"
+            "            r = 0\n"
+            "        return r\n")
+
+    def test_global_rejected(self):
+        self._expect_unsupported(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        global something\n"
+            "        return 0\n")
+
+    def test_local_try_allowed(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> int:\n"
+            "        try:\n"
+            "            value = 10 // x\n"
+            "        except ZeroDivisionError:\n"
+            "            value = 0\n"
+            "        return value\n")
+        statements = normalizer.normalize_body(body)
+        assert any(isinstance(s, ast.Try) for s in statements)
+
+    def test_first_operand_of_boolop_allowed(self):
+        normalizer, body = _normalizer(
+            "    def method(self, c: Counter, x: int) -> bool:\n"
+            "        ok: bool = c.add(1) > 0 and x > 0\n"
+            "        return ok\n")
+        text = _unparse(normalizer.normalize_body(body))
+        assert "_t0 = c.add(1)" in text

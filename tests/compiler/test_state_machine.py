@@ -1,0 +1,116 @@
+"""State machines (execution graphs): structure, validation, serde."""
+
+import pytest
+
+from zoo import Counter, Item, User, Zoo
+
+from repro.compiler import (
+    StateMachine,
+    analyze_class,
+    build_call_graph,
+    split_method,
+)
+from repro.compiler.blocks import InvokeTerminator, JumpTerminator
+from repro.compiler.state_machine import StateNode
+from repro.core.errors import CompilationError
+
+
+def _machine(classes, entity_name, method):
+    descriptors = {cls.__name__: analyze_class(cls) for cls in classes}
+    needs = build_call_graph(descriptors).methods_needing_split()
+    split = split_method(descriptors[entity_name], method, descriptors, needs)
+    return StateMachine.from_split(split)
+
+
+class TestDerivation:
+    def test_entry_and_nodes(self):
+        machine = _machine([Item, User], "User", "buy_item")
+        assert machine.entry == "buy_item_0"
+        assert machine.is_split
+        assert set(machine.nodes) == {f"buy_item_{i}"
+                                      for i in range(len(machine.nodes))}
+
+    def test_remote_transitions(self):
+        machine = _machine([Item, User], "User", "buy_item")
+        remote = machine.remote_transitions()
+        assert len(remote) == 3  # price + update_stock x2
+
+    def test_terminal_nodes(self):
+        machine = _machine([Item, User], "User", "buy_item")
+        assert len(machine.terminal_nodes()) >= 2  # success + failure paths
+
+    def test_unsplit_machine(self):
+        machine = _machine([Item, User], "Item", "price")
+        assert not machine.is_split
+        assert len(machine.nodes) == 1
+
+    def test_successors_cover_graph(self):
+        machine = _machine([Counter, Zoo], "Zoo", "loop_for")
+        reachable = {machine.entry}
+        stack = [machine.entry]
+        while stack:
+            for successor in machine.node(stack.pop()).successors():
+                if successor not in reachable:
+                    reachable.add(successor)
+                    stack.append(successor)
+        assert reachable == set(machine.nodes)
+
+
+class TestValidation:
+    def _single_return_node(self, node_id="m_0"):
+        from repro.compiler.blocks import ReturnTerminator
+
+        return StateNode(node_id=node_id, terminator=ReturnTerminator(),
+                         reads=frozenset(), writes=frozenset())
+
+    def test_missing_entry_rejected(self):
+        machine = StateMachine(entity="E", method="m", entry="nope",
+                               nodes={"m_0": self._single_return_node()})
+        with pytest.raises(CompilationError):
+            machine.validate()
+
+    def test_dangling_edge_rejected(self):
+        node = StateNode(node_id="m_0",
+                         terminator=JumpTerminator(target="missing"),
+                         reads=frozenset(), writes=frozenset())
+        machine = StateMachine(entity="E", method="m", entry="m_0",
+                               nodes={"m_0": node})
+        with pytest.raises(CompilationError):
+            machine.validate()
+
+    def test_unreachable_node_rejected(self):
+        machine = StateMachine(
+            entity="E", method="m", entry="m_0",
+            nodes={"m_0": self._single_return_node("m_0"),
+                   "m_1": self._single_return_node("m_1")})
+        with pytest.raises(CompilationError):
+            machine.validate()
+
+    def test_no_return_rejected(self):
+        node = StateNode(node_id="m_0",
+                         terminator=JumpTerminator(target="m_0"),
+                         reads=frozenset(), writes=frozenset())
+        machine = StateMachine(entity="E", method="m", entry="m_0",
+                               nodes={"m_0": node})
+        with pytest.raises(CompilationError):
+            machine.validate()
+
+
+class TestSerde:
+    def test_roundtrip(self):
+        machine = _machine([Item, User], "User", "buy_item")
+        restored = StateMachine.from_dict(machine.to_dict())
+        assert restored.entry == machine.entry
+        assert set(restored.nodes) == set(machine.nodes)
+        for node_id, node in machine.nodes.items():
+            twin = restored.node(node_id)
+            assert twin.terminator.to_dict() == node.terminator.to_dict()
+            assert twin.reads == node.reads
+            assert twin.writes == node.writes
+
+    def test_invoke_terminator_fields_survive(self):
+        machine = _machine([Item, User], "User", "buy_item")
+        restored = StateMachine.from_dict(machine.to_dict())
+        entry = restored.node(restored.entry)
+        assert isinstance(entry.terminator, InvokeTerminator)
+        assert entry.terminator.method == "price"

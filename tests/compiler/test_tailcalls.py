@@ -1,0 +1,109 @@
+"""Tail-call elimination: recursion -> loops (paper Section 5)."""
+
+import pytest
+
+from repro.compiler import analyze_class, compile_descriptors
+from repro.compiler.tailcalls import eliminate_tail_calls
+from repro.core.errors import RecursionNotSupportedError
+from repro.runtimes import LocalRuntime
+
+TAIL_SOURCE = (
+    "class Tail:\n"
+    "    def __init__(self, tid: str):\n"
+    "        self.tid: str = tid\n"
+    "        self.steps: int = 0\n"
+    "    def __key__(self):\n"
+    "        return self.tid\n"
+    "    def countdown(self, n: int) -> int:\n"
+    "        self.steps += 1\n"
+    "        if n <= 0:\n"
+    "            return 0\n"
+    "        return self.countdown(n - 1)\n"
+    "    def factorial(self, n: int, acc: int) -> int:\n"
+    "        if n <= 1:\n"
+    "            return acc\n"
+    "        return self.factorial(n - 1, acc * n)\n"
+    "    def gcd(self, a: int, b: int) -> int:\n"
+    "        if b == 0:\n"
+    "            return a\n"
+    "        return self.gcd(b, a % b)\n")
+
+NON_TAIL_SOURCE = (
+    "class Deep:\n"
+    "    def __init__(self, did: str):\n"
+    "        self.did: str = did\n"
+    "    def __key__(self):\n"
+    "        return self.did\n"
+    "    def tree(self, n: int) -> int:\n"
+    "        if n <= 1:\n"
+    "            return 1\n"
+    "        return self.tree(n - 1) + self.tree(n - 2)\n")
+
+
+def _compile(source, **kwargs):
+    descriptor = analyze_class(source=source)
+    return compile_descriptors({descriptor.name: descriptor}, **kwargs)
+
+
+class TestRewrite:
+    def test_tail_methods_transformed(self):
+        descriptor = analyze_class(source=TAIL_SOURCE)
+        transformed = eliminate_tail_calls(descriptor)
+        assert set(transformed) == {"countdown", "factorial", "gcd"}
+
+    def test_non_tail_left_alone(self):
+        descriptor = analyze_class(source=NON_TAIL_SOURCE)
+        assert eliminate_tail_calls(descriptor) == []
+
+    def test_local_methods_untouched(self):
+        descriptor = analyze_class(source=TAIL_SOURCE)
+        before = len(descriptor.methods["__init__"].source_ast.body)
+        eliminate_tail_calls(descriptor)
+        assert len(descriptor.methods["__init__"].source_ast.body) == before
+
+
+class TestSemantics:
+    @pytest.fixture(scope="class")
+    def runtime(self):
+        program = _compile(TAIL_SOURCE)
+        runtime = LocalRuntime(program)
+        runtime._tail_ref = runtime.create("Tail", "t1")
+        return runtime
+
+    def test_countdown(self, runtime):
+        assert runtime.call(runtime._tail_ref, "countdown", 10) == 0
+        # self mutations happen on every "recursive" step.
+        assert runtime.entity_state(runtime._tail_ref)["steps"] == 11
+
+    def test_factorial(self, runtime):
+        assert runtime.call(runtime._tail_ref, "factorial", 6, 1) == 720
+
+    def test_gcd(self, runtime):
+        assert runtime.call(runtime._tail_ref, "gcd", 252, 105) == 21
+        assert runtime.call(runtime._tail_ref, "gcd", 7, 0) == 7
+
+    def test_deep_recursion_no_stack_growth(self, runtime):
+        # 50k frames would overflow CPython's stack; the loop must not.
+        assert runtime.call(runtime._tail_ref, "countdown", 50_000) == 0
+
+
+class TestPipelineIntegration:
+    def test_tail_recursive_program_compiles(self):
+        program = _compile(TAIL_SOURCE)
+        assert "Tail" in program.entities
+
+    def test_non_tail_recursion_still_rejected(self):
+        with pytest.raises(RecursionNotSupportedError):
+            _compile(NON_TAIL_SOURCE)
+
+    def test_opt_out_restores_rejection(self):
+        with pytest.raises(RecursionNotSupportedError):
+            _compile(TAIL_SOURCE, eliminate_tail_recursion=False)
+
+    def test_simultaneous_rebinding(self):
+        # gcd(b, a % b) needs simultaneous assignment: sequential
+        # rebinding (a = b; b = a % b) would corrupt `a % b`.
+        program = _compile(TAIL_SOURCE)
+        runtime = LocalRuntime(program)
+        ref = runtime.create("Tail", "t2")
+        assert runtime.call(ref, "gcd", 48, 18) == 6

@@ -1,0 +1,137 @@
+"""Whole-program validation: key stability, constructor locality,
+generators, unknown callees."""
+
+import pytest
+
+from repro.compiler import analyze_class, build_call_graph, validate_program
+from repro.core.errors import (
+    CompilationError,
+    KeyMutationError,
+    UnsupportedConstructError,
+)
+
+COUNTER = (
+    "class Counter:\n"
+    "    def __init__(self, cid: str):\n"
+    "        self.cid: str = cid\n"
+    "        self.value: int = 0\n"
+    "    def __key__(self):\n"
+    "        return self.cid\n"
+    "    def add(self, amount: int) -> int:\n"
+    "        self.value += amount\n"
+    "        return self.value\n")
+
+
+def _validate(*sources: str):
+    descriptors = {}
+    for source in sources:
+        descriptor = analyze_class(source=source)
+        descriptors[descriptor.name] = descriptor
+    graph = build_call_graph(descriptors)
+    validate_program(descriptors, graph)
+
+
+def test_valid_program_passes():
+    _validate(COUNTER)
+
+
+def test_key_mutation_rejected():
+    bad = (
+        "class Renamer:\n"
+        "    def __init__(self, rid: str):\n"
+        "        self.rid: str = rid\n"
+        "    def __key__(self):\n"
+        "        return self.rid\n"
+        "    def rename(self, new_id: str) -> bool:\n"
+        "        self.rid = new_id\n"
+        "        return True\n")
+    with pytest.raises(KeyMutationError) as excinfo:
+        _validate(bad)
+    assert excinfo.value.method == "rename"
+
+
+def test_key_augmented_assignment_rejected():
+    bad = (
+        "class Renamer:\n"
+        "    def __init__(self, rid: str):\n"
+        "        self.rid: str = rid\n"
+        "    def __key__(self):\n"
+        "        return self.rid\n"
+        "    def mangle(self) -> bool:\n"
+        "        self.rid += '-x'\n"
+        "        return True\n")
+    with pytest.raises(KeyMutationError):
+        _validate(bad)
+
+
+def test_key_assignment_in_init_allowed():
+    _validate(COUNTER)  # __init__ assigns self.cid and must be legal
+
+
+def test_generator_rejected():
+    bad = (
+        "class Gen:\n"
+        "    def __init__(self, gid: str):\n"
+        "        self.gid: str = gid\n"
+        "    def __key__(self):\n"
+        "        return self.gid\n"
+        "    def stream(self) -> int:\n"
+        "        yield 1\n")
+    with pytest.raises(UnsupportedConstructError):
+        _validate(bad)
+
+
+def test_await_rejected():
+    bad = (
+        "class Waiter:\n"
+        "    def __init__(self, wid: str):\n"
+        "        self.wid: str = wid\n"
+        "    def __key__(self):\n"
+        "        return self.wid\n"
+        "    def wait(self, thing: int) -> int:\n"
+        "        return await thing\n")
+    with pytest.raises((UnsupportedConstructError, SyntaxError)):
+        _validate(bad)
+
+
+def test_remote_call_in_constructor_rejected():
+    bad = (
+        "class Eager:\n"
+        "    def __init__(self, eid: str, c: Counter):\n"
+        "        self.eid: str = eid\n"
+        "        self.start: int = c.add(1)\n"
+        "    def __key__(self):\n"
+        "        return self.eid\n")
+    with pytest.raises(CompilationError) as excinfo:
+        _validate(COUNTER, bad)
+    assert "__init__" in str(excinfo.value)
+
+
+def test_call_to_undefined_method_rejected():
+    bad = (
+        "class Caller:\n"
+        "    def __init__(self, cid2: str):\n"
+        "        self.cid2: str = cid2\n"
+        "    def __key__(self):\n"
+        "        return self.cid2\n"
+        "    def go(self, c: Counter) -> int:\n"
+        "        return c.subtract(1)\n")
+    with pytest.raises(CompilationError) as excinfo:
+        _validate(COUNTER, bad)
+    assert "subtract" in str(excinfo.value)
+
+
+def test_call_to_unknown_entity_rejected():
+    bad = (
+        "class Caller:\n"
+        "    def __init__(self, cid2: str):\n"
+        "        self.cid2: str = cid2\n"
+        "    def __key__(self):\n"
+        "        return self.cid2\n"
+        "    def go(self, m: Missing) -> int:\n"
+        "        return m.poke(1)\n")
+    descriptors = {"Caller": analyze_class(source=bad)}
+    graph = build_call_graph(descriptors)
+    # Missing is not an entity, so the call is simply not remote; the
+    # program validates (m is treated as an opaque Python object).
+    validate_program(descriptors, graph)

@@ -1,0 +1,65 @@
+"""Descriptor dataclasses: serde, helpers."""
+
+from zoo import User
+
+from repro.compiler import analyze_class, build_call_graph
+from repro.core.descriptors import (
+    EntityDescriptor,
+    MethodDescriptor,
+    ParamSpec,
+    StateField,
+)
+
+
+def _user_descriptor():
+    descriptor = analyze_class(User)
+    from zoo import Item
+
+    build_call_graph({"User": descriptor, "Item": analyze_class(Item)})
+    return descriptor
+
+
+class TestSerde:
+    def test_entity_roundtrip(self):
+        descriptor = _user_descriptor()
+        restored = EntityDescriptor.from_dict(descriptor.to_dict())
+        assert restored.name == "User"
+        assert restored.key_attribute == "username"
+        assert restored.state_names == descriptor.state_names
+        assert set(restored.methods) == set(descriptor.methods)
+
+    def test_method_roundtrip_preserves_enrichment(self):
+        descriptor = _user_descriptor()
+        buy = descriptor.methods["buy_item"]
+        restored = MethodDescriptor.from_dict(buy.to_dict())
+        assert restored.is_transactional
+        assert restored.entity_params == {"item": "Item"}
+        assert ("Item", "price") in restored.calls
+
+    def test_param_and_field_roundtrips(self):
+        param = ParamSpec("amount", "int")
+        assert ParamSpec.from_dict(param.to_dict()) == param
+        state_field = StateField("balance", "int")
+        assert StateField.from_dict(state_field.to_dict()) == state_field
+
+
+class TestHelpers:
+    def test_param_names(self):
+        descriptor = _user_descriptor()
+        assert descriptor.methods["buy_item"].param_names == [
+            "amount", "item"]
+
+    def test_public_methods_include_init(self):
+        descriptor = _user_descriptor()
+        names = {m.name for m in descriptor.public_methods()}
+        assert "__init__" in names
+        assert "buy_item" in names
+
+    def test_has_remote_interaction(self):
+        descriptor = _user_descriptor()
+        assert descriptor.methods["buy_item"].has_remote_interaction()
+        assert not descriptor.methods["__init__"].has_remote_interaction()
+
+    def test_method_lookup(self):
+        descriptor = _user_descriptor()
+        assert descriptor.method("buy_item").name == "buy_item"

@@ -1,0 +1,79 @@
+"""@entity / @transactional decorators and the registry."""
+
+import pytest
+
+from zoo import Counter, Item, User
+
+from repro.core.entity import (
+    REGISTRY,
+    EntityRegistry,
+    entity,
+    entity_source,
+    is_entity_class,
+    is_transactional,
+    scoped_registry,
+    transactional_methods,
+)
+from repro.core.errors import CompilationError
+
+
+def test_decorated_classes_registered_globally():
+    assert "Item" in REGISTRY
+    assert REGISTRY.get("Item") is Item
+
+
+def test_is_entity_class():
+    assert is_entity_class(User)
+
+    class Plain:
+        pass
+
+    assert not is_entity_class(Plain)
+
+
+def test_source_captured():
+    source = entity_source(Item)
+    assert "class Item" in source
+    assert "def update_stock" in source
+
+
+def test_transactional_marker():
+    assert is_transactional(User.buy_item)
+    assert not is_transactional(Item.update_stock)
+    assert transactional_methods(User) == frozenset({"buy_item"})
+
+
+def test_entity_with_explicit_source():
+    source = (
+        "class Generated:\n"
+        "    def __init__(self, gid: str):\n"
+        "        self.gid: str = gid\n"
+        "    def __key__(self):\n"
+        "        return self.gid\n")
+    registry = EntityRegistry()
+    cls = type("Generated", (), {})
+    entity(cls, source=source, registry=registry)
+    assert "Generated" in registry
+    assert entity_source(cls) == source
+
+
+def test_dynamic_class_without_source_fails():
+    registry = EntityRegistry()
+    cls = type("NoSource", (), {})
+    with pytest.raises(CompilationError):
+        registry.register(cls)
+
+
+def test_scoped_registry_isolated():
+    registry = scoped_registry([Counter])
+    assert "Counter" in registry
+    assert "Item" not in registry
+    assert registry.names() == frozenset({"Counter"})
+
+
+def test_registry_unregister_and_clear():
+    registry = scoped_registry([Counter, Item])
+    registry.unregister("Counter")
+    assert "Counter" not in registry
+    registry.clear()
+    assert registry.classes() == []

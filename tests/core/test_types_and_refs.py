@@ -1,0 +1,82 @@
+"""Annotation resolution, type environments, and entity refs."""
+
+import ast
+
+from repro.core.refs import EntityRef, is_entity_ref, ref_for
+from repro.core.types import TypeEnvironment, annotation_name
+
+
+def _ann(source: str) -> ast.expr:
+    return ast.parse(source, mode="eval").body
+
+
+class TestAnnotationName:
+    def test_plain_name(self):
+        assert annotation_name(_ann("int")) == "int"
+
+    def test_forward_reference_string(self):
+        assert annotation_name(_ann("'Item'")) == "Item"
+
+    def test_dotted(self):
+        assert annotation_name(_ann("typing.Optional")) == "typing.Optional"
+
+    def test_subscript_container(self):
+        assert annotation_name(_ann("list[int]")) == "list"
+
+    def test_optional_unwraps(self):
+        assert annotation_name(_ann("Optional[Item]")) == "Item"
+
+    def test_pep604_union_prefers_non_none(self):
+        assert annotation_name(_ann("Item | None")) == "Item"
+        assert annotation_name(_ann("None | Item")) == "Item"
+
+    def test_none_constant(self):
+        assert annotation_name(_ann("None")) == "None"
+
+    def test_missing(self):
+        assert annotation_name(None) is None
+
+
+class TestTypeEnvironment:
+    def setup_method(self):
+        self.env = TypeEnvironment(frozenset({"Item", "User"}))
+
+    def test_bind_and_lookup(self):
+        self.env.bind("item", "Item")
+        assert self.env.entity_type_of("item") == "Item"
+
+    def test_non_entity_binding_ignored(self):
+        self.env.bind("x", "int")
+        assert self.env.entity_type_of("x") is None
+
+    def test_rebinding_to_non_entity_shadows(self):
+        self.env.bind("x", "Item")
+        self.env.bind("x", "int")
+        assert self.env.entity_type_of("x") is None
+
+    def test_copy_is_independent(self):
+        self.env.bind("a", "Item")
+        clone = self.env.copy()
+        clone.bind("b", "User")
+        assert self.env.entity_type_of("b") is None
+        assert clone.entity_type_of("a") == "Item"
+
+    def test_bound_entities_snapshot(self):
+        self.env.bind("a", "Item")
+        assert self.env.bound_entities() == {"a": "Item"}
+
+
+class TestEntityRef:
+    def test_equality_and_hash(self):
+        assert EntityRef("Item", "apple") == EntityRef("Item", "apple")
+        assert len({EntityRef("Item", "a"), EntityRef("Item", "a")}) == 1
+
+    def test_dict_roundtrip(self):
+        ref = EntityRef("User", "alice")
+        assert EntityRef.from_dict(ref.to_dict()) == ref
+
+    def test_helpers(self):
+        ref = ref_for("Item", 7)
+        assert is_entity_ref(ref)
+        assert not is_entity_ref("Item/7")
+        assert str(ref) == "Item/7"

@@ -1,0 +1,110 @@
+"""CLI + Graphviz export."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ir.dot import dataflow_to_dot, machine_to_dot
+
+SHOP_MODULE = (
+    "from repro import entity, transactional\n"
+    "\n"
+    "@entity\n"
+    "class Item:\n"
+    "    def __init__(self, item_id: str, price: int):\n"
+    "        self.item_id: str = item_id\n"
+    "        self.stock: int = 0\n"
+    "        self.price_per_unit: int = price\n"
+    "    def __key__(self):\n"
+    "        return self.item_id\n"
+    "    def price(self) -> int:\n"
+    "        return self.price_per_unit\n"
+    "    def update_stock(self, amount: int) -> bool:\n"
+    "        self.stock += amount\n"
+    "        return self.stock >= 0\n")
+
+
+@pytest.fixture()
+def shop_module(tmp_path):
+    path = tmp_path / "shopapp.py"
+    path.write_text(SHOP_MODULE, encoding="utf-8")
+    return path
+
+
+def _cli(*args, timeout=120):
+    return subprocess.run([sys.executable, "-m", "repro", *map(str, args)],
+                          capture_output=True, text=True, timeout=timeout)
+
+
+class TestCli:
+    def test_compile_to_file(self, shop_module, tmp_path):
+        out = tmp_path / "app.json"
+        completed = _cli("compile", shop_module, "--out", out)
+        assert completed.returncode == 0, completed.stderr
+        document = json.loads(out.read_text())
+        assert document["format"] == "stateful-dataflow-ir"
+        assert "Item" in document["dataflow"]["operators"]
+
+    def test_describe(self, shop_module, tmp_path):
+        out = tmp_path / "app.json"
+        _cli("compile", shop_module, "--out", out)
+        completed = _cli("describe", out)
+        assert completed.returncode == 0
+        assert "operator Item" in completed.stdout
+
+    def test_dot_dataflow(self, shop_module, tmp_path):
+        out = tmp_path / "app.json"
+        _cli("compile", shop_module, "--out", out)
+        completed = _cli("dot", out)
+        assert completed.returncode == 0
+        assert completed.stdout.startswith("digraph")
+        assert "Item" in completed.stdout
+
+    def test_dot_method(self, shop_module, tmp_path):
+        out = tmp_path / "app.json"
+        _cli("compile", shop_module, "--out", out)
+        completed = _cli("dot", out, "--method", "Item.update_stock")
+        assert completed.returncode == 0
+        assert "update_stock_0" in completed.stdout
+
+    def test_run_create_and_invoke(self, shop_module):
+        created = _cli("run", shop_module, "Item", "__init__", "-",
+                       '"apple"', "3")
+        assert created.returncode == 0, created.stderr
+        assert "Item/apple" in created.stdout
+
+    def test_run_error_exit_code(self, shop_module):
+        completed = _cli("run", shop_module, "Item", "price", '"ghost"')
+        assert completed.returncode == 1
+        assert "error" in completed.stderr
+
+    def test_compile_no_entities(self, tmp_path):
+        empty = tmp_path / "empty.py"
+        empty.write_text("x = 1\n")
+        completed = _cli("compile", empty)
+        assert completed.returncode != 0
+
+
+class TestDot:
+    def test_dataflow_dot_structure(self, shop_program):
+        dot = dataflow_to_dot(shop_program.dataflow)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"User" -> "Item"' in dot
+        assert "ingress router" in dot
+
+    def test_machine_dot_structure(self, shop_program):
+        machine = shop_program.entities["User"].methods["buy_item"].machine
+        dot = machine_to_dot(machine)
+        assert "buy_item_0" in dot
+        assert "call Item.price" in dot
+        assert "doublecircle" in dot  # return nodes
+
+    def test_branch_edges_labelled(self, shop_program):
+        machine = shop_program.entities["User"].methods["buy_item"].machine
+        dot = machine_to_dot(machine)
+        assert 'label="true"' in dot
+        assert 'label="false"' in dot

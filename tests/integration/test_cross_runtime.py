@@ -1,0 +1,89 @@
+"""Cross-runtime consistency: "the choice of a runtime system is
+completely independent of the application layer" — the same program and
+the same operations must produce the same state on every backend."""
+
+import pytest
+
+from zoo import ZOO_CASES, OracleCounter, OracleZoo
+
+from repro.runtimes import LocalRuntime
+from repro.runtimes.statefun import StatefunRuntime
+from repro.runtimes.stateflow import StateflowRuntime
+
+RUNTIMES = [LocalRuntime, StatefunRuntime, StateflowRuntime]
+
+
+def _run_shop(runtime_cls, shop_program):
+    runtime = runtime_cls(shop_program)
+    apple = runtime.create("Item", "apple", 3)
+    runtime.call(apple, "update_stock", 10)
+    alice = runtime.create("User", "alice")
+    outcomes = [
+        runtime.call(alice, "buy_item", 2, apple),
+        runtime.call(alice, "buy_item", 50, apple),   # balance shortfall
+        runtime.call(alice, "buy_item", 20, apple),   # stock shortfall
+    ]
+    return (outcomes,
+            runtime.entity_state(alice),
+            runtime.entity_state(apple))
+
+
+@pytest.mark.parametrize("runtime_cls", RUNTIMES,
+                         ids=[cls.__name__ for cls in RUNTIMES])
+def test_shop_same_everywhere(runtime_cls, shop_program):
+    outcomes, alice, apple = _run_shop(runtime_cls, shop_program)
+    assert outcomes == [True, False, False]
+    assert alice == {"username": "alice", "balance": 94}
+    assert apple == {"item_id": "apple", "stock": 8, "price_per_unit": 3}
+
+
+@pytest.mark.parametrize("runtime_cls", RUNTIMES,
+                         ids=[cls.__name__ for cls in RUNTIMES])
+@pytest.mark.parametrize("method,make_args",
+                         [case for case in ZOO_CASES
+                          if case[0] in ("straight", "branch", "loop_for",
+                                         "helper_chain",
+                                         "loop_while_break")],
+                         ids=lambda value: value if isinstance(value, str)
+                         else "")
+def test_zoo_matches_oracle_on_every_runtime(runtime_cls, method, make_args,
+                                             zoo_program):
+    args = make_args(4)
+    runtime = runtime_cls(zoo_program)
+    counter = runtime.create("Counter", "c1")
+    zoo = runtime.create("Zoo", "z1")
+    value = runtime.call(zoo, method, counter, *args)
+
+    oracle_counter = OracleCounter("c1")
+    oracle = OracleZoo("z1")
+    expected = getattr(oracle, method)(oracle_counter, *args)
+
+    assert value == expected
+    assert runtime.entity_state(counter) == vars(oracle_counter)
+
+
+def test_tpcc_same_on_local_and_stateflow(tpcc_program):
+    from repro.core.refs import EntityRef
+    from repro.workloads import order_line_refs, sample_dataset
+
+    finals = []
+    for runtime_cls in (LocalRuntime, StateflowRuntime):
+        runtime = runtime_cls(tpcc_program)
+        dataset = sample_dataset()
+        if hasattr(runtime, "preload"):
+            for entity_name, rows in dataset.items():
+                runtime.preload(entity_name, rows)
+            runtime.start()
+        else:
+            for entity_name, rows in dataset.items():
+                for args in rows:
+                    runtime.create(entity_name, *args)
+        customer = EntityRef("Customer", "wh-0:d-0:c-0")
+        district = EntityRef("District", "wh-0:d-0")
+        runtime.call(customer, "new_order", district,
+                     order_line_refs("wh-0", [1, 2]), [4, 4])
+        runtime.call(customer, "payment", 99,
+                     EntityRef("Warehouse", "wh-0"), district)
+        finals.append((runtime.entity_state(customer),
+                       runtime.entity_state(district)))
+    assert finals[0] == finals[1]

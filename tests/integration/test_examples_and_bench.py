@@ -1,0 +1,101 @@
+"""Examples must run; the bench harness must produce sane rows."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "compiler_explorer.py",
+    "ecommerce_checkout.py",
+    "bank_transfers.py",
+    "tpcc_demo.py",
+])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        cwd=str(EXAMPLES), capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()
+
+
+class TestHarness:
+    def test_ycsb_cell_shape(self):
+        from repro.bench import run_ycsb_cell
+
+        row = run_ycsb_cell("stateflow", "A", "zipfian", rps=100,
+                            duration_ms=2_000, record_count=50)
+        assert row.completed > 0
+        assert row.errors == 0
+        assert 0 < row.p50_ms <= row.p99_ms
+        assert row.as_dict()["system"] == "stateflow"
+
+    def test_statefun_cell(self):
+        from repro.bench import run_ycsb_cell
+
+        row = run_ycsb_cell("statefun", "B", "uniform", rps=100,
+                            duration_ms=2_000, record_count=50)
+        assert row.completed > 0
+        assert row.p99_ms > 0
+
+    def test_unknown_system_rejected(self):
+        from repro.bench import build_runtime, ycsb_program
+
+        with pytest.raises(ValueError):
+            build_runtime("spark", ycsb_program())
+
+    def test_format_table(self):
+        from repro.bench import format_table, run_ycsb_cell
+
+        row = run_ycsb_cell("stateflow", "A", "uniform", rps=100,
+                            duration_ms=1_000, record_count=20)
+        text = format_table([row], "title")
+        assert "title" in text
+        assert "stateflow" in text
+
+    def test_overhead_rows(self):
+        from repro.bench import format_overhead_table, run_overhead_breakdown
+
+        rows = run_overhead_breakdown([50], operations=50)
+        assert rows[0].split_share < 0.01
+        assert "state_kb" in format_overhead_table(rows)
+
+    def test_figure3_shape_checker(self):
+        from repro.bench import ExperimentRow, check_figure3_shape
+
+        def row(system, workload, distribution, p99):
+            return ExperimentRow(system=system, workload=workload,
+                                 distribution=distribution, rps=100,
+                                 p50_ms=p99 / 2, p99_ms=p99,
+                                 mean_ms=p99 / 2, sent=1, completed=1,
+                                 errors=0)
+
+        good = [row("statefun", "A", "zipfian", 90),
+                row("stateflow", "A", "zipfian", 30),
+                row("stateflow", "T", "zipfian", 120)]
+        assert check_figure3_shape(good) == []
+        bad = [row("statefun", "A", "zipfian", 20),
+               row("stateflow", "A", "zipfian", 30)]
+        assert check_figure3_shape(bad)
+
+    def test_figure4_shape_checker(self):
+        from repro.bench import ExperimentRow, check_figure4_shape
+
+        def row(system, rps, p99):
+            return ExperimentRow(system=system, workload="M",
+                                 distribution="zipfian", rps=rps,
+                                 p50_ms=p99 / 2, p99_ms=p99,
+                                 mean_ms=p99 / 2, sent=1, completed=1,
+                                 errors=0)
+
+        good = [row("statefun", 1000, 100), row("statefun", 4000, 2000),
+                row("stateflow", 1000, 30), row("stateflow", 4000, 80)]
+        assert check_figure4_shape(good) == []
+        bad = [row("statefun", 1000, 100), row("statefun", 4000, 110),
+               row("stateflow", 1000, 30), row("stateflow", 4000, 300)]
+        assert check_figure4_shape(bad)

@@ -1,0 +1,80 @@
+"""Events, frames, execution state, txn contexts."""
+
+from repro.core.refs import EntityRef
+from repro.ir.events import (
+    Event,
+    EventKind,
+    ExecutionState,
+    Frame,
+    TxnContext,
+    next_event_id,
+)
+
+
+class TestFrames:
+    def test_frame_roundtrip(self):
+        frame = Frame(entity="User", key="alice", method="buy_item",
+                      node="buy_item_1", store={"x": 1}, result_var="r")
+        assert Frame.from_dict(frame.to_dict()).to_dict() == frame.to_dict()
+
+    def test_execution_state_stack(self):
+        execution = ExecutionState()
+        execution.push(Frame("A", 1, "m", "m_0"))
+        execution.push(Frame("B", 2, "n", "n_0"))
+        assert execution.depth == 2
+        assert execution.top.entity == "B"
+        popped = execution.pop()
+        assert popped.entity == "B"
+        assert execution.top.entity == "A"
+
+    def test_execution_state_roundtrip(self):
+        execution = ExecutionState(frames=[
+            Frame("A", 1, "m", "m_0", store={"i": 3}),
+            Frame("B", "k", "n", "n_2", store={"y": [1, 2]}),
+        ])
+        restored = ExecutionState.from_dict(execution.to_dict())
+        assert restored.depth == 2
+        assert restored.frames[1].store == {"y": [1, 2]}
+
+
+class TestEvents:
+    def test_ids_unique_and_monotonic(self):
+        first, second = next_event_id(), next_event_id()
+        assert second > first
+        a = Event(kind=EventKind.INVOKE, target=EntityRef("A", 1))
+        b = Event(kind=EventKind.INVOKE, target=EntityRef("A", 1))
+        assert a.event_id != b.event_id
+
+    def test_reply_detection(self):
+        reply = Event(kind=EventKind.REPLY,
+                      target=EntityRef("__client__", 1))
+        assert reply.is_reply()
+        invoke = Event(kind=EventKind.INVOKE, target=EntityRef("A", 1))
+        assert not invoke.is_reply()
+
+    def test_describe_readable(self):
+        event = Event(kind=EventKind.INVOKE, target=EntityRef("A", 1),
+                      method="go")
+        assert "A/1" in event.describe()
+        assert "go" in event.describe()
+
+
+class TestTxnContext:
+    def test_read_write_recording(self):
+        ctx = TxnContext(tid=3, batch_id=7)
+        ctx.record_read("Account", "a")
+        ctx.record_write("Account", "b", {"balance": 1})
+        assert ctx.read_set == {("Account", "a")}
+        assert ctx.write_set == {("Account", "b"): {"balance": 1}}
+
+    def test_create_recording(self):
+        ctx = TxnContext(tid=0, batch_id=0)
+        ctx.record_create("Account", "new", {"balance": 0})
+        assert ("Account", "new") in ctx.create_set
+        assert ("Account", "new") in ctx.write_set
+
+    def test_rewrite_overwrites(self):
+        ctx = TxnContext(tid=0, batch_id=0)
+        ctx.record_write("A", 1, {"v": 1})
+        ctx.record_write("A", 1, {"v": 2})
+        assert ctx.write_set[("A", 1)] == {"v": 2}

@@ -1,0 +1,169 @@
+"""Aria protocol logic: conflict rules, reordering, properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtimes.stateflow.aria import (
+    AriaStats,
+    BatchMember,
+    TxnOutcome,
+    build_reservations,
+    decide,
+    serializable_order,
+)
+
+
+def _member(tid, reads=(), writes=()):
+    return BatchMember(tid=tid,
+                       read_set=frozenset(("Account", k) for k in reads),
+                       write_set=frozenset(("Account", k) for k in writes))
+
+
+class TestReservations:
+    def test_smallest_tid_wins(self):
+        members = [_member(2, writes=["a"]), _member(0, writes=["a"]),
+                   _member(1, reads=["a"])]
+        read_res, write_res = build_reservations(members)
+        assert write_res[("Account", "a")] == 0
+        assert read_res[("Account", "a")] == 1
+
+    def test_failed_members_reserve_nothing(self):
+        failed = BatchMember(tid=0, read_set=frozenset(),
+                             write_set=frozenset(), failed=True)
+        _, write_res = build_reservations([failed])
+        assert write_res == {}
+
+
+class TestDecide:
+    def test_disjoint_all_commit(self):
+        report = decide([_member(0, writes=["a"]), _member(1, writes=["b"])])
+        assert report.commits == [0, 1]
+        assert report.abort_count == 0
+
+    def test_waw_aborts_higher_tid(self):
+        report = decide([_member(0, writes=["a"]), _member(1, writes=["a"])])
+        assert report.commits == [0]
+        assert report.aborts == {1: TxnOutcome.ABORT_WAW}
+
+    def test_raw_aborts_without_reordering(self):
+        members = [_member(0, writes=["a"]), _member(1, reads=["a"])]
+        report = decide(members, reordering=False)
+        assert report.aborts == {1: TxnOutcome.ABORT_RAW}
+
+    def test_pure_raw_commits_with_reordering(self):
+        members = [_member(0, writes=["a"]), _member(1, reads=["a"])]
+        report = decide(members, reordering=True)
+        assert report.abort_count == 0
+        # The reader serializes before the writer.
+        assert serializable_order(members, report) == [1, 0]
+
+    def test_raw_plus_war_aborts_even_with_reordering(self):
+        members = [_member(0, reads=["b"], writes=["a"]),
+                   _member(1, reads=["a"], writes=["b"])]
+        report = decide(members, reordering=True)
+        assert report.aborts == {1: TxnOutcome.ABORT_RAW}
+
+    def test_rmw_same_key_one_survivor(self):
+        members = [_member(t, reads=["hot"], writes=["hot"])
+                   for t in range(5)]
+        report = decide(members)
+        assert report.commits == [0]
+        assert report.abort_count == 4
+
+    def test_failed_txn_commits_empty(self):
+        failed = BatchMember(tid=0, read_set=frozenset({("Account", "a")}),
+                             write_set=frozenset(), failed=True)
+        report = decide([failed, _member(1, writes=["a"])])
+        assert set(report.commits) == {0, 1}
+
+    def test_empty_batch(self):
+        report = decide([])
+        assert report.commits == [] and report.abort_count == 0
+
+
+class TestStats:
+    def test_observe_accumulates(self):
+        stats = AriaStats()
+        stats.observe(decide([_member(0, writes=["a"]),
+                              _member(1, writes=["a"])]))
+        assert stats.batches == 1
+        assert stats.commits == 1
+        assert stats.aborts_waw == 1
+        assert 0 < stats.abort_rate < 1
+
+
+# -- property-based: protocol invariants -------------------------------------
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+member_sets = st.lists(
+    st.tuples(st.frozensets(keys, max_size=3), st.frozensets(keys, max_size=2)),
+    min_size=1, max_size=8)
+
+
+def _members_from(spec):
+    return [
+        BatchMember(tid=i,
+                    read_set=frozenset(("Account", k) for k in reads | writes),
+                    write_set=frozenset(("Account", k) for k in writes))
+        for i, (reads, writes) in enumerate(spec)
+    ]
+
+
+@given(member_sets)
+@settings(max_examples=200, deadline=None)
+def test_committed_writers_are_disjoint(spec):
+    """No two committed transactions may write the same key (they would
+    not be serializable by reservation order)."""
+    members = _members_from(spec)
+    report = decide(members)
+    seen = {}
+    for member in members:
+        if member.tid not in report.commits:
+            continue
+        for key in member.write_set:
+            assert key not in seen, (key, seen[key], member.tid)
+            seen[key] = member.tid
+
+
+@given(member_sets)
+@settings(max_examples=200, deadline=None)
+def test_lowest_tid_always_commits(spec):
+    members = _members_from(spec)
+    report = decide(members)
+    assert 0 in report.commits
+
+
+@given(member_sets, st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_every_txn_decided_exactly_once(spec, reordering):
+    members = _members_from(spec)
+    report = decide(members, reordering=reordering)
+    decided = set(report.commits) | set(report.aborts)
+    assert decided == {m.tid for m in members}
+    assert not (set(report.commits) & set(report.aborts))
+
+
+@given(member_sets)
+@settings(max_examples=200, deadline=None)
+def test_reordering_never_aborts_more(spec):
+    members = _members_from(spec)
+    with_reordering = decide(members, reordering=True)
+    without = decide(members, reordering=False)
+    assert set(with_reordering.aborts) <= set(without.aborts)
+
+
+@given(member_sets)
+@settings(max_examples=150, deadline=None)
+def test_serializable_order_respects_raw_edges(spec):
+    """In the equivalent serial order, a committed RAW reader appears
+    before the committed writer it read under."""
+    members = _members_from(spec)
+    report = decide(members, reordering=True)
+    order = serializable_order(members, report)
+    position = {tid: i for i, tid in enumerate(order)}
+    committed = {m.tid: m for m in members if m.tid in set(report.commits)}
+    for reader in committed.values():
+        for key in reader.read_set:
+            for writer in committed.values():
+                if writer.tid < reader.tid and key in writer.write_set:
+                    assert position[reader.tid] < position[writer.tid]

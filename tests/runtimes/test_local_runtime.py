@@ -1,0 +1,133 @@
+"""Local runtime: the paper's debug/unit-test execution mode."""
+
+import pytest
+
+from repro.core.errors import (
+    EntityNotFoundError,
+    InvocationError,
+    RuntimeExecutionError,
+    SerializationError,
+)
+from repro.core.refs import EntityRef
+from repro.runtimes import LocalRuntime
+
+
+class TestShopSemantics:
+    def test_figure1_flow(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        apple = runtime.create("Item", "apple", 3)
+        runtime.call(apple, "update_stock", 10)
+        alice = runtime.create("User", "alice")
+        assert runtime.call(alice, "buy_item", 2, apple) is True
+        assert runtime.entity_state(alice)["balance"] == 94
+        assert runtime.entity_state(apple)["stock"] == 8
+
+    def test_insufficient_balance(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        apple = runtime.create("Item", "apple", 60)
+        runtime.call(apple, "update_stock", 10)
+        alice = runtime.create("User", "alice")
+        assert runtime.call(alice, "buy_item", 2, apple) is False
+        # No state was touched: balance check failed before any write.
+        assert runtime.entity_state(alice)["balance"] == 100
+        assert runtime.entity_state(apple)["stock"] == 10
+
+    def test_compensation_on_stock_shortage(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        apple = runtime.create("Item", "apple", 1)
+        runtime.call(apple, "update_stock", 3)
+        alice = runtime.create("User", "alice")
+        assert runtime.call(alice, "buy_item", 5, apple) is False
+        assert runtime.entity_state(apple)["stock"] == 3  # compensated
+
+    def test_create_returns_ref_with_key(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        ref = runtime.create("Item", "pear", 2)
+        assert ref == EntityRef("Item", "pear")
+
+    def test_invocation_result_latency_measured(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        apple = runtime.create("Item", "apple", 3)
+        result = runtime.invoke(apple, "price")
+        assert result.ok
+        assert result.latency_ms >= 0
+
+
+class TestErrors:
+    def test_unknown_entity_invoke(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        result = runtime.invoke(EntityRef("Item", "ghost"), "price")
+        assert not result.ok
+        assert "ghost" in result.error
+        with pytest.raises(InvocationError):
+            result.unwrap()
+
+    def test_unknown_method(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        apple = runtime.create("Item", "apple", 3)
+        result = runtime.invoke(apple, "explode")
+        assert not result.ok
+
+    def test_unknown_operator(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        with pytest.raises(RuntimeExecutionError):
+            runtime.invoke(EntityRef("Ghost", "g"), "go")
+
+    def test_user_exception_becomes_error_reply(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        apple = runtime.create("Item", "apple", 3)
+        result = runtime.invoke(apple, "update_stock", "not-an-int")
+        assert not result.ok
+        assert "update_stock" in result.error
+
+    def test_wrong_arity(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        apple = runtime.create("Item", "apple", 3)
+        result = runtime.invoke(apple, "update_stock")
+        assert not result.ok
+        assert "expects" in result.error
+
+    def test_non_ref_receiver_rejected(self, shop_program):
+        runtime = LocalRuntime(shop_program)
+        alice = runtime.create("User", "alice")
+        result = runtime.invoke(alice, "buy_item", 1, "not-a-ref")
+        assert not result.ok
+        assert "EntityRef" in result.error
+
+
+class TestSerializabilityEnforcement:
+    def test_unserializable_state_rejected_at_runtime(self, tmp_path):
+        module = tmp_path / "badstate.py"
+        module.write_text(
+            "from repro import entity\n"
+            "@entity\n"
+            "class Holder:\n"
+            "    def __init__(self, hid: str):\n"
+            "        self.hid: str = hid\n"
+            "        self.conn: object = None\n"
+            "    def __key__(self):\n"
+            "        return self.hid\n"
+            "    def attach(self, x: int) -> bool:\n"
+            "        self.conn = open('/dev/null')\n"
+            "        return True\n")
+        import sys
+
+        from repro import compile_program
+
+        sys.path.insert(0, str(tmp_path))
+        try:
+            import badstate
+
+            runtime = LocalRuntime(compile_program([badstate.Holder]))
+            ref = runtime.create("Holder", "h1")
+            result = runtime.invoke(ref, "attach", 1)
+            assert not result.ok
+            assert "serializable" in result.error
+        finally:
+            sys.path.remove(str(tmp_path))
+            sys.modules.pop("badstate", None)
+
+    def test_check_can_be_disabled(self, shop_program):
+        runtime = LocalRuntime(shop_program, check_state_serializable=False)
+        apple = runtime.create("Item", "apple", 3)
+        assert runtime.call(apple, "price") == 3

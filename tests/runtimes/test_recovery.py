@@ -1,0 +1,132 @@
+"""Failure injection + snapshot recovery: the exactly-once guarantees.
+
+"Leveraging dataflow systems' exactly-once guarantees can essentially
+hide all Cloud failures from programmers" — these tests kill workers
+mid-run and check that state effects apply exactly once and clients see
+exactly one reply per request."""
+
+import pytest
+
+from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
+from repro.runtimes.stateflow.coordinator import CoordinatorConfig
+from repro.workloads import Account, DriverConfig, WorkloadDriver, YcsbWorkload
+
+
+def _fast_recovery_config(**overrides) -> StateflowConfig:
+    coordinator = CoordinatorConfig(
+        snapshot_interval_ms=300.0,
+        failure_detect_ms=250.0,
+        **overrides)
+    return StateflowConfig(coordinator=coordinator)
+
+
+class TestSnapshotRecovery:
+    def test_recovery_restores_and_replays(self, account_program):
+        runtime = StateflowRuntime(account_program,
+                                   config=_fast_recovery_config())
+        (ref,) = runtime.preload(Account, [("hot", 0)])
+        runtime.start()
+        # 30 increments arriving over 3 seconds; worker dies at 1.2s.
+        for index in range(30):
+            runtime.sim.schedule_at(
+                index * 100.0,
+                lambda: runtime.submit(ref, "add", (1,)))
+        victim = runtime.worker_of("Account", "hot")
+        runtime.fail_worker(victim, at_ms=1_200.0)
+        runtime.sim.run(until=20_000)
+        assert runtime.coordinator.recoveries >= 1
+        assert runtime.entity_state(ref)["balance"] == 30, (
+            "each increment must apply exactly once across the replay")
+
+    def test_exactly_one_reply_per_request(self, account_program):
+        runtime = StateflowRuntime(account_program,
+                                   config=_fast_recovery_config())
+        (ref,) = runtime.preload(Account, [("hot", 0)])
+        runtime.start()
+        replies = []
+        for index in range(20):
+            runtime.sim.schedule_at(
+                index * 100.0,
+                lambda i=index: runtime.submit(
+                    ref, "add", (1,),
+                    on_reply=lambda reply, i=i: replies.append(i)))
+        runtime.fail_worker(runtime.worker_of("Account", "hot"),
+                            at_ms=900.0)
+        runtime.sim.run(until=20_000)
+        assert sorted(replies) == sorted(set(replies)), (
+            "client must never observe duplicate replies")
+        assert len(replies) == 20
+
+    def test_transfer_conservation_through_failure(self, account_program):
+        runtime = StateflowRuntime(account_program,
+                                   config=_fast_recovery_config())
+        workload = YcsbWorkload("T", record_count=50,
+                                distribution="uniform", seed=9,
+                                initial_balance=1000)
+        runtime.preload(Account, workload.dataset_rows())
+        runtime.start()
+        runtime.fail_worker(1, at_ms=1_500.0)
+        driver = WorkloadDriver(runtime, workload, DriverConfig(
+            rps=120, duration_ms=4_000, warmup_ms=0, drain_ms=10_000))
+        result = driver.run()
+        runtime.sim.run(until=runtime.sim.now + 10_000)
+        total = sum(runtime.entity_state(workload.ref(i))["balance"]
+                    for i in range(workload.record_count))
+        assert total == workload.total_balance()
+        assert runtime.coordinator.recoveries >= 1
+        assert result.completed == result.sent
+
+    def test_no_failure_no_recovery(self, account_program):
+        runtime = StateflowRuntime(account_program,
+                                   config=_fast_recovery_config())
+        (ref,) = runtime.preload(Account, [("a", 0)])
+        runtime.start()
+        for _ in range(10):
+            runtime.call(ref, "add", 1)
+        assert runtime.coordinator.recoveries == 0
+        assert runtime.entity_state(ref)["balance"] == 10
+
+    def test_initial_snapshot_covers_preload(self, account_program):
+        """Recovery immediately after start must not lose the dataset."""
+        runtime = StateflowRuntime(account_program,
+                                   config=_fast_recovery_config())
+        (ref,) = runtime.preload(Account, [("seeded", 42)])
+        runtime.start()
+        runtime.coordinator.recover()
+        runtime.sim.run(until=5_000)
+        assert runtime.entity_state(ref)["balance"] == 42
+
+    def test_dead_worker_restarts_on_recovery(self, account_program):
+        runtime = StateflowRuntime(account_program,
+                                   config=_fast_recovery_config())
+        (ref,) = runtime.preload(Account, [("hot", 0)])
+        runtime.start()
+        victim = runtime.worker_of("Account", "hot")
+        runtime.submit(ref, "add", (1,))
+        runtime.fail_worker(victim, at_ms=runtime.sim.now + 1.0)
+        runtime.sim.run(until=20_000)
+        assert runtime.workers[victim].alive
+        assert runtime.entity_state(ref)["balance"] == 1
+
+
+class TestSnapshotStore:
+    def test_rotation_keeps_latest(self):
+        from repro.runtimes.stateflow.snapshots import SnapshotStore
+
+        store = SnapshotStore(keep=2)
+        for index in range(5):
+            store.take(taken_at_ms=float(index), state={},
+                       source_offsets={}, replied=set(),
+                       batch_seq=index, arrival_seq=index)
+        assert len(store) == 2
+        assert store.latest().batch_seq == 4
+
+    def test_snapshot_contents_isolated(self):
+        from repro.runtimes.stateflow.snapshots import SnapshotStore
+
+        store = SnapshotStore()
+        replied = {1, 2}
+        snapshot = store.take(taken_at_ms=0.0, state={}, source_offsets={},
+                              replied=replied, batch_seq=0, arrival_seq=0)
+        replied.add(3)
+        assert snapshot.replied == {1, 2}

@@ -1,0 +1,68 @@
+"""Resource-model checks: the capacity arguments behind Figure 4.
+
+The paper's explanation of the throughput crossover is architectural:
+Statefun spends half its CPUs on messaging/state (Flink) and half on the
+remote function runtime; StateFlow bundles everything on its workers.
+These tests verify the simulation actually implements that accounting —
+i.e. the Figure 4 result follows from the modelled architecture rather
+than from hard-coded latencies.
+"""
+
+from repro.bench import build_runtime, ycsb_program
+from repro.workloads import Account, DriverConfig, WorkloadDriver, YcsbWorkload
+
+
+def _drive(runtime, *, rps, duration=3_000):
+    workload = YcsbWorkload("M", record_count=200, seed=5)
+    runtime.preload(Account, workload.dataset_rows())
+    if hasattr(runtime, "start"):
+        runtime.start()
+    driver = WorkloadDriver(runtime, workload, DriverConfig(
+        rps=rps, duration_ms=duration, warmup_ms=0, drain_ms=3_000))
+    return driver.run()
+
+
+class TestStatefunAccounting:
+    def test_function_pool_is_the_bottleneck(self):
+        runtime = build_runtime("statefun", ycsb_program())
+        elapsed_start = runtime.sim.now
+        _drive(runtime, rps=2500)
+        elapsed = runtime.sim.now - elapsed_start
+        fn_util = runtime.function_cpu.utilisation(elapsed)
+        flink_util = runtime.flink_cpu.utilisation(elapsed)
+        assert fn_util > 0.5, f"fn pool should run hot, got {fn_util:.2f}"
+        assert fn_util > 2 * flink_util, (
+            "the remote function pool, not Flink, must saturate first")
+
+    def test_doubling_function_cores_raises_capacity(self):
+        narrow = build_runtime("statefun", ycsb_program(), seed=3)
+        wide = build_runtime("statefun", ycsb_program(), seed=3,
+                             function_cores=6)
+        narrow_result = _drive(narrow, rps=3200)
+        wide_result = _drive(wide, rps=3200)
+        assert wide_result.percentile(99) < narrow_result.percentile(99) / 2
+
+
+class TestStateflowAccounting:
+    def test_workers_far_from_saturation_at_4000(self):
+        runtime = build_runtime("stateflow", ycsb_program())
+        start = runtime.sim.now
+        _drive(runtime, rps=4000, duration=2_000)
+        elapsed = runtime.sim.now - start
+        for worker in runtime.workers:
+            assert worker.cpu.utilisation(elapsed) < 0.8
+
+    def test_coordinator_single_core_not_bottleneck(self):
+        runtime = build_runtime("stateflow", ycsb_program())
+        start = runtime.sim.now
+        result = _drive(runtime, rps=4000, duration=2_000)
+        elapsed = runtime.sim.now - start
+        assert runtime.coordinator.cpu.utilisation(elapsed) < 0.9
+        assert result.completed == result.sent
+
+    def test_fewer_workers_degrade(self):
+        five = build_runtime("stateflow", ycsb_program(), seed=4)
+        one = build_runtime("stateflow", ycsb_program(), seed=4, workers=1)
+        five_result = _drive(five, rps=2500, duration=2_000)
+        one_result = _drive(one, rps=2500, duration=2_000)
+        assert one_result.percentile(99) > five_result.percentile(99)

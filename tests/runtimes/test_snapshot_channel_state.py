@@ -1,0 +1,78 @@
+"""Regression: snapshots must capture admitted-but-uncommitted requests.
+
+A request consumed from the source sits in the coordinator's pending
+queue until its batch runs.  A snapshot taken in that window records
+source offsets *past* the request; restoring state + offsets alone would
+silently drop it.  The fix snapshots the pending queue as channel state
+(see snapshots.py) — these tests pin that behaviour down.
+"""
+
+from repro.runtimes.stateflow import StateflowRuntime, StateflowConfig
+from repro.runtimes.stateflow.coordinator import CoordinatorConfig
+from repro.workloads import Account
+
+
+def _runtime(account_program, **coord):
+    config = StateflowConfig(coordinator=CoordinatorConfig(**coord))
+    runtime = StateflowRuntime(account_program, config=config)
+    runtime._ref = runtime.preload(Account, [("hot", 0)])[0]
+    return runtime
+
+
+def test_snapshot_records_pending_queue(account_program):
+    runtime = _runtime(account_program, batch_interval_ms=50.0)
+    runtime.start()
+    ref = runtime._ref
+    runtime.submit(ref, "add", (1,))
+    # Let the request reach the coordinator but not a batch (interval is
+    # long), then force a snapshot.
+    runtime.sim.run_until(lambda: bool(runtime.coordinator.pending),
+                          max_time=5_000)
+    runtime.coordinator._take_snapshot()
+    snapshot = runtime.coordinator.snapshots.latest()
+    assert len(snapshot.pending) == 1
+    assert snapshot.pending[0].method == "add"
+
+
+def test_recovery_in_admission_window_loses_nothing(account_program):
+    runtime = _runtime(account_program, batch_interval_ms=50.0,
+                       snapshot_interval_ms=100.0)
+    runtime.start()
+    ref = runtime._ref
+    runtime.submit(ref, "add", (1,))
+    runtime.sim.run_until(lambda: bool(runtime.coordinator.pending),
+                          max_time=5_000)
+    # Snapshot with the request pending, then crash before its batch.
+    runtime.coordinator._take_snapshot()
+    runtime.coordinator.recover()
+    runtime.sim.run(until=runtime.sim.now + 10_000)
+    assert runtime.entity_state(ref)["balance"] == 1
+
+
+def test_restored_pending_not_double_replayed(account_program):
+    """The pending request's source record precedes the snapshot offsets,
+    so seek must not redeliver it: exactly one application."""
+    runtime = _runtime(account_program, batch_interval_ms=50.0)
+    runtime.start()
+    ref = runtime._ref
+    for _ in range(3):
+        runtime.submit(ref, "add", (1,))
+    runtime.sim.run_until(
+        lambda: len(runtime.coordinator.pending) == 3, max_time=5_000)
+    runtime.coordinator._take_snapshot()
+    runtime.coordinator.recover()
+    runtime.sim.run(until=runtime.sim.now + 10_000)
+    assert runtime.entity_state(ref)["balance"] == 3
+
+
+def test_snapshot_pending_copies_are_isolated(account_program):
+    runtime = _runtime(account_program, batch_interval_ms=50.0)
+    runtime.start()
+    runtime.submit(runtime._ref, "add", (1,))
+    runtime.sim.run_until(lambda: bool(runtime.coordinator.pending),
+                          max_time=5_000)
+    runtime.coordinator._take_snapshot()
+    snapshot = runtime.coordinator.snapshots.latest()
+    live = runtime.coordinator.pending[0]
+    live.attempt = 99
+    assert snapshot.pending[0].attempt == 0

@@ -1,0 +1,94 @@
+"""CommittedStore and the per-transaction Aria view."""
+
+import pytest
+
+from repro.core.errors import EntityNotFoundError
+from repro.ir.events import TxnContext
+from repro.runtimes.stateflow.state_backend import (
+    AriaStateView,
+    CommittedStore,
+)
+
+
+@pytest.fixture()
+def store():
+    committed = CommittedStore()
+    committed.put("Account", "a", {"account_id": "a", "balance": 10})
+    committed.put("Account", "b", {"account_id": "b", "balance": 20})
+    return committed
+
+
+class TestCommittedStore:
+    def test_get_returns_copy(self, store):
+        state = store.get("Account", "a")
+        state["balance"] = 999
+        assert store.get("Account", "a")["balance"] == 10
+
+    def test_missing_is_none(self, store):
+        assert store.get("Account", "ghost") is None
+
+    def test_snapshot_restore_roundtrip(self, store):
+        snapshot = store.snapshot()
+        store.put("Account", "a", {"account_id": "a", "balance": 0})
+        store.put("Account", "c", {"account_id": "c", "balance": 5})
+        store.restore(snapshot)
+        assert store.get("Account", "a")["balance"] == 10
+        assert store.get("Account", "c") is None
+
+    def test_snapshot_is_deep(self, store):
+        store.put("Account", "n", {"nested": {"x": [1, 2]}})
+        snapshot = store.snapshot()
+        store.get("Account", "n")  # copies anyway
+        snapshot[("Account", "n")]["nested"]["x"].append(3)
+        assert store.get("Account", "n")["nested"]["x"] == [1, 2]
+
+    def test_apply_writes(self, store):
+        store.apply_writes({("Account", "a"): {"balance": 1},
+                            ("Account", "z"): {"balance": 2}})
+        assert store.get("Account", "a") == {"balance": 1}
+        assert store.get("Account", "z") == {"balance": 2}
+
+    def test_len_and_keys(self, store):
+        assert len(store) == 2
+        assert set(store.keys()) == {("Account", "a"), ("Account", "b")}
+
+
+class TestAriaStateView:
+    def test_reads_recorded(self, store):
+        ctx = TxnContext(tid=0, batch_id=0)
+        view = AriaStateView(store, ctx)
+        view.get("Account", "a")
+        assert ctx.read_set == {("Account", "a")}
+
+    def test_writes_buffered_not_applied(self, store):
+        ctx = TxnContext(tid=0, batch_id=0)
+        view = AriaStateView(store, ctx)
+        view.put("Account", "a", {"account_id": "a", "balance": 0})
+        assert store.get("Account", "a")["balance"] == 10
+        assert ctx.write_set[("Account", "a")]["balance"] == 0
+
+    def test_read_your_own_writes(self, store):
+        ctx = TxnContext(tid=0, batch_id=0)
+        view = AriaStateView(store, ctx)
+        view.put("Account", "a", {"account_id": "a", "balance": 77})
+        assert view.get("Account", "a")["balance"] == 77
+
+    def test_snapshot_isolation_between_txns(self, store):
+        first = AriaStateView(store, TxnContext(tid=0, batch_id=0))
+        second = AriaStateView(store, TxnContext(tid=1, batch_id=0))
+        first.put("Account", "a", {"account_id": "a", "balance": 0})
+        # The second transaction must not see the first's buffered write.
+        assert second.get("Account", "a")["balance"] == 10
+
+    def test_create_buffers_into_create_set(self, store):
+        ctx = TxnContext(tid=0, batch_id=0)
+        view = AriaStateView(store, ctx)
+        view.create("Account", "new", {"account_id": "new", "balance": 1})
+        assert ("Account", "new") in ctx.create_set
+        assert ("Account", "new") in ctx.write_set
+        assert store.get("Account", "new") is None
+
+    def test_create_existing_rejected(self, store):
+        view = AriaStateView(store, TxnContext(tid=0, batch_id=0))
+        with pytest.raises(EntityNotFoundError):
+            view.create("Account", "a", {})

@@ -1,0 +1,148 @@
+"""Additional splitting shapes: entity refs in state, nested loops,
+elif chains, tuple targets — with plain-Python oracles."""
+
+from __future__ import annotations
+
+from repro import entity
+
+
+@entity
+class Cell:
+    def __init__(self, cell_id: str):
+        self.cell_id: str = cell_id
+        self.value: int = 0
+
+    def __key__(self):
+        return self.cell_id
+
+    def bump(self, amount: int) -> int:
+        self.value += amount
+        return self.value
+
+    def pair(self, amount: int) -> tuple:
+        self.value += amount
+        return (self.value, amount)
+
+
+@entity
+class Shape:
+    def __init__(self, sid: str, partner: Cell):
+        self.sid: str = sid
+        self.partner: Cell = partner
+        self.score: int = 0
+
+    def __key__(self):
+        return self.sid
+
+    def via_state_ref(self, amount: int) -> int:
+        """Remote call through an entity ref held in *state*."""
+        result: int = self.partner.bump(amount)
+        self.score += result
+        return result
+
+    def nested_loops(self, c: Cell, n: int) -> int:
+        total: int = 0
+        for i in range(n):
+            for j in range(i):
+                total += c.bump(j)
+        return total
+
+    def elif_chain(self, c: Cell, x: int) -> str:
+        if x < 0:
+            low: int = c.bump(-1)
+            return "neg" + str(low)
+        elif x == 0:
+            return "zero"
+        elif x < 5:
+            mid: int = c.bump(1)
+            return "small" + str(mid)
+        else:
+            return "big"
+
+    def tuple_unpack(self, c: Cell, amount: int) -> int:
+        value, echoed = c.pair(amount)
+        return value * 10 + echoed
+
+    def return_inside_loop(self, c: Cell, n: int, stop: int) -> int:
+        for i in range(n):
+            v: int = c.bump(1)
+            if v == stop:
+                return i
+        return -1
+
+    def augassign_remote(self, c: Cell, n: int) -> int:
+        total: int = 100
+        total += c.bump(n)
+        total -= c.bump(1)
+        return total
+
+    def arg_is_remote_result(self, c: Cell, other: Cell, n: int) -> int:
+        """A remote result feeding another remote call's argument."""
+        fed: int = other.bump(c.bump(n))
+        return fed
+
+
+class OracleCell:
+    def __init__(self, cell_id: str):
+        self.cell_id = cell_id
+        self.value = 0
+
+    def bump(self, amount):
+        self.value += amount
+        return self.value
+
+    def pair(self, amount):
+        self.value += amount
+        return (self.value, amount)
+
+
+class OracleShape:
+    def __init__(self, sid: str, partner):
+        self.sid = sid
+        self.partner = partner
+        self.score = 0
+
+    def via_state_ref(self, amount):
+        result = self.partner.bump(amount)
+        self.score += result
+        return result
+
+    def nested_loops(self, c, n):
+        total = 0
+        for i in range(n):
+            for j in range(i):
+                total += c.bump(j)
+        return total
+
+    def elif_chain(self, c, x):
+        if x < 0:
+            low = c.bump(-1)
+            return "neg" + str(low)
+        elif x == 0:
+            return "zero"
+        elif x < 5:
+            mid = c.bump(1)
+            return "small" + str(mid)
+        else:
+            return "big"
+
+    def tuple_unpack(self, c, amount):
+        value, echoed = c.pair(amount)
+        return value * 10 + echoed
+
+    def return_inside_loop(self, c, n, stop):
+        for i in range(n):
+            v = c.bump(1)
+            if v == stop:
+                return i
+        return -1
+
+    def augassign_remote(self, c, n):
+        total = 100
+        total += c.bump(n)
+        total -= c.bump(1)
+        return total
+
+    def arg_is_remote_result(self, c, other, n):
+        fed = other.bump(c.bump(n))
+        return fed

@@ -1,0 +1,91 @@
+"""Key distributions: range, skew, determinism."""
+
+from collections import Counter as TallyCounter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    UniformDistribution,
+    ZipfianDistribution,
+    make_distribution,
+)
+
+
+class TestUniform:
+    def test_in_range(self):
+        dist = UniformDistribution(10, seed=1)
+        assert all(0 <= dist.next_index() < 10 for _ in range(500))
+
+    def test_roughly_flat(self):
+        dist = UniformDistribution(4, seed=1)
+        tally = TallyCounter(dist.next_index() for _ in range(8000))
+        for count in tally.values():
+            assert 1700 < count < 2300
+
+
+class TestZipfian:
+    def test_in_range(self):
+        dist = ZipfianDistribution(100, seed=2)
+        assert all(0 <= dist.next_index() < 100 for _ in range(2000))
+
+    def test_skew_matches_theory(self):
+        dist = ZipfianDistribution(1000, seed=2, theta=0.99)
+        tally = TallyCounter(dist.next_index() for _ in range(30000))
+        top_share = tally[0] / 30000
+        expected = dist.expected_top_share()
+        assert expected * 0.8 < top_share < expected * 1.2
+
+    def test_more_skewed_than_uniform(self):
+        zipf = ZipfianDistribution(100, seed=3)
+        tally = TallyCounter(zipf.next_index() for _ in range(10000))
+        assert tally[0] > 10000 / 100 * 4
+
+    def test_rank_zero_hottest(self):
+        dist = ZipfianDistribution(50, seed=4)
+        tally = TallyCounter(dist.next_index() for _ in range(20000))
+        hottest = tally.most_common(1)[0][0]
+        assert hottest == 0
+
+    def test_determinism(self):
+        first = ZipfianDistribution(100, seed=5)
+        second = ZipfianDistribution(100, seed=5)
+        assert [first.next_index() for _ in range(50)] == \
+            [second.next_index() for _ in range(50)]
+
+    def test_theta_bounds(self):
+        with pytest.raises(ValueError):
+            ZipfianDistribution(10, theta=1.5)
+
+    def test_scramble_spreads_hot_key(self):
+        plain = ZipfianDistribution(100, seed=6)
+        scrambled = ZipfianDistribution(100, seed=6, scramble=True)
+        plain_tally = TallyCounter(plain.next_index() for _ in range(5000))
+        scrambled_tally = TallyCounter(
+            scrambled.next_index() for _ in range(5000))
+        # Same skew, different hottest identity.
+        assert plain_tally.most_common(1)[0][1] == pytest.approx(
+            scrambled_tally.most_common(1)[0][1], rel=0.25)
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_distribution("zipfian", 10).name == "zipfian"
+        assert make_distribution("uniform", 10).name == "uniform"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_distribution("pareto", 10)
+
+    def test_empty_keyspace_rejected(self):
+        with pytest.raises(ValueError):
+            make_distribution("uniform", 0)
+
+
+@given(st.integers(1, 500), st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_zipfian_always_in_range(n, seed):
+    dist = ZipfianDistribution(n, seed=seed)
+    for _ in range(20):
+        assert 0 <= dist.next_index() < n

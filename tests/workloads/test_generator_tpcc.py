@@ -1,0 +1,122 @@
+"""Load driver + partial TPC-C."""
+
+import pytest
+
+from repro.core.refs import EntityRef
+from repro.runtimes import LocalRuntime
+from repro.runtimes.stateflow import StateflowRuntime
+from repro.workloads import (
+    Account,
+    DriverConfig,
+    WorkloadDriver,
+    YcsbWorkload,
+    order_line_refs,
+    sample_dataset,
+    stock_key,
+)
+
+
+class TestDriver:
+    def test_open_loop_rate(self, account_program):
+        runtime = StateflowRuntime(account_program)
+        workload = YcsbWorkload("A", record_count=50, seed=2)
+        runtime.preload(Account, workload.dataset_rows())
+        runtime.start()
+        driver = WorkloadDriver(runtime, workload, DriverConfig(
+            rps=200, duration_ms=2_000, warmup_ms=0, drain_ms=2_000,
+            seed=4))
+        result = driver.run()
+        # Poisson arrivals: expect ~400 +- a generous margin.
+        assert 300 < result.sent < 500
+        assert result.completed == result.sent
+        assert result.errors == 0
+        assert result.achieved_rps > 0
+        assert result.completion_rate == 1.0
+
+    def test_warmup_excluded_from_samples(self, account_program):
+        runtime = StateflowRuntime(account_program)
+        workload = YcsbWorkload("A", record_count=10, seed=2)
+        runtime.preload(Account, workload.dataset_rows())
+        runtime.start()
+        driver = WorkloadDriver(runtime, workload, DriverConfig(
+            rps=100, duration_ms=2_000, warmup_ms=1_000, drain_ms=2_000))
+        result = driver.run()
+        assert result.recorder.count() < result.completed
+
+    def test_labels_recorded(self, account_program):
+        runtime = StateflowRuntime(account_program)
+        workload = YcsbWorkload("M", record_count=50, seed=2)
+        runtime.preload(Account, workload.dataset_rows())
+        runtime.start()
+        driver = WorkloadDriver(runtime, workload, DriverConfig(
+            rps=300, duration_ms=2_000, warmup_ms=0, drain_ms=3_000))
+        result = driver.run()
+        assert result.recorder.count("read") > 0
+        assert result.recorder.count("transfer") > 0
+
+
+@pytest.fixture()
+def tpcc_local(tpcc_program):
+    runtime = LocalRuntime(tpcc_program)
+    for entity_name, rows in sample_dataset().items():
+        for args in rows:
+            runtime.create(entity_name, *args)
+    return runtime
+
+
+class TestTpcc:
+    def test_dataset_shape(self):
+        rows = sample_dataset(warehouses=2, districts_per_wh=3,
+                              customers_per_district=4, items=10)
+        assert len(rows["Warehouse"]) == 2
+        assert len(rows["District"]) == 6
+        assert len(rows["Customer"]) == 24
+        assert len(rows["Stock"]) == 20
+
+    def test_new_order_total(self, tpcc_local):
+        customer = EntityRef("Customer", "wh-0:d-0:c-0")
+        district = EntityRef("District", "wh-0:d-0")
+        lines = order_line_refs("wh-0", [1, 2, 3])
+        total = tpcc_local.call(customer, "new_order", district, lines,
+                                [5, 3, 2])
+        assert total == 5 * 11 + 3 * 12 + 2 * 13
+        state = tpcc_local.entity_state(customer)
+        assert state["balance"] == total
+        assert state["order_count"] == 1
+
+    def test_new_order_draws_order_ids(self, tpcc_local):
+        customer = EntityRef("Customer", "wh-0:d-0:c-0")
+        district = EntityRef("District", "wh-0:d-0")
+        lines = order_line_refs("wh-0", [0])
+        tpcc_local.call(customer, "new_order", district, lines, [1])
+        tpcc_local.call(customer, "new_order", district, lines, [1])
+        assert tpcc_local.entity_state(district)["next_o_id"] == 3
+
+    def test_stock_restocks_below_threshold(self, tpcc_local):
+        stock = EntityRef("Stock", stock_key("wh-0", 0))
+        # quantity 100; take 95 -> would drop below 10 -> +91 first.
+        cost = tpcc_local.call(stock, "take", 95)
+        assert cost == 95 * 10
+        assert tpcc_local.entity_state(stock)["quantity"] == 100 + 91 - 95
+
+    def test_payment_updates_three_entities(self, tpcc_local):
+        customer = EntityRef("Customer", "wh-0:d-1:c-2")
+        warehouse = EntityRef("Warehouse", "wh-0")
+        district = EntityRef("District", "wh-0:d-1")
+        assert tpcc_local.call(customer, "payment", 250, warehouse,
+                               district) is True
+        assert tpcc_local.entity_state(customer)["ytd_payment"] == 250
+        assert tpcc_local.entity_state(warehouse)["ytd"] == 250
+        assert tpcc_local.entity_state(district)["ytd"] == 250
+
+    def test_new_order_atomic_on_stateflow(self, tpcc_program):
+        runtime = StateflowRuntime(tpcc_program)
+        for entity_name, rows in sample_dataset().items():
+            runtime.preload(entity_name, rows)
+        runtime.start()
+        customer = EntityRef("Customer", "wh-0:d-0:c-0")
+        district = EntityRef("District", "wh-0:d-0")
+        lines = order_line_refs("wh-0", [4, 5])
+        total = runtime.call(customer, "new_order", district, lines, [2, 2])
+        assert total == 2 * 14 + 2 * 15
+        assert runtime.coordinator.stats.transactions >= 1

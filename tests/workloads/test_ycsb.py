@@ -1,0 +1,86 @@
+"""YCSB workload generation + the Account entity semantics."""
+
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro.runtimes import LocalRuntime
+from repro.workloads import WORKLOAD_MIXES, YcsbWorkload
+from repro.workloads.ycsb import Account
+
+
+class TestMixes:
+    def test_paper_mixes(self):
+        assert WORKLOAD_MIXES["A"] == (0.50, 0.50, 0.00)
+        assert WORKLOAD_MIXES["B"] == (0.95, 0.05, 0.00)
+        assert WORKLOAD_MIXES["T"] == (0.00, 0.00, 1.00)
+        assert WORKLOAD_MIXES["M"] == (0.45, 0.45, 0.10)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload("Z")
+
+    @pytest.mark.parametrize("name", ["A", "B", "M"])
+    def test_observed_mix_matches(self, name):
+        workload = YcsbWorkload(name, record_count=100, seed=3)
+        tally = TallyCounter(op.kind for op in workload.operations(6000))
+        read_share, update_share, transfer_share = WORKLOAD_MIXES[name]
+        assert tally["read"] / 6000 == pytest.approx(read_share, abs=0.03)
+        assert tally["update"] / 6000 == pytest.approx(update_share, abs=0.03)
+        assert tally.get("transfer", 0) / 6000 == pytest.approx(
+            transfer_share, abs=0.02)
+
+    def test_t_is_all_transfers(self):
+        workload = YcsbWorkload("T", record_count=10, seed=3)
+        assert all(op.kind == "transfer" for op in workload.operations(200))
+
+
+class TestOperations:
+    def test_transfer_targets_distinct_keys(self):
+        workload = YcsbWorkload("T", record_count=5, seed=1)
+        for op in workload.operations(300):
+            assert op.ref.key != op.args[1].key
+
+    def test_dataset_rows(self):
+        workload = YcsbWorkload("A", record_count=3, initial_balance=7)
+        assert workload.dataset_rows() == [
+            ("acct-000000", 7), ("acct-000001", 7), ("acct-000002", 7)]
+        assert workload.total_balance() == 21
+
+    def test_update_payloads_unique(self):
+        workload = YcsbWorkload("A", record_count=10, seed=2)
+        payloads = [op.args[0] for op in workload.operations(500)
+                    if op.kind == "update"]
+        assert len(payloads) == len(set(payloads))
+
+    def test_determinism(self):
+        first = YcsbWorkload("M", record_count=20, seed=9)
+        second = YcsbWorkload("M", record_count=20, seed=9)
+        ops_a = [(o.kind, o.ref.key) for o in first.operations(100)]
+        ops_b = [(o.kind, o.ref.key) for o in second.operations(100)]
+        assert ops_a == ops_b
+
+
+class TestAccountEntity:
+    def test_semantics_on_local_runtime(self, account_program):
+        runtime = LocalRuntime(account_program)
+        a = runtime.create(Account, "a", 100)
+        b = runtime.create(Account, "b", 50)
+        assert runtime.call(a, "read") == 100
+        assert runtime.call(a, "write", "blob") is True
+        assert runtime.entity_state(a)["payload"] == "blob"
+        assert runtime.call(a, "transfer", 40, b) is True
+        assert runtime.call(a, "read") == 60
+        assert runtime.call(b, "read") == 90
+
+    def test_transfer_insufficient(self, account_program):
+        runtime = LocalRuntime(account_program)
+        a = runtime.create(Account, "a", 10)
+        b = runtime.create(Account, "b", 0)
+        assert runtime.call(a, "transfer", 40, b) is False
+        assert runtime.call(a, "read") == 10
+
+    def test_transfer_is_transactional_method(self, account_program):
+        descriptor = account_program.entities["Account"].descriptor
+        assert descriptor.methods["transfer"].is_transactional
+        assert not descriptor.methods["read"].is_transactional
