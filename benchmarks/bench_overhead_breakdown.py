@@ -12,7 +12,32 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.bench import format_overhead_table, run_overhead_breakdown
+from repro.bench import (
+    format_overhead_table,
+    format_snapshot_table,
+    run_overhead_breakdown,
+    run_snapshot_overhead,
+    snapshot_speedups,
+)
+
+
+def test_snapshot_overhead(benchmark):
+    """Snapshotting must not deep-copy all committed state: the
+    copy-on-write backend's snapshot is at least 5x cheaper than the
+    dict backend's at >= 10k keys."""
+    rows = benchmark.pedantic(
+        run_snapshot_overhead,
+        kwargs={"key_counts": [1_000, 10_000, 20_000]},
+        rounds=1, iterations=1)
+    emit("snapshot_overhead", format_snapshot_table(rows))
+    speedups = snapshot_speedups(rows)
+    assert {10_000, 20_000} <= set(speedups), (
+        f"speedup cells missing for the large key counts: {speedups}")
+    for keys, speedup in speedups.items():
+        if keys >= 10_000:
+            assert speedup >= 5.0, (
+                f"cow snapshot should be >= 5x cheaper than dict at "
+                f"{keys} keys; got {speedup:.1f}x")
 
 
 def test_overhead_breakdown(benchmark):

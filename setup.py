@@ -1,0 +1,7 @@
+"""Shim so ``pip install -e .`` also works on toolchains without the
+``wheel`` package (legacy editable path); metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

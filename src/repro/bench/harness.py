@@ -77,10 +77,18 @@ class ExperimentRow:
         }
 
 
+def default_state_backend() -> str:
+    """Backend used when a cell does not pin one: the
+    ``REPRO_STATE_BACKEND`` environment variable (the CLI/CI surface),
+    falling back to ``dict``."""
+    return os.environ.get("REPRO_STATE_BACKEND", "dict")
+
+
 def run_ycsb_cell(system: str, workload_name: str, distribution: str,
                   *, rps: float = 100.0, duration_ms: float = 20_000.0,
                   record_count: int = 1000, seed: int = 42,
                   drain_ms: float = 8_000.0,
+                  state_backend: str | None = None,
                   runtime_overrides: dict[str, Any] | None = None,
                   ) -> ExperimentRow:
     """Run one (system, workload, distribution, rate) cell."""
@@ -91,8 +99,10 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
     seed = seed + stable_hash(
         f"{system}|{workload_name}|{distribution}|{rps}") % 997
     program = ycsb_program()
-    runtime = build_runtime(system, program, seed=seed,
-                            **(runtime_overrides or {}))
+    overrides = dict(runtime_overrides or {})
+    overrides.setdefault("state_backend",
+                         state_backend or default_state_backend())
+    runtime = build_runtime(system, program, seed=seed, **overrides)
     workload = YcsbWorkload(workload_name, record_count=record_count,
                             distribution=distribution, seed=seed + 1)
     runtime.preload(Account, workload.dataset_rows())
@@ -103,7 +113,7 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
         warmup_ms=min(2_000.0, duration_ms / 5),
         drain_ms=drain_ms, seed=seed + 2))
     result = driver.run()
-    extra: dict[str, Any] = {}
+    extra: dict[str, Any] = {"state_backend": overrides["state_backend"]}
     if hasattr(runtime, "coordinator"):
         stats = runtime.coordinator.stats
         extra["txn_aborts"] = stats.aborts_waw + stats.aborts_raw
@@ -151,11 +161,12 @@ FIG3_CELLS: list[tuple[str, str, str]] = [
 
 def run_figure3(*, duration_ms: float | None = None,
                 record_count: int = 1000, seed: int = 42,
+                state_backend: str | None = None,
                 ) -> list[ExperimentRow]:
     duration = duration_ms or env_ms("REPRO_FIG3_DURATION_MS", 20_000.0)
     return [run_ycsb_cell(system, workload, distribution, rps=100.0,
                           duration_ms=duration, record_count=record_count,
-                          seed=seed)
+                          seed=seed, state_backend=state_backend)
             for system, workload, distribution in FIG3_CELLS]
 
 
@@ -169,6 +180,7 @@ FIG4_RATES: list[float] = [1000, 1500, 2000, 2500, 3000, 3500, 4000]
 def run_figure4(*, duration_ms: float | None = None,
                 rates: list[float] | None = None,
                 record_count: int = 1000, seed: int = 42,
+                state_backend: str | None = None,
                 ) -> list[ExperimentRow]:
     duration = duration_ms or env_ms("REPRO_FIG4_DURATION_MS", 6_000.0)
     rows = []
@@ -177,7 +189,7 @@ def run_figure4(*, duration_ms: float | None = None,
             rows.append(run_ycsb_cell(
                 system, "M", "zipfian", rps=rate, duration_ms=duration,
                 record_count=record_count, seed=seed,
-                drain_ms=4_000.0))
+                drain_ms=4_000.0, state_backend=state_backend))
     return rows
 
 

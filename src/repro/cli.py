@@ -8,7 +8,12 @@ Commands:
 - ``dot <app.json> [--method Entity.method]`` — emit Graphviz DOT for the
   operator dataflow or one method's state machine;
 - ``run <module.py> <Entity> <method> <key> [args...]`` — quick local
-  execution against a fresh Local runtime (debugging aid).
+  execution against a fresh Local runtime (debugging aid);
+- ``bench [--system ...] [--state-backend dict|cow] ...`` — run one
+  YCSB benchmark cell on a simulated runtime and print its row.
+
+``run`` and ``bench`` accept ``--state-backend`` to select the
+committed-state backend (see :mod:`repro.runtimes.state`).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from .core.refs import EntityRef
 from .ir.dot import dataflow_to_dot, machine_to_dot
 from .ir.serde import dataflow_from_json, dataflow_to_json
 from .runtimes.local import LocalRuntime
+from .runtimes.state import BACKENDS
 
 
 def _load_module_entities(path: str) -> list[type]:
@@ -86,7 +92,7 @@ def _parse_literal(text: str):
 def _cmd_run(args: argparse.Namespace) -> int:
     classes = _load_module_entities(args.module)
     program = compile_program(classes)
-    runtime = LocalRuntime(program)
+    runtime = LocalRuntime(program, state_backend=args.state_backend)
     call_args = [_parse_literal(a) for a in args.args]
     if args.method == "__init__":
         ref = runtime.create(args.entity, *call_args)
@@ -99,6 +105,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {result.error}", file=sys.stderr)
         return 1
     print(result.value)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import default_state_backend, format_table, run_ycsb_cell
+
+    backend = args.state_backend or default_state_backend()
+    if backend not in BACKENDS:
+        # e.g. an unknown backend in $REPRO_STATE_BACKEND (argparse
+        # already validates the --state-backend flag itself)
+        raise SystemExit(
+            f"repro bench: error: unknown state backend {backend!r}; "
+            f"choose from {sorted(BACKENDS)}")
+    row = run_ycsb_cell(args.system, args.workload, args.distribution,
+                        rps=args.rps, duration_ms=args.duration_ms,
+                        record_count=args.records, seed=args.seed,
+                        state_backend=backend)
+    columns = ["system", "workload", "distribution", "state_backend",
+               "rps", "p50_ms", "p99_ms", "mean_ms", "completed", "errors"]
+    print(format_table(
+        [row], f"YCSB {args.workload}/{args.distribution} on {args.system}",
+        columns=columns))
     return 0
 
 
@@ -133,7 +161,28 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("method")
     run_cmd.add_argument("key")
     run_cmd.add_argument("args", nargs="*")
+    run_cmd.add_argument("--state-backend", default="dict",
+                         choices=sorted(BACKENDS),
+                         help="committed-state backend")
     run_cmd.set_defaults(handler=_cmd_run)
+
+    bench_cmd = commands.add_parser(
+        "bench", help="run one YCSB benchmark cell on a simulated runtime")
+    bench_cmd.add_argument("--system", default="stateflow",
+                           choices=["stateflow", "statefun"])
+    bench_cmd.add_argument("--workload", default="A",
+                           choices=["A", "B", "M", "T"])
+    bench_cmd.add_argument("--distribution", default="zipfian",
+                           choices=["zipfian", "uniform"])
+    bench_cmd.add_argument("--rps", type=float, default=100.0)
+    bench_cmd.add_argument("--duration-ms", type=float, default=2_000.0)
+    bench_cmd.add_argument("--records", type=int, default=100)
+    bench_cmd.add_argument("--seed", type=int, default=42)
+    bench_cmd.add_argument("--state-backend", default=None,
+                           choices=sorted(BACKENDS),
+                           help="committed-state backend (default: "
+                                "$REPRO_STATE_BACKEND or dict)")
+    bench_cmd.set_defaults(handler=_cmd_bench)
     return parser
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from ..core.errors import StatefulEntityError
+from ..runtimes.state import materialize_snapshot
 
 
 class QueryError(StatefulEntityError):
@@ -70,15 +71,18 @@ class QueryEngine:
     # -- state sources ------------------------------------------------------
     def _live_items(self) -> Iterable[tuple[tuple[str, Any], dict[str, Any]]]:
         runtime = self._runtime
-        if hasattr(runtime, "committed"):          # StateFlow
-            store = runtime.committed
+        store = getattr(runtime, "committed", None)        # StateFlow
+        if store is None:
+            store = getattr(runtime, "state", None)        # Local/StateFun
+        if store is not None:
+            # keys()/get() is the backend-agnostic surface (dict, cow,
+            # partitioned) and returns copies, keeping predicates from
+            # mutating committed state.
             return [(key, store.get(*key)) for key in store.keys()]
-        if hasattr(runtime, "state"):              # Local / StateFun
-            return list(runtime.state.store.items())
         raise QueryError(
             f"runtime {type(runtime).__name__} exposes no queryable state")
 
-    def _snapshot_items(self) -> tuple[Iterable, float]:
+    def _snapshot_items(self, entity: str) -> tuple[Iterable, float]:
         runtime = self._runtime
         coordinator = getattr(runtime, "coordinator", None)
         if coordinator is None:
@@ -88,7 +92,10 @@ class QueryEngine:
         snapshot = coordinator.snapshots.latest()
         if snapshot is None:
             raise QueryError("no snapshot completed yet")
-        return list(snapshot.state.items()), snapshot.taken_at_ms
+        # Materialize (copy) only the queried entity's rows, not the
+        # whole committed store.
+        state = materialize_snapshot(snapshot.state, entity)
+        return list(state.items()), snapshot.taken_at_ms
 
     # -- core ------------------------------------------------------------
     def select(self, entity: str, *,
@@ -108,7 +115,7 @@ class QueryEngine:
             items = self._live_items()
             as_of = getattr(getattr(self._runtime, "sim", None), "now", None)
         elif consistency == "snapshot":
-            items, as_of = self._snapshot_items()
+            items, as_of = self._snapshot_items(entity)
         else:
             raise QueryError(
                 f"unknown consistency level {consistency!r}; "

@@ -7,12 +7,32 @@ from .executor import (
     OperatorExecutor,
 )
 from .local import LocalRuntime
+from .state import (
+    BACKENDS,
+    CowSnapshot,
+    CowStateBackend,
+    DictStateBackend,
+    PartitionedSnapshot,
+    PartitionedStore,
+    StateBackend,
+    make_state_backend,
+    materialize_snapshot,
+)
 
 __all__ = [
+    "BACKENDS",
+    "CowSnapshot",
+    "CowStateBackend",
+    "DictStateBackend",
     "Instrumentation",
     "InvocationResult",
     "LocalRuntime",
     "MapStateAccess",
     "OperatorExecutor",
+    "PartitionedSnapshot",
+    "PartitionedStore",
     "Runtime",
+    "StateBackend",
+    "make_state_backend",
+    "materialize_snapshot",
 ]

@@ -6,6 +6,13 @@ application layer, which allows switching to different runtime systems
 with no changes to the application code" (Section 1): every runtime
 accepts a :class:`~repro.compiler.pipeline.CompiledProgram` and exposes
 the same create/invoke surface.
+
+The same independence holds one layer down: every runtime keeps its
+committed operator state behind the shared
+:class:`~repro.runtimes.state.StateBackend` contract (re-exported here),
+so backends ("dict", "cow") plug into any runtime and the StateFlow
+runtime can additionally shard them per worker with
+:class:`~repro.runtimes.state.PartitionedStore`.
 """
 
 from __future__ import annotations
@@ -17,6 +24,10 @@ from typing import Any
 from ..compiler.pipeline import CompiledProgram
 from ..core.errors import InvocationError
 from ..core.refs import EntityRef
+from .state import StateBackend, make_state_backend
+
+__all__ = ["InvocationResult", "Runtime", "StateBackend",
+           "make_state_backend"]
 
 
 @dataclass(slots=True)

@@ -30,6 +30,7 @@ from ..core.errors import (
 from ..core.refs import EntityRef
 from ..core.serialization import check_serializable, dumps
 from ..ir.events import Event, EventKind, ExecutionState, Frame
+from .state import DictStateBackend
 
 
 class StateAccess(Protocol):
@@ -44,25 +45,10 @@ class StateAccess(Protocol):
     def create(self, entity: str, key: Any, state: dict[str, Any]) -> None: ...
 
 
-class MapStateAccess:
-    """Plain in-memory state: the Local runtime's HashMap backend."""
-
-    def __init__(self, store: dict | None = None):
-        self.store: dict[tuple[str, Any], dict[str, Any]] = (
-            store if store is not None else {})
-
-    def get(self, entity: str, key: Any) -> dict[str, Any] | None:
-        state = self.store.get((entity, key))
-        return dict(state) if state is not None else None
-
-    def put(self, entity: str, key: Any, state: dict[str, Any]) -> None:
-        self.store[(entity, key)] = dict(state)
-
-    def create(self, entity: str, key: Any, state: dict[str, Any]) -> None:
-        self.put(entity, key, state)
-
-    def exists(self, entity: str, key: Any) -> bool:
-        return (entity, key) in self.store
+#: Plain in-memory state: the Local runtime's HashMap backend.  Kept as
+#: an alias so existing imports keep working; the implementation lives in
+#: the shared state-backend subsystem.
+MapStateAccess = DictStateBackend
 
 
 @dataclass(slots=True)

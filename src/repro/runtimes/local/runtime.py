@@ -7,7 +7,10 @@ execution allows developers to debug, unit test, and validate a StateFlow
 program as they would do for an arbitrary application."
 
 Events are processed synchronously from a FIFO queue in one process; the
-state backend is a plain dict.  Latencies reported are wall-clock.
+state backend defaults to a plain dict but any registered
+:class:`~repro.runtimes.state.StateBackend` ("dict", "cow") can be
+selected — the same contract the distributed runtimes use.  Latencies
+reported are wall-clock.
 """
 
 from __future__ import annotations
@@ -21,7 +24,8 @@ from ...core.errors import RuntimeExecutionError
 from ...core.refs import EntityRef
 from ...ir.events import Event, EventKind
 from ..base import InvocationResult, Runtime
-from ..executor import Instrumentation, MapStateAccess, OperatorExecutor
+from ..executor import Instrumentation, OperatorExecutor
+from ..state import make_state_backend
 
 
 class LocalRuntime(Runtime):
@@ -31,9 +35,10 @@ class LocalRuntime(Runtime):
 
     def __init__(self, program: CompiledProgram,
                  *, check_state_serializable: bool = True,
-                 instrumentation: Instrumentation | None = None):
+                 instrumentation: Instrumentation | None = None,
+                 state_backend: str = "dict"):
         super().__init__(program)
-        self.state = MapStateAccess()
+        self.state = make_state_backend(state_backend)
         self.instrumentation = instrumentation
         self._executor = OperatorExecutor(
             program.entities,

@@ -1,0 +1,375 @@
+"""Pluggable, partitionable operator-state backends.
+
+Every runtime (Local, StateFun-style, StateFlow) stores committed
+operator state behind the same :class:`StateBackend` contract:
+
+- :class:`DictStateBackend` — a plain hash map whose snapshots are deep
+  copies (the paper's "local HashMap data structure"; simple, but a
+  snapshot costs O(total state));
+- :class:`CowStateBackend` — copy-on-write version chaining: a snapshot
+  freezes the mutable write head into an immutable layer and hands out a
+  shared reference, so snapshot cost is O(1) regardless of how much
+  state is committed.  Writes after a snapshot land in a fresh head,
+  never touching frozen layers;
+- :class:`PartitionedStore` — shards a backend per partition by
+  ``stable_hash("entity|key") % partitions`` so each StateFlow worker
+  truly owns its partitions: commit-phase writes touch only the owning
+  partition and snapshots assemble from per-partition fragments.
+
+``make_state_backend`` is the registry-backed factory used by runtime
+configs, the CLI (``--state-backend``) and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol, runtime_checkable
+
+from ..ir.dataflow import stable_hash
+
+Key = tuple[str, Any]
+State = dict[str, Any]
+
+
+@runtime_checkable
+class StateBackend(Protocol):
+    """Contract for committed operator state.
+
+    Extends the executor's read/write ``StateAccess`` surface with the
+    bulk-commit and fault-tolerance operations the StateFlow coordinator
+    drives: ``apply_writes`` installs a committed batch's write sets,
+    ``snapshot``/``restore`` implement batch-boundary consistent
+    snapshots, and ``keys`` enumerates resident entities.
+    """
+
+    def get(self, entity: str, key: Any) -> State | None: ...
+
+    def put(self, entity: str, key: Any, state: State) -> None: ...
+
+    def create(self, entity: str, key: Any, state: State) -> None: ...
+
+    def exists(self, entity: str, key: Any) -> bool: ...
+
+    def apply_writes(self, writes: dict[Key, State]) -> None: ...
+
+    def snapshot(self) -> Any: ...
+
+    def restore(self, snapshot: Any) -> None: ...
+
+    def keys(self) -> list[Key]: ...
+
+    def __len__(self) -> int: ...
+
+
+class DictStateBackend:
+    """Plain in-memory state: one dict, deep-copy snapshots.
+
+    This is both the Local runtime's HashMap backend and StateFlow's
+    baseline committed store.  Entries are deep-copied in and out —
+    O(entry) on the hot path, same as the cow backend, so no caller can
+    mutate committed state through an alias and backends stay
+    semantically interchangeable.  Snapshot isolation still costs a full
+    ``copy.deepcopy`` — O(total state) per snapshot, the cost
+    :class:`CowStateBackend` removes.
+    """
+
+    def __init__(self, store: dict[Key, State] | None = None):
+        self.store: dict[Key, State] = store if store is not None else {}
+
+    # -- StateAccess protocol -------------------------------------------
+    def get(self, entity: str, key: Any) -> State | None:
+        state = self.store.get((entity, key))
+        return copy.deepcopy(state) if state is not None else None
+
+    def put(self, entity: str, key: Any, state: State) -> None:
+        self.store[(entity, key)] = copy.deepcopy(state)
+
+    def create(self, entity: str, key: Any, state: State) -> None:
+        self.put(entity, key, state)
+
+    def exists(self, entity: str, key: Any) -> bool:
+        return (entity, key) in self.store
+
+    # -- commit / snapshot support --------------------------------------
+    def apply_writes(self, writes: dict[Key, State]) -> None:
+        """Install a committed transaction's buffered writes."""
+        for (entity, key), state in writes.items():
+            self.put(entity, key, state)
+
+    def snapshot(self) -> dict[Key, State]:
+        """Deep copy of all state (the snapshot payload)."""
+        return copy.deepcopy(self.store)
+
+    def restore(self, snapshot: dict[Key, State]) -> None:
+        self.store = copy.deepcopy(snapshot)
+
+    def keys(self) -> list[Key]:
+        return list(self.store)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+
+def _merge_layers(layers: tuple[dict[Key, State], ...],
+                  head: dict[Key, State] | None = None) -> dict[Key, State]:
+    """The one encoding of the cow-chain read invariant: iterate layers
+    oldest-first so newer entries shadow older ones, the mutable head
+    last of all.  Entries are shared (aliased), never copied."""
+    merged: dict[Key, State] = {}
+    for layer in layers:
+        merged.update(layer)
+    if head:
+        merged.update(head)
+    return merged
+
+
+@dataclass(slots=True, frozen=True)
+class CowSnapshot:
+    """A consistent cut of a :class:`CowStateBackend`: a chain of frozen
+    layers, shared (not copied) with the live backend.  Newer layers
+    shadow older ones."""
+
+    layers: tuple[dict[Key, State], ...]
+
+    def merged(self) -> dict[Key, State]:
+        """Flatten the chain (newer layers win) WITHOUT copying states:
+        the result aliases the frozen layers and must not be mutated or
+        handed to consumers — use :meth:`materialize` for that."""
+        return _merge_layers(self.layers)
+
+    def materialize(self) -> dict[Key, State]:
+        """Flatten the chain into one mapping (queries/inspection).
+
+        States are deep-copied: the layers are shared with the live
+        backend, so handing out aliases would let a consumer corrupt
+        committed state and the recovery snapshot through them.
+        """
+        return {key: copy.deepcopy(state)
+                for key, state in self.merged().items()}
+
+    def __len__(self) -> int:
+        return len(self.merged())
+
+
+class CowStateBackend:
+    """Copy-on-write committed state with version-chained snapshots.
+
+    Layout: an ordered chain of immutable ``layers`` (oldest first) plus
+    one mutable write ``head``.  Reads probe head-then-layers newest
+    first; writes only ever touch the head.  ``snapshot`` freezes the
+    head onto the chain and returns the chain itself — no per-entry
+    copying, so snapshot cost is independent of total state size.
+
+    Entry immutability is what makes layer sharing safe: ``put`` deep
+    copies the incoming state and ``get`` deep copies the outgoing one,
+    so no caller can mutate a frozen layer through an alias.  The chain
+    is compacted (layers merged, entries still shared) once it grows
+    past ``compact_after`` layers to bound read amplification.
+    """
+
+    def __init__(self, *, compact_after: int = 8):
+        self._head: dict[Key, State] = {}
+        self._layers: tuple[dict[Key, State], ...] = ()
+        self._compact_after = compact_after
+        self.snapshots_taken = 0
+        self.layers_compacted = 0
+
+    # -- StateAccess protocol -------------------------------------------
+    def get(self, entity: str, key: Any) -> State | None:
+        composite = (entity, key)
+        state = self._head.get(composite)
+        if state is None:
+            for layer in reversed(self._layers):
+                state = layer.get(composite)
+                if state is not None:
+                    break
+        return copy.deepcopy(state) if state is not None else None
+
+    def put(self, entity: str, key: Any, state: State) -> None:
+        self._head[(entity, key)] = copy.deepcopy(state)
+
+    def create(self, entity: str, key: Any, state: State) -> None:
+        self.put(entity, key, state)
+
+    def exists(self, entity: str, key: Any) -> bool:
+        composite = (entity, key)
+        return (composite in self._head
+                or any(composite in layer for layer in self._layers))
+
+    # -- commit / snapshot support --------------------------------------
+    def apply_writes(self, writes: dict[Key, State]) -> None:
+        for (entity, key), state in writes.items():
+            self.put(entity, key, state)
+
+    def snapshot(self) -> CowSnapshot:
+        if self._head:
+            self._layers = self._layers + (self._head,)
+            self._head = {}
+            self._maybe_compact()
+        self.snapshots_taken += 1
+        return CowSnapshot(layers=self._layers)
+
+    def restore(self, snapshot: CowSnapshot) -> None:
+        self._layers = tuple(snapshot.layers)
+        self._head = {}
+
+    def _maybe_compact(self) -> None:
+        if len(self._layers) <= self._compact_after:
+            return
+        self._layers = (_merge_layers(self._layers),)
+        self.layers_compacted += 1
+
+    @property
+    def layer_count(self) -> int:
+        return len(self._layers)
+
+    def keys(self) -> list[Key]:
+        return list(_merge_layers(self._layers, self._head))
+
+    def __len__(self) -> int:
+        return len(_merge_layers(self._layers, self._head))
+
+
+@dataclass(slots=True, frozen=True)
+class PartitionedSnapshot:
+    """Per-partition snapshot fragments, index-aligned with the
+    :class:`PartitionedStore` that produced them."""
+
+    parts: tuple[Any, ...]
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.parts)
+
+
+class PartitionedStore:
+    """Committed state sharded into per-worker partitions.
+
+    Routing is ``stable_hash("entity|key") % partitions`` — the same
+    function the StateFlow runtime uses to pick the worker executing a
+    key, so worker *i* and partition *i* always agree: each worker holds
+    (and is the only writer of) exactly its own partition backend.
+
+    Snapshots are assembled from per-partition fragments (each backend
+    snapshots independently) and ``restore`` fans the fragments back out
+    to their partitions.
+    """
+
+    def __init__(self, partitions: int, backend: str | Callable[[], Any] = "dict"):
+        if partitions < 1:
+            raise ValueError("PartitionedStore needs at least one partition")
+        factory = (backend if callable(backend)
+                   else lambda: make_state_backend(backend))
+        self._partitions: list[Any] = [factory() for _ in range(partitions)]
+
+    # -- partition topology ---------------------------------------------
+    @property
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    def partition_of(self, entity: str, key: Any) -> int:
+        return stable_hash(f"{entity}|{key}") % len(self._partitions)
+
+    def partition(self, index: int) -> Any:
+        """The backend owned by worker *index*."""
+        return self._partitions[index]
+
+    def partitions(self) -> Iterator[Any]:
+        return iter(self._partitions)
+
+    # -- StateAccess protocol (routes to the owning partition) ----------
+    def _owner(self, entity: str, key: Any) -> Any:
+        return self._partitions[self.partition_of(entity, key)]
+
+    def get(self, entity: str, key: Any) -> State | None:
+        return self._owner(entity, key).get(entity, key)
+
+    def put(self, entity: str, key: Any, state: State) -> None:
+        self._owner(entity, key).put(entity, key, state)
+
+    def create(self, entity: str, key: Any, state: State) -> None:
+        self._owner(entity, key).create(entity, key, state)
+
+    def exists(self, entity: str, key: Any) -> bool:
+        return self._owner(entity, key).exists(entity, key)
+
+    def apply_writes(self, writes: dict[Key, State]) -> None:
+        """Route a write set to its owning partitions (callers that
+        already bucket per worker use ``partition(i).apply_writes``)."""
+        buckets: dict[int, dict[Key, State]] = {}
+        for (entity, key), state in writes.items():
+            index = self.partition_of(entity, key)
+            buckets.setdefault(index, {})[(entity, key)] = state
+        for index, bucket in buckets.items():
+            self._partitions[index].apply_writes(bucket)
+
+    # -- snapshot assembly ----------------------------------------------
+    def snapshot(self) -> PartitionedSnapshot:
+        return PartitionedSnapshot(
+            parts=tuple(backend.snapshot() for backend in self._partitions))
+
+    def restore(self, snapshot: PartitionedSnapshot) -> None:
+        if snapshot.partition_count != len(self._partitions):
+            raise ValueError(
+                f"snapshot has {snapshot.partition_count} partition "
+                f"fragments, store has {len(self._partitions)} partitions")
+        for backend, part in zip(self._partitions, snapshot.parts):
+            backend.restore(part)
+
+    def snapshot_partition(self, index: int) -> Any:
+        return self._partitions[index].snapshot()
+
+    def restore_partition(self, index: int, fragment: Any) -> None:
+        self._partitions[index].restore(fragment)
+
+    # -- aggregation -----------------------------------------------------
+    def keys(self) -> list[Key]:
+        """All resident keys, grouped by partition (not insertion
+        order); order-sensitive consumers must sort."""
+        return [key for backend in self._partitions for key in backend.keys()]
+
+    def __len__(self) -> int:
+        return sum(len(backend) for backend in self._partitions)
+
+
+def materialize_snapshot(payload: Any,
+                         entity: str | None = None) -> dict[Key, State]:
+    """Flatten any backend-produced snapshot payload into one
+    ``{(entity, key): state}`` mapping (query engine, inspection).
+
+    Handles the dict backend's plain mapping, the cow backend's layer
+    chain, and the partitioned store's per-partition fragments (which
+    recurse into either of the former).  States are copies in every
+    branch: consumers (e.g. query predicates) must not be able to
+    corrupt the stored recovery snapshot through the result.  Pass
+    *entity* to copy only that entity's rows instead of the whole store.
+    """
+    if isinstance(payload, PartitionedSnapshot):
+        merged: dict[Key, State] = {}
+        for part in payload.parts:
+            merged.update(materialize_snapshot(part, entity))
+        return merged
+    if isinstance(payload, CowSnapshot):
+        aliased = payload.merged()
+    else:
+        aliased = payload
+    return {key: copy.deepcopy(state) for key, state in aliased.items()
+            if entity is None or key[0] == entity}
+
+
+#: Registry of selectable backends (CLI/config surface).
+BACKENDS: dict[str, Callable[[], Any]] = {
+    "dict": DictStateBackend,
+    "cow": CowStateBackend,
+}
+
+
+def make_state_backend(name: str) -> Any:
+    """Instantiate a registered backend by name."""
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown state backend {name!r}; "
+            f"choose from {sorted(BACKENDS)}") from None

@@ -1,6 +1,14 @@
 """StateFlow: transactional dataflow runtime (coordinator + workers,
 Aria-style deterministic transactions, consistent snapshots)."""
 
+from ..state import (
+    CowStateBackend,
+    DictStateBackend,
+    PartitionedSnapshot,
+    PartitionedStore,
+    StateBackend,
+    make_state_backend,
+)
 from .aria import AriaStats, BatchMember, ConflictReport, TxnOutcome, decide
 from .coordinator import Coordinator, CoordinatorConfig, TxnRecord
 from .runtime import StateflowConfig, StateflowRuntime, default_kafka_config
@@ -10,6 +18,12 @@ from .worker import Worker
 
 __all__ = [
     "AriaStateView",
+    "CowStateBackend",
+    "DictStateBackend",
+    "PartitionedSnapshot",
+    "PartitionedStore",
+    "StateBackend",
+    "make_state_backend",
     "AriaStats",
     "BatchMember",
     "CommittedStore",

@@ -14,6 +14,12 @@ Responsibilities:
   visibility, paper Section 5) and deduplicate replies;
 - take batch-boundary consistent snapshots and run recovery: restore the
   latest snapshot, rewind the source, replay.
+
+Commit-phase writes are bucketed per owning worker (``hooks.worker_of``)
+so each worker installs only its own partition's writes; snapshots are
+assembled from per-partition fragments by the partitioned committed
+store (``committed.snapshot()`` collects one fragment per partition) and
+recovery fans the fragments back out.
 """
 
 from __future__ import annotations
@@ -24,9 +30,9 @@ from typing import Any, Callable
 from ...core.refs import EntityRef
 from ...ir.events import Event, EventKind, TxnContext
 from ...substrates.simulation import CpuPool, Simulation
+from ..state import StateBackend
 from .aria import AriaStats, BatchMember, decide
 from .snapshots import SnapshotStore
-from .state_backend import CommittedStore
 
 
 @dataclass(slots=True)
@@ -116,7 +122,7 @@ class CoordinatorConfig:
 class Coordinator:
     """Single-core coordinator of the StateFlow dataflow."""
 
-    def __init__(self, sim: Simulation, committed: CommittedStore,
+    def __init__(self, sim: Simulation, committed: StateBackend,
                  hooks: CoordinatorHooks,
                  config: CoordinatorConfig | None = None):
         self.sim = sim

@@ -20,15 +20,14 @@ from typing import Any, Callable
 from ...compiler.pipeline import CompiledProgram
 from ...core.errors import RuntimeExecutionError
 from ...core.refs import EntityRef
-from ...ir.dataflow import stable_hash
 from ...ir.events import Event, EventKind
 from ...substrates.kafka import KafkaBroker, KafkaConfig, KafkaRecord
 from ...substrates.network import LatencyModel, Network, NetworkConfig
 from ...substrates.simulation import MetricRecorder, Simulation
 from ..base import InvocationResult, Runtime
 from ..executor import OperatorExecutor, run_constructor
+from ..state import PartitionedStore
 from .coordinator import Coordinator, CoordinatorConfig, CoordinatorHooks
-from .state_backend import CommittedStore
 from .worker import Worker
 
 INGRESS_TOPIC = "stateflow-ingress"
@@ -55,6 +54,9 @@ class StateflowConfig:
     #: "direct" = inter-worker channels; "kafka" = loop back through the
     #: broker on every hop (ablation ABL-COMM).
     channel_mode: str = "direct"
+    #: Committed-state backend per worker partition: "dict" (deep-copy
+    #: snapshots) or "cow" (copy-on-write version-chained snapshots).
+    state_backend: str = "dict"
     check_state_serializable: bool = False
     ingress_partitions: int = 4
     egress_partitions: int = 4
@@ -77,16 +79,21 @@ class StateflowRuntime(Runtime):
         self.sim = sim or Simulation()
         self.network = Network(self.sim, self.config.network)
         self.broker = KafkaBroker(self.sim, self.config.kafka)
-        self.committed = CommittedStore()
+        #: Committed state sharded one partition per worker; routing uses
+        #: the same stable hash as worker placement, so worker *i* owns
+        #: exactly partition *i*.
+        self.committed = PartitionedStore(self.config.workers,
+                                          backend=self.config.state_backend)
         self.metrics = MetricRecorder()
         self._executor = OperatorExecutor(
             program.entities,
             check_state_serializable=self.config.check_state_serializable)
         self.workers = [
-            Worker(index, self.sim, self._executor, self.committed,
-                   self._on_worker_out,
+            Worker(index, self.sim, self._executor,
+                   self.committed.partition(index), self._on_worker_out,
                    exec_service_ms=self.config.exec_service_ms,
-                   state_op_ms=self.config.state_op_ms)
+                   state_op_ms=self.config.state_op_ms,
+                   committed_reader=self.committed)
             for index in range(self.config.workers)
         ]
         hooks = CoordinatorHooks(
@@ -125,7 +132,8 @@ class StateflowRuntime(Runtime):
 
     # -- partitioning ------------------------------------------------------
     def worker_of(self, entity: str, key: Any) -> int:
-        return stable_hash(f"{entity}|{key}") % self.config.workers
+        """Worker placement == partition ownership (one stable hash)."""
+        return self.committed.partition_of(entity, key)
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:

@@ -22,6 +22,14 @@ boundary:
 Recovery restores the latest complete snapshot and seeks the source back
 to its offsets; replayed requests re-execute and the egress dedup set
 suppresses duplicate replies — exactly-once end to end.
+
+The operator-state payload is whatever the committed store's backend
+produced: a deep-copied dict for the ``dict`` backend, a shared chain of
+frozen layers for the ``cow`` backend, or — with the partitioned store —
+a :class:`~repro.runtimes.state.PartitionedSnapshot` of per-partition
+fragments (one incremental payload per worker-owned partition).
+``restore`` is symmetric: the store fans fragments back out to their
+partitions.
 """
 
 from __future__ import annotations
@@ -36,8 +44,10 @@ class Snapshot:
 
     snapshot_id: int
     taken_at_ms: float
-    #: Deep copy of the committed store: {(entity, key): state}.
-    state: dict[tuple[str, Any], dict[str, Any]]
+    #: Backend-produced operator-state payload: a plain
+    #: {(entity, key): state} dict, a CowSnapshot layer chain, or a
+    #: PartitionedSnapshot of per-partition fragments (see module doc).
+    state: Any
     #: Kafka positions of the ingress consumer group:
     #: {(topic, partition): offset}.
     source_offsets: dict[tuple[str, int], int]
@@ -59,7 +69,7 @@ class SnapshotStore:
         self._keep = keep
         self._next_id = 0
 
-    def take(self, *, taken_at_ms: float, state: dict,
+    def take(self, *, taken_at_ms: float, state: Any,
              source_offsets: dict, replied: set[int],
              batch_seq: int, arrival_seq: int,
              pending: list[Any] | None = None) -> Snapshot:

@@ -2,8 +2,12 @@
 
 Two layers:
 
-- :class:`CommittedStore` — the authoritative, snapshot-able operator
-  state (what Chandy–Lamport-style snapshots persist).
+- the committed store — the authoritative, snapshot-able operator state
+  (what Chandy–Lamport-style snapshots persist).  Since the state-backend
+  refactor this is any :class:`~repro.runtimes.state.StateBackend`
+  (``dict`` or copy-on-write ``cow``), usually one partition of a
+  :class:`~repro.runtimes.state.PartitionedStore` owned by a single
+  worker; :class:`CommittedStore` remains as the dict-backed default.
 - :class:`AriaStateView` — the per-transaction view used during Aria's
   execution phase: reads come from the batch-start snapshot (the committed
   store, since batch writes only apply at commit) plus the transaction's
@@ -13,48 +17,16 @@ Two layers:
 
 from __future__ import annotations
 
-import copy
 from typing import Any
 
-from ...core.errors import EntityNotFoundError
+from ...core.errors import EntityAlreadyExistsError
 from ...ir.events import TxnContext
+from ..state import DictStateBackend, StateBackend
 
 
-class CommittedStore:
-    """Authoritative entity state, keyed by ``(entity, key)``."""
-
-    def __init__(self) -> None:
-        self._data: dict[tuple[str, Any], dict[str, Any]] = {}
-
-    # -- StateAccess protocol -------------------------------------------
-    def get(self, entity: str, key: Any) -> dict[str, Any] | None:
-        state = self._data.get((entity, key))
-        return dict(state) if state is not None else None
-
-    def put(self, entity: str, key: Any, state: dict[str, Any]) -> None:
-        self._data[(entity, key)] = dict(state)
-
-    def create(self, entity: str, key: Any, state: dict[str, Any]) -> None:
-        self.put(entity, key, state)
-
-    # -- snapshot support -------------------------------------------------
-    def snapshot(self) -> dict[tuple[str, Any], dict[str, Any]]:
-        """Deep copy of all state (the snapshot payload)."""
-        return copy.deepcopy(self._data)
-
-    def restore(self, snapshot: dict[tuple[str, Any], dict[str, Any]]) -> None:
-        self._data = copy.deepcopy(snapshot)
-
-    def keys(self) -> list[tuple[str, Any]]:
-        return list(self._data)
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def apply_writes(self, writes: dict[tuple[str, Any], dict[str, Any]]) -> None:
-        """Install a committed transaction's buffered writes."""
-        for (entity, key), state in writes.items():
-            self.put(entity, key, state)
+class CommittedStore(DictStateBackend):
+    """Authoritative entity state, keyed by ``(entity, key)`` — the
+    dict-backed default committed store (see module docstring)."""
 
 
 class AriaStateView:
@@ -65,7 +37,7 @@ class AriaStateView:
     the committed store.  Every access is recorded for conflict detection.
     """
 
-    def __init__(self, committed: CommittedStore, txn: TxnContext):
+    def __init__(self, committed: StateBackend, txn: TxnContext):
         self._committed = committed
         self._txn = txn
 
@@ -82,6 +54,6 @@ class AriaStateView:
     def create(self, entity: str, key: Any, state: dict[str, Any]) -> None:
         if (self._committed.get(entity, key) is not None
                 or (entity, key) in self._txn.write_set):
-            raise EntityNotFoundError(
+            raise EntityAlreadyExistsError(
                 f"entity {entity}/{key!r} already exists")
         self._txn.record_create(entity, key, dict(state))

@@ -1,10 +1,14 @@
 """A StateFlow worker: one core executing operator partitions.
 
-Workers own partitions of every operator (partitioning by entity key),
-execute state-machine blocks against the transaction's
+Workers own partitions of every operator (partitioning by entity key):
+each worker holds its own partition of the
+:class:`~repro.runtimes.state.PartitionedStore`, executes state-machine
+blocks against the transaction's
 :class:`~repro.runtimes.stateflow.state_backend.AriaStateView`, and
-exchange events over direct channels — the "internal function-to-function
+exchanges events over direct channels — the "internal function-to-function
 communication" that lets StateFlow avoid Kafka round trips (Section 4).
+Commit-phase ``apply_writes`` therefore only ever touches the owning
+worker's partition backend.
 """
 
 from __future__ import annotations
@@ -14,16 +18,18 @@ from typing import Any, Callable
 from ...ir.events import Event
 from ...substrates.simulation import CpuPool, Simulation
 from ..executor import OperatorExecutor
-from .state_backend import AriaStateView, CommittedStore
+from ..state import StateBackend
+from .state_backend import AriaStateView
 
 
 class Worker:
     """One single-core StateFlow worker."""
 
     def __init__(self, index: int, sim: Simulation,
-                 executor: OperatorExecutor, committed: CommittedStore,
+                 executor: OperatorExecutor, store: StateBackend,
                  emit: Callable[[Event], None],
-                 *, exec_service_ms: float, state_op_ms: float):
+                 *, exec_service_ms: float, state_op_ms: float,
+                 committed_reader: StateBackend | None = None):
         self.index = index
         self.sim = sim
         self.cpu = CpuPool(sim, 1, name=f"worker-{index}")
@@ -31,7 +37,16 @@ class Worker:
         self.events_processed = 0
         self.writes_applied = 0
         self._executor = executor
-        self._committed = committed
+        #: This worker's own partition of committed state (it is the only
+        #: writer; the coordinator only touches it for snapshot/restore).
+        self.store = store
+        #: Read-only view of the whole committed store for Aria's
+        #: execution phase.  Routing sends every keyed event to its
+        #: owner, so reads stay local in practice — but constructors
+        #: execute before their key (hence owner) is known, and their
+        #: duplicate-key check must see all partitions.
+        self._committed_reader = (committed_reader if committed_reader
+                                  is not None else store)
         self._emit = emit
         self._exec_service_ms = exec_service_ms
         self._state_op_ms = state_op_ms
@@ -47,7 +62,7 @@ class Worker:
             if not self.alive:
                 return
             self.events_processed += 1
-            view = AriaStateView(self._committed, event.txn)
+            view = AriaStateView(self._committed_reader, event.txn)
             for outbound in self._executor.handle(event, view):
                 self._emit(outbound)
 
@@ -70,7 +85,7 @@ class Worker:
             replies: list[Event] = []
             for event in events:
                 self.events_processed += 1
-                replies.extend(self._executor.handle(event, self._committed))
+                replies.extend(self._executor.handle(event, self.store))
             on_done(replies)
 
         self.cpu.submit(self._exec_service_ms * max(len(events), 1), process)
@@ -79,14 +94,15 @@ class Worker:
     def apply_writes(self, writes: dict[tuple[str, Any], dict[str, Any]],
                      on_done: Callable[[], None]) -> None:
         """Commit phase: install a batch's write sets for the partitions
-        this worker owns."""
+        this worker owns — only this worker's partition backend is
+        touched."""
         if not self.alive:
             return
 
         def install() -> None:
             if not self.alive:
                 return
-            self._committed.apply_writes(writes)
+            self.store.apply_writes(writes)
             self.writes_applied += len(writes)
             on_done()
 

@@ -1,12 +1,25 @@
 """Examples must run; the bench harness must produce sane rows."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+
+
+def _example_env() -> dict[str, str]:
+    """Subprocesses need ``src`` on the path (examples also work after
+    ``pip install -e .``, but tests must not require the install)."""
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (f"{src}{os.pathsep}{existing}"
+                         if existing else src)
+    return env
 
 
 @pytest.mark.parametrize("script", [
@@ -19,7 +32,8 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 def test_example_runs(script):
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
-        cwd=str(EXAMPLES), capture_output=True, text=True, timeout=300)
+        cwd=str(EXAMPLES), env=_example_env(),
+        capture_output=True, text=True, timeout=300)
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip()
 
@@ -64,6 +78,37 @@ class TestHarness:
         rows = run_overhead_breakdown([50], operations=50)
         assert rows[0].split_share < 0.01
         assert "state_kb" in format_overhead_table(rows)
+
+    def test_cell_accepts_state_backend(self):
+        from repro.bench import run_ycsb_cell
+
+        row = run_ycsb_cell("stateflow", "A", "zipfian", rps=100,
+                            duration_ms=1_000, record_count=20,
+                            state_backend="cow")
+        assert row.completed > 0
+        assert row.errors == 0
+        assert row.as_dict()["state_backend"] == "cow"
+
+    def test_state_backend_env_default(self, monkeypatch):
+        from repro.bench import default_state_backend
+
+        monkeypatch.delenv("REPRO_STATE_BACKEND", raising=False)
+        assert default_state_backend() == "dict"
+        monkeypatch.setenv("REPRO_STATE_BACKEND", "cow")
+        assert default_state_backend() == "cow"
+
+    def test_snapshot_overhead_rows(self):
+        from repro.bench import (
+            format_snapshot_table,
+            run_snapshot_overhead,
+            snapshot_speedups,
+        )
+
+        rows = run_snapshot_overhead([200], rounds=2, writes_per_round=16)
+        assert {row.backend for row in rows} == {"dict", "cow"}
+        assert all(row.snapshot_ms >= 0 for row in rows)
+        assert 200 in snapshot_speedups(rows)
+        assert "backend" in format_snapshot_table(rows)
 
     def test_figure3_shape_checker(self):
         from repro.bench import ExperimentRow, check_figure3_shape

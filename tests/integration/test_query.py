@@ -22,6 +22,30 @@ class TestSelect:
         assert len(result) == 4
         assert result.keys() == [f"acct-{i}" for i in range(4)]
 
+    @pytest.mark.parametrize("backend", ["dict", "cow"])
+    def test_live_scan_over_any_backend(self, account_program, backend):
+        runtime = LocalRuntime(account_program, state_backend=backend)
+        for index, balance in enumerate([10, 25]):
+            runtime.create(Account, f"acct-{index}", balance)
+        result = QueryEngine(runtime).select("Account")
+        assert sorted(result.scalars("balance")) == [10, 25]
+
+    @pytest.mark.parametrize("backend", ["dict", "cow"])
+    def test_stateflow_queries_over_any_backend(self, account_program,
+                                                backend):
+        from repro.runtimes.stateflow import StateflowConfig
+
+        runtime = StateflowRuntime(
+            account_program, config=StateflowConfig(state_backend=backend))
+        a, b = runtime.preload(Account, [("a", 100), ("b", 100)])
+        runtime.start()
+        runtime.call(a, "transfer", 30, b)
+        engine = QueryEngine(runtime)
+        assert sorted(engine.select(
+            "Account", consistency="live").scalars("balance")) == [70, 130]
+        snapshot = engine.select("Account", consistency="snapshot")
+        assert sorted(snapshot.scalars("balance")) == [100, 100]
+
     def test_where(self, local_accounts):
         result = QueryEngine(local_accounts).select(
             "Account", where=lambda s: s["balance"] >= 40)
