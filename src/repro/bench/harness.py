@@ -89,9 +89,11 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
                   record_count: int = 1000, seed: int = 42,
                   drain_ms: float = 8_000.0,
                   state_backend: str | None = None,
+                  fault_plan: Any | None = None,
                   runtime_overrides: dict[str, Any] | None = None,
                   ) -> ExperimentRow:
-    """Run one (system, workload, distribution, rate) cell."""
+    """Run one (system, workload, distribution, rate) cell, optionally
+    under a :class:`~repro.faults.FaultPlan` (``--faults`` on the CLI)."""
     from ..ir.dataflow import stable_hash
 
     # Derive a per-cell seed so cells are independent samples (while
@@ -102,6 +104,8 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
     overrides = dict(runtime_overrides or {})
     overrides.setdefault("state_backend",
                          state_backend or default_state_backend())
+    if fault_plan is not None:
+        overrides.setdefault("fault_plan", fault_plan)
     runtime = build_runtime(system, program, seed=seed, **overrides)
     workload = YcsbWorkload(workload_name, record_count=record_count,
                             distribution=distribution, seed=seed + 1)
@@ -119,6 +123,9 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
         extra["txn_aborts"] = stats.aborts_waw + stats.aborts_raw
         extra["txn_retries"] = stats.retries
         extra["batches"] = stats.batches
+        if fault_plan is not None:
+            extra["recoveries"] = runtime.coordinator.recoveries
+            extra["msg_dropped"] = runtime.faults.stats.dropped
     return ExperimentRow(
         system=system, workload=workload_name, distribution=distribution,
         rps=rps, p50_ms=result.percentile(50), p99_ms=result.percentile(99),

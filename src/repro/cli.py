@@ -10,10 +10,18 @@ Commands:
 - ``run <module.py> <Entity> <method> <key> [args...]`` — quick local
   execution against a fresh Local runtime (debugging aid);
 - ``bench [--system ...] [--state-backend dict|cow] ...`` — run one
-  YCSB benchmark cell on a simulated runtime and print its row.
+  YCSB benchmark cell on a simulated runtime and print its row;
+- ``chaos plan --seed N --out plan.json`` — generate a reproducible
+  random fault plan;
+- ``chaos run [--plan plan.json] [--seed N] ...`` — execute a workload
+  under a fault plan and verify the committed history (exactly-once,
+  conservation), printing recovery/availability metrics and a trace
+  digest that is identical across reruns of the same seed.
 
 ``run`` and ``bench`` accept ``--state-backend`` to select the
-committed-state backend (see :mod:`repro.runtimes.state`).
+committed-state backend (see :mod:`repro.runtimes.state`) and
+``--faults plan.json`` to run under a fault plan (see
+:mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from pathlib import Path
 from .compiler.pipeline import compile_program
 from .core.entity import REGISTRY, EntityRegistry, is_entity_class
 from .core.refs import EntityRef
+from .faults import INTENSITIES, FaultPlan, random_plan
 from .ir.dot import dataflow_to_dot, machine_to_dot
 from .ir.serde import dataflow_from_json, dataflow_to_json
 from .runtimes.local import LocalRuntime
@@ -89,10 +98,17 @@ def _parse_literal(text: str):
         return text
 
 
+def _load_fault_plan(path: str | None) -> FaultPlan | None:
+    if path is None:
+        return None
+    return FaultPlan.from_json(Path(path))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     classes = _load_module_entities(args.module)
     program = compile_program(classes)
-    runtime = LocalRuntime(program, state_backend=args.state_backend)
+    runtime = LocalRuntime(program, state_backend=args.state_backend,
+                           fault_plan=_load_fault_plan(args.faults))
     call_args = [_parse_literal(a) for a in args.args]
     if args.method == "__init__":
         ref = runtime.create(args.entity, *call_args)
@@ -118,16 +134,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"repro bench: error: unknown state backend {backend!r}; "
             f"choose from {sorted(BACKENDS)}")
+    plan = _load_fault_plan(args.faults)
     row = run_ycsb_cell(args.system, args.workload, args.distribution,
                         rps=args.rps, duration_ms=args.duration_ms,
                         record_count=args.records, seed=args.seed,
-                        state_backend=backend)
+                        state_backend=backend, fault_plan=plan)
     columns = ["system", "workload", "distribution", "state_backend",
                "rps", "p50_ms", "p99_ms", "mean_ms", "completed", "errors"]
+    if plan is not None and args.system == "stateflow":
+        columns += ["recoveries", "msg_dropped"]
     print(format_table(
         [row], f"YCSB {args.workload}/{args.distribution} on {args.system}",
         columns=columns))
     return 0
+
+
+def _cmd_chaos_plan(args: argparse.Namespace) -> int:
+    plan = random_plan(args.seed, duration_ms=args.duration_ms,
+                       workers=args.workers, intensity=args.intensity,
+                       process_faults=not args.no_process_faults,
+                       coordinator_faults=args.coordinator_faults)
+    if args.out:
+        plan.to_json(Path(args.out))
+        print(f"wrote plan {plan.name!r} ({len(plan.events)} events) "
+              f"to {args.out}")
+    else:
+        print(plan.to_json())
+    return 0
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from .bench import format_table, run_chaos_cell
+
+    plan = _load_fault_plan(args.plan)
+    report = run_chaos_cell(
+        args.system, args.workload, args.distribution, rps=args.rps,
+        duration_ms=args.duration_ms, record_count=args.records,
+        seed=args.seed, plan=plan, state_backend=args.state_backend)
+    columns = ["system", "workload", "state_backend", "rps", "p50_ms",
+               "p99_ms", "completed", "errors", "recoveries",
+               "recovery_time_ms", "availability"]
+    print(format_table([report.row],
+                       f"chaos {args.workload}/{args.distribution} on "
+                       f"{args.system} (seed {args.seed})", columns=columns))
+    print()
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,6 +216,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--state-backend", default="dict",
                          choices=sorted(BACKENDS),
                          help="committed-state backend")
+    run_cmd.add_argument("--faults", default=None, metavar="PLAN_JSON",
+                         help="fault plan (Local applies its "
+                              "message-reordering subset)")
     run_cmd.set_defaults(handler=_cmd_run)
 
     bench_cmd = commands.add_parser(
@@ -182,7 +237,47 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=sorted(BACKENDS),
                            help="committed-state backend (default: "
                                 "$REPRO_STATE_BACKEND or dict)")
+    bench_cmd.add_argument("--faults", default=None, metavar="PLAN_JSON",
+                           help="run the cell under a fault plan")
     bench_cmd.set_defaults(handler=_cmd_bench)
+
+    chaos_cmd = commands.add_parser(
+        "chaos", help="deterministic fault-injection runs")
+    chaos_sub = chaos_cmd.add_subparsers(dest="chaos_command", required=True)
+
+    plan_cmd = chaos_sub.add_parser(
+        "plan", help="generate a reproducible random fault plan")
+    plan_cmd.add_argument("--seed", type=int, default=42)
+    plan_cmd.add_argument("--duration-ms", type=float, default=3_000.0)
+    plan_cmd.add_argument("--workers", type=int, default=5)
+    plan_cmd.add_argument("--intensity", default="medium",
+                          choices=sorted(INTENSITIES))
+    plan_cmd.add_argument("--no-process-faults", action="store_true",
+                          help="message-level faults only")
+    plan_cmd.add_argument("--coordinator-faults", action="store_true",
+                          help="include a coordinator fail-over")
+    plan_cmd.add_argument("--out", default=None)
+    plan_cmd.set_defaults(handler=_cmd_chaos_plan)
+
+    chaos_run_cmd = chaos_sub.add_parser(
+        "run", help="run a workload under a fault plan and verify the "
+                    "committed history")
+    chaos_run_cmd.add_argument("--plan", default=None, metavar="PLAN_JSON",
+                               help="fault plan file (default: "
+                                    "random_plan(--seed))")
+    chaos_run_cmd.add_argument("--seed", type=int, default=42)
+    chaos_run_cmd.add_argument("--system", default="stateflow",
+                               choices=["stateflow", "statefun"])
+    chaos_run_cmd.add_argument("--workload", default="T",
+                               choices=["A", "B", "M", "T"])
+    chaos_run_cmd.add_argument("--distribution", default="uniform",
+                               choices=["zipfian", "uniform"])
+    chaos_run_cmd.add_argument("--rps", type=float, default=120.0)
+    chaos_run_cmd.add_argument("--duration-ms", type=float, default=3_000.0)
+    chaos_run_cmd.add_argument("--records", type=int, default=50)
+    chaos_run_cmd.add_argument("--state-backend", default=None,
+                               choices=sorted(BACKENDS))
+    chaos_run_cmd.set_defaults(handler=_cmd_chaos_run)
     return parser
 
 

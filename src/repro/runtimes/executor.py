@@ -88,6 +88,10 @@ class OperatorExecutor:
         self._entities = entities
         self._check_serializable = check_state_serializable
         self._instr = instrumentation
+        #: RESUMEs dropped because their call stack already unwound —
+        #: expected under at-least-once redelivery (fault injection),
+        #: a routing bug if it ever moves in a fault-free run.
+        self.stale_resumes = 0
 
     # ------------------------------------------------------------------
     def entity(self, name: str) -> CompiledEntity:
@@ -125,7 +129,12 @@ class OperatorExecutor:
 
     def _handle_resume(self, event: Event, state: StateAccess) -> list[Event]:
         execution = event.execution
-        assert execution is not None and execution.depth > 0
+        if execution is None or execution.depth == 0:
+            # Stale duplicate of a continuation whose call stack already
+            # unwound (an at-least-once channel redelivered it after the
+            # original completed).  Dropping it is the dedup.
+            self.stale_resumes += 1
+            return []
         frame = execution.top
         if frame.result_var is not None:
             frame.store[frame.result_var] = event.payload

@@ -15,6 +15,7 @@ reported are wall-clock.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
 from typing import Any
@@ -22,6 +23,7 @@ from typing import Any
 from ...compiler.pipeline import CompiledProgram
 from ...core.errors import RuntimeExecutionError
 from ...core.refs import EntityRef
+from ...faults import FaultPlan
 from ...ir.events import Event, EventKind
 from ..base import InvocationResult, Runtime
 from ..executor import Instrumentation, OperatorExecutor
@@ -29,14 +31,26 @@ from ..state import make_state_backend
 
 
 class LocalRuntime(Runtime):
-    """Single-process, synchronous execution with HashMap state."""
+    """Single-process, synchronous execution with HashMap state.
+
+    ``fault_plan`` applies the message-level subset a clockless, queue-in
+    -process runtime can host: delivery *reordering* — queued events are
+    popped from a seeded-random position instead of FIFO, with the
+    plan's first message profile's ``delay_p`` as the per-pop
+    probability.  Drops, duplicates and delay spikes need a network or a
+    durable log and are meaningless here; process faults are skipped.
+    A correct program's results must be invariant under this reordering
+    (every queued event carries its own continuation state) — that is
+    exactly what the cross-runtime conformance matrix checks.
+    """
 
     name = "local"
 
     def __init__(self, program: CompiledProgram,
                  *, check_state_serializable: bool = True,
                  instrumentation: Instrumentation | None = None,
-                 state_backend: str = "dict"):
+                 state_backend: str = "dict",
+                 fault_plan: FaultPlan | None = None):
         super().__init__(program)
         self.state = make_state_backend(state_backend)
         self.instrumentation = instrumentation
@@ -47,8 +61,32 @@ class LocalRuntime(Runtime):
         self._queue: deque[Event] = deque()
         self._replies: dict[int, Event] = {}
         self._request_ids = iter(range(1, 1 << 62))
+        self._fault_rng: random.Random | None = None
+        self._reorder_p = 0.0
+        self.reordered_deliveries = 0
+        #: Uniform runtime surface: Local hosts no injector (no clock,
+        #: no substrates) — its fault support is the reorder shim above.
+        self.faults = None
+        if fault_plan is not None:
+            fault_plan.validate()
+            self._fault_rng = random.Random(fault_plan.seed)
+            profiles = [event.profile for event in fault_plan.events
+                        if event.kind == "messages"]
+            if profiles:
+                self._reorder_p = profiles[0].delay_p
 
     # ------------------------------------------------------------------
+    def _pop_next(self) -> Event:
+        if (self._fault_rng is not None and len(self._queue) > 1
+                and self._fault_rng.random() < self._reorder_p):
+            self.reordered_deliveries += 1
+            index = self._fault_rng.randrange(len(self._queue))
+            self._queue.rotate(-index)
+            event = self._queue.popleft()
+            self._queue.rotate(index)
+            return event
+        return self._queue.popleft()
+
     def _drive(self, request_id: int) -> Event:
         """Process events until *request_id*'s reply appears."""
         while request_id not in self._replies:
@@ -56,7 +94,7 @@ class LocalRuntime(Runtime):
                 raise RuntimeExecutionError(
                     f"dataflow drained without a reply for request "
                     f"{request_id}")
-            event = self._queue.popleft()
+            event = self._pop_next()
             if event.kind is EventKind.REPLY:
                 if event.request_id is not None:
                     self._replies[event.request_id] = event

@@ -135,15 +135,37 @@ class Coordinator:
         self.pending: list[TxnRecord] = []
         self.active: _Batch | None = None
         self.replied: set[int] = set()
+        #: Ingress dedup: request ids ever admitted from the source.  An
+        #: at-least-once producer (or an injected Kafka duplication
+        #: fault) can append one request at two offsets; admitting it
+        #: twice would commit its effects twice.
+        self.admitted: set[int] = set()
+        self.duplicate_requests = 0
         self.duplicate_replies = 0
         self.recoveries = 0
         self.recovering = False
+        #: Fail-stop state: a crashed coordinator ignores all traffic
+        #: until :meth:`failover` brings the standby up.
+        self.crashed = False
+        self.failovers = 0
+        #: ``(started_at_ms, resumed_at_ms)`` per completed (not
+        #: superseded) recovery — an audit trail of the coordinator's
+        #: own pauses.  Client-visible outage metrics live in the chaos
+        #: bench harness, which measures disruption -> next reply.
+        self.recovery_log: list[tuple[float, float]] = []
         self.failed_txns = 0
         self._epoch_buffer: list[Event] = []
         self._arrival_seq = 0
         self._batch_seq = 0
         self._snapshot_requested = False
         self._running = False
+        #: Bumped by every recover()/crash(): fences the delayed
+        #: ``resume`` closure of a recovery that was superseded.
+        self._recovery_epoch = 0
+        #: Bumped by every ``_start_ticks``: fences tick closures from a
+        #: previous incarnation (pre-crash chains that would otherwise
+        #: survive a short outage and double every tick rate).
+        self._tick_epoch = 0
         #: Sequential-fallback machinery: queue of aborted transactions
         #: re-executing one at a time inside the current batch.
         self._fallback_queue: list[TxnRecord] = []
@@ -155,8 +177,12 @@ class Coordinator:
         """Take the initial snapshot and start the periodic ticks."""
         self._running = True
         self._take_snapshot()
+        self._start_ticks()
+
+    def _start_ticks(self) -> None:
+        self._tick_epoch += 1
         self._schedule_tick(self.config.batch_interval_ms, self._tick_batch)
-        self._schedule_tick(self.config.epoch_interval_ms, self._tick_epoch)
+        self._schedule_tick(self.config.epoch_interval_ms, self._flush_epoch)
         self._schedule_tick(self.config.snapshot_interval_ms,
                             self._tick_snapshot)
         self._schedule_tick(self.config.failure_detect_ms / 2,
@@ -165,11 +191,42 @@ class Coordinator:
     def stop(self) -> None:
         self._running = False
 
+    # -- fail-stop & fail-over ------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: every piece of volatile state is lost and all
+        traffic is ignored until :meth:`failover`.  Durable state — the
+        snapshot store and the replayable source — survives."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._running = False  # in-flight tick closures die off
+        self._recovery_epoch += 1  # a pre-crash resume must not land
+        self.active = None
+        self.pending.clear()
+        self._epoch_buffer.clear()
+        self._fallback_queue = []
+        self._fallback_current = None
+
+    def failover(self) -> None:
+        """A standby coordinator takes over: restore the latest durable
+        snapshot (state, offsets, dedup sets, channel state) and resume
+        ticking.  Replies already emitted stay deduplicated because the
+        ``replied`` set is part of the snapshot."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.failovers += 1
+        self._running = True
+        self.recover()
+        self._start_ticks()
+
     def _schedule_tick(self, interval: float,
                        action: Callable[[], None]) -> None:
+        epoch = self._tick_epoch
+
         def fire() -> None:
-            if not self._running:
-                return
+            if not self._running or epoch != self._tick_epoch:
+                return  # this incarnation's chain was superseded
             action()
             self.sim.schedule(interval, fire)
 
@@ -179,6 +236,15 @@ class Coordinator:
     def on_request(self, event: Event,
                    *, is_transactional_method: bool) -> None:
         """A client request arrived from the replayable source."""
+        if self.crashed:
+            return  # a dead coordinator consumes nothing
+        request_id = event.request_id if event.request_id is not None else -1
+        if request_id in self.admitted:
+            # At-least-once produce duplicated the request in the log;
+            # admitting it again would double-commit its effects.
+            self.duplicate_requests += 1
+            return
+        self.admitted.add(request_id)
         record = TxnRecord(
             arrival_seq=self._arrival_seq,
             target=event.target, method=event.method or "",
@@ -234,6 +300,8 @@ class Coordinator:
 
     def on_txn_report(self, event: Event) -> None:
         """Root REPLY of a transaction's execution or fallback phase."""
+        if self.crashed:
+            return
         ctx = event.txn
         batch = self.active
         if ctx is None or batch is None or ctx.batch_id != batch.batch_id:
@@ -431,7 +499,7 @@ class Coordinator:
         self.replied.add(reply.request_id)
         self.hooks.emit_reply(reply)
 
-    def _tick_epoch(self) -> None:
+    def _flush_epoch(self) -> None:
         buffered, self._epoch_buffer = self._epoch_buffer, []
         for reply in buffered:
             self._emit(reply)
@@ -463,7 +531,8 @@ class Coordinator:
             replied=self.replied,
             batch_seq=self._batch_seq,
             arrival_seq=self._arrival_seq,
-            pending=pending_copy)
+            pending=pending_copy,
+            admitted=self.admitted)
 
     def _tick_watchdog(self) -> None:
         if self.recovering or self.active is None:
@@ -477,8 +546,11 @@ class Coordinator:
         """Restore the latest snapshot and replay the source."""
         snapshot = self.snapshots.latest()
         assert snapshot is not None  # start() always takes one
+        started_at = self.sim.now
         self.recovering = True
         self.recoveries += 1
+        self._recovery_epoch += 1
+        epoch = self._recovery_epoch
         self.active = None
         self.pending.clear()
         self._epoch_buffer.clear()
@@ -487,6 +559,7 @@ class Coordinator:
         self.hooks.restore_workers()
         self.committed.restore(snapshot.state)
         self.replied = set(snapshot.replied)
+        self.admitted = set(snapshot.admitted)
         self.pending = [
             TxnRecord(arrival_seq=txn.arrival_seq, target=txn.target,
                       method=txn.method, args=txn.args,
@@ -499,6 +572,9 @@ class Coordinator:
         self.hooks.source_seek(snapshot.source_offsets)
 
         def resume() -> None:
+            if epoch != self._recovery_epoch or self.crashed:
+                return  # superseded by a later recovery or a crash
             self.recovering = False
+            self.recovery_log.append((started_at, self.sim.now))
 
         self.sim.schedule(self.config.recovery_pause_ms, resume)

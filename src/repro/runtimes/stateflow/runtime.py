@@ -20,6 +20,7 @@ from typing import Any, Callable
 from ...compiler.pipeline import CompiledProgram
 from ...core.errors import RuntimeExecutionError
 from ...core.refs import EntityRef
+from ...faults import FaultInjector, FaultPlan
 from ...ir.events import Event, EventKind
 from ...substrates.kafka import KafkaBroker, KafkaConfig, KafkaRecord
 from ...substrates.network import LatencyModel, Network, NetworkConfig
@@ -63,6 +64,9 @@ class StateflowConfig:
     coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
     kafka: KafkaConfig = field(default_factory=default_kafka_config)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: Deterministic fault schedule (chaos testing); ``None`` = a
+    #: fault-free run.  See :mod:`repro.faults`.
+    fault_plan: FaultPlan | None = None
     sync_wait_ms: float = 120_000.0
 
 
@@ -90,7 +94,9 @@ class StateflowRuntime(Runtime):
             check_state_serializable=self.config.check_state_serializable)
         self.workers = [
             Worker(index, self.sim, self._executor,
-                   self.committed.partition(index), self._on_worker_out,
+                   self.committed.partition(index),
+                   (lambda event, sender=index:
+                    self._on_worker_out(event, sender)),
                    exec_service_ms=self.config.exec_service_ms,
                    state_op_ms=self.config.state_op_ms,
                    committed_reader=self.committed)
@@ -129,6 +135,16 @@ class StateflowRuntime(Runtime):
         self.duplicate_client_replies = 0
         self._reply_callbacks: dict[int, Callable[[Event], None]] = {}
         self._started = False
+        #: Observer called with every deduplicated client reply (chaos
+        #: harness trace capture); ``None`` = no tap.
+        self.reply_tap: Callable[[Event], None] | None = None
+        self.faults: FaultInjector | None = None
+        if self.config.fault_plan is not None:
+            self.faults = FaultInjector(
+                self.config.fault_plan, sim=self.sim, network=self.network,
+                broker=self.broker, workers=self.workers,
+                coordinator=self.coordinator,
+                duplicable_topics=(INGRESS_TOPIC, EGRESS_TOPIC)).install()
 
     # -- partitioning ------------------------------------------------------
     def worker_of(self, entity: str, key: Any) -> int:
@@ -160,24 +176,28 @@ class StateflowRuntime(Runtime):
         return refs
 
     # -- message routing ---------------------------------------------------
-    def _dispatch_to_worker(self, event: Event) -> None:
-        worker = self.workers[self.worker_of(event.target.entity,
-                                             event.target.key)]
-        self.network.send(lambda: worker.deliver(event))
+    def _dispatch_to_worker(self, event: Event,
+                            src: str = "coordinator") -> None:
+        index = self.worker_of(event.target.entity, event.target.key)
+        worker = self.workers[index]
+        self.network.send(lambda: worker.deliver(event),
+                          src=src, dst=f"worker-{index}")
 
-    def _on_worker_out(self, event: Event) -> None:
+    def _on_worker_out(self, event: Event, sender: int) -> None:
+        src = f"worker-{sender}"
         if event.kind is EventKind.REPLY:
-            self.network.send(lambda: self.coordinator.on_txn_report(event))
+            self.network.send(lambda: self.coordinator.on_txn_report(event),
+                              src=src, dst="coordinator")
             return
         if self.config.channel_mode == "kafka":
             self.broker.produce(LOOPBACK_TOPIC,
                                 key=f"{event.target.entity}|{event.target.key}",
                                 value=event)
             return
-        self._dispatch_to_worker(event)
+        self._dispatch_to_worker(event, src=src)
 
     def _on_loopback_record(self, record: KafkaRecord) -> None:
-        self._dispatch_to_worker(record.value)
+        self._dispatch_to_worker(record.value, src="kafka-loopback")
 
     def _is_single_key(self, entity: str, method: str) -> bool:
         """Single-key = unsplit state machine and not a constructor: the
@@ -192,15 +212,24 @@ class StateflowRuntime(Runtime):
     def _execute_single_key(self, worker_index: int, events: list,
                             on_done: Callable[[list], None]) -> None:
         worker = self.workers[worker_index]
+        name = f"worker-{worker_index}"
+        incarnation = worker.incarnation
         self.network.send(lambda: worker.execute_single_key(
             events, lambda replies: self.network.send(
-                lambda: on_done(replies))))
+                lambda: on_done(replies), src=name, dst="coordinator"),
+            incarnation=incarnation),
+            src="coordinator", dst=name)
 
     def _apply_writes(self, worker_index: int, writes: dict,
                       on_done: Callable[[], None]) -> None:
         worker = self.workers[worker_index]
+        name = f"worker-{worker_index}"
+        incarnation = worker.incarnation
         self.network.send(lambda: worker.apply_writes(
-            writes, lambda: self.network.send(on_done)))
+            writes, lambda: self.network.send(
+                on_done, src=name, dst="coordinator"),
+            incarnation=incarnation),
+            src="coordinator", dst=name)
 
     def _restore_workers(self) -> None:
         for worker in self.workers:
@@ -237,6 +266,8 @@ class StateflowRuntime(Runtime):
         if reply.ingress_time is not None:
             self.metrics.record(self.sim.now - reply.ingress_time,
                                 self.sim.now, label=reply.error or "")
+        if self.reply_tap is not None:
+            self.reply_tap(reply)
         callback = self._reply_callbacks.pop(request_id, None)
         if callback is not None:
             callback(reply)
@@ -296,6 +327,21 @@ class StateflowRuntime(Runtime):
             worker.kill()
         else:
             self.sim.schedule_at(at_ms, worker.kill)
+
+    def fail_coordinator(self, at_ms: float | None = None,
+                         *, failover_after_ms: float = 50.0) -> None:
+        """Fail-stop the coordinator at *at_ms* (now if omitted); a
+        standby takes over ``failover_after_ms`` later and recovers from
+        the latest snapshot."""
+
+        def crash() -> None:
+            self.coordinator.crash()
+            self.sim.schedule(failover_after_ms, self.coordinator.failover)
+
+        if at_ms is None:
+            crash()
+        else:
+            self.sim.schedule_at(at_ms, crash)
 
     def close(self) -> None:
         self.coordinator.stop()

@@ -59,6 +59,11 @@ class Snapshot:
     #: Requests consumed from the source but not yet committed at the
     #: snapshot boundary (restored into the coordinator's queue).
     pending: list[Any] = field(default_factory=list)
+    #: Request ids ever admitted from the source (ingress dedup: an
+    #: at-least-once producer can append the same request twice; replayed
+    #: requests after recovery must re-admit, so the set is snapshotted
+    #: with everything else).
+    admitted: set[int] = field(default_factory=set)
 
 
 class SnapshotStore:
@@ -72,12 +77,14 @@ class SnapshotStore:
     def take(self, *, taken_at_ms: float, state: Any,
              source_offsets: dict, replied: set[int],
              batch_seq: int, arrival_seq: int,
-             pending: list[Any] | None = None) -> Snapshot:
+             pending: list[Any] | None = None,
+             admitted: set[int] | None = None) -> Snapshot:
         snapshot = Snapshot(
             snapshot_id=self._next_id, taken_at_ms=taken_at_ms,
             state=state, source_offsets=dict(source_offsets),
             replied=set(replied), batch_seq=batch_seq,
-            arrival_seq=arrival_seq, pending=list(pending or []))
+            arrival_seq=arrival_seq, pending=list(pending or []),
+            admitted=set(admitted or ()))
         self._next_id += 1
         self._snapshots.append(snapshot)
         if len(self._snapshots) > self._keep:

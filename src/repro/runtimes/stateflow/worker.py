@@ -34,6 +34,12 @@ class Worker:
         self.sim = sim
         self.cpu = CpuPool(sim, 1, name=f"worker-{index}")
         self.alive = True
+        #: Bumped by every :meth:`restart` (i.e. every coordinator
+        #: ``recover()``): store-mutating messages carry the incarnation
+        #: they were addressed to, so a delivery delayed past a recovery
+        #: cannot land on the restored store and double-apply a batch
+        #: that replay is about to re-execute.
+        self.incarnation = 0
         self.events_processed = 0
         self.writes_applied = 0
         self._executor = executor
@@ -70,7 +76,8 @@ class Worker:
 
     # ------------------------------------------------------------------
     def execute_single_key(self, events: list[Event],
-                           on_done: Callable[[list[Event]], None]) -> None:
+                           on_done: Callable[[list[Event]], None],
+                           *, incarnation: int | None = None) -> None:
         """Single-key phase: run *events* serially, in the given
         (TID) order, directly against committed state.  Single-key
         functions have unsplit state machines, so each produces exactly
@@ -78,9 +85,12 @@ class Worker:
         no cross-worker traffic."""
         if not self.alive:
             return
+        if incarnation is not None and incarnation != self.incarnation:
+            return  # addressed to a pre-recovery incarnation
+        token = self.incarnation
 
         def process() -> None:
-            if not self.alive:
+            if not self.alive or token != self.incarnation:
                 return
             replies: list[Event] = []
             for event in events:
@@ -92,15 +102,19 @@ class Worker:
 
     # ------------------------------------------------------------------
     def apply_writes(self, writes: dict[tuple[str, Any], dict[str, Any]],
-                     on_done: Callable[[], None]) -> None:
+                     on_done: Callable[[], None],
+                     *, incarnation: int | None = None) -> None:
         """Commit phase: install a batch's write sets for the partitions
         this worker owns — only this worker's partition backend is
         touched."""
         if not self.alive:
             return
+        if incarnation is not None and incarnation != self.incarnation:
+            return  # addressed to a pre-recovery incarnation
+        token = self.incarnation
 
         def install() -> None:
-            if not self.alive:
+            if not self.alive or token != self.incarnation:
                 return
             self.store.apply_writes(writes)
             self.writes_applied += len(writes)
@@ -114,3 +128,4 @@ class Worker:
 
     def restart(self) -> None:
         self.alive = True
+        self.incarnation += 1

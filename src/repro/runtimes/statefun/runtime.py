@@ -29,6 +29,7 @@ from typing import Any, Callable
 from ...compiler.pipeline import CompiledProgram
 from ...core.errors import RuntimeExecutionError, UnsupportedFeatureError
 from ...core.refs import EntityRef
+from ...faults import FaultInjector, FaultPlan
 from ...ir.events import Event, EventKind
 from ...substrates.kafka import KafkaBroker, KafkaConfig, KafkaRecord
 from ...substrates.network import Network, NetworkConfig
@@ -107,6 +108,12 @@ class StatefunConfig:
     ingress_partitions: int = 4
     kafka: KafkaConfig = field(default_factory=default_kafka_config)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: Deterministic fault schedule.  StateFun has no coordinator, no
+    #: recovery and no named workers, so only a plan's message-level
+    #: faults apply; process events are counted as skipped.  Drops are
+    #: *not* recoverable here — that asymmetry against StateFlow is the
+    #: paper's fault-tolerance claim made visible.
+    fault_plan: FaultPlan | None = None
     sync_wait_ms: float = 60_000.0
 
 
@@ -153,6 +160,13 @@ class StatefunRuntime(Runtime):
         self._sync_replies: dict[int, Event] = {}
         self._reply_callbacks: dict[int, Callable[[Event], None]] = {}
         self.invocations = 0
+        self.reply_tap: Callable[[Event], None] | None = None
+        self.faults: FaultInjector | None = None
+        if self.config.fault_plan is not None:
+            self.faults = FaultInjector(
+                self.config.fault_plan, sim=self.sim, network=self.network,
+                broker=self.broker,
+                duplicable_topics=(INGRESS_TOPIC, EGRESS_TOPIC)).install()
 
     # -- dataflow stages ---------------------------------------------------
     def _on_source_record(self, record: KafkaRecord) -> None:
@@ -214,6 +228,8 @@ class StatefunRuntime(Runtime):
         if reply.ingress_time is not None:
             self.metrics.record(self.sim.now - reply.ingress_time,
                                 self.sim.now, label=reply.error or "")
+        if self.reply_tap is not None:
+            self.reply_tap(reply)
         callback = self._reply_callbacks.pop(request_id, None)
         if callback is not None:
             callback(reply)

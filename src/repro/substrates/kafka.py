@@ -15,8 +15,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..ir.dataflow import stable_hash
-from .network import LatencyModel
+from .network import DeliveryFault, LatencyModel
 from .simulation import CpuPool, Simulation
+
+#: How long a faulted (dropped/overtaken) fetch delivery waits before the
+#: broker retries it — the simulated consumer's fetch backoff.
+FETCH_RETRY_MS = 2.0
 
 
 class KafkaError(Exception):
@@ -87,6 +91,16 @@ class KafkaBroker:
         self._subscriptions: dict[str, set[str]] = {}  # topic -> groups
         self.records_produced = 0
         self.records_delivered = 0
+        self.records_duplicated = 0
+        self.deliveries_faulted = 0
+        #: Fault hook ``(op, name) -> DeliveryFault | None`` where *op* is
+        #: ``"produce"`` (name = topic) or ``"fetch"`` (name = group).
+        #: The log itself is durable: a produce fault can duplicate or
+        #: delay an append (at-least-once producer retries) but never
+        #: lose it, and a faulted fetch delivery is retried until it
+        #: lands — consumers see at-least-once, dedup is the reader's job.
+        self.fault_hook: Callable[[str, str], DeliveryFault | None] | None \
+            = None
 
     # -- topology ------------------------------------------------------
     def create_topic(self, name: str, partitions: int = 1) -> None:
@@ -116,13 +130,18 @@ class KafkaBroker:
         subscribed consumer groups."""
         partition_index = self.partition_for(topic, key)
         partition = self._topics[topic][partition_index]
+        fault = (self.fault_hook("produce", topic)
+                 if self.fault_hook is not None else None)
 
         def append() -> None:
-            record = KafkaRecord(topic=topic, partition=partition_index,
-                                 offset=-1, key=key, value=value,
-                                 timestamp=self.sim.now)
-            offset = partition.append(record)
-            self.records_produced += 1
+            copies = 1 + (fault.copies if fault is not None else 0)
+            self.records_duplicated += copies - 1
+            for _ in range(copies):
+                record = KafkaRecord(topic=topic, partition=partition_index,
+                                     offset=-1, key=key, value=value,
+                                     timestamp=self.sim.now)
+                offset = partition.append(record)
+                self.records_produced += 1
 
             def committed() -> None:
                 if on_ack is not None:
@@ -132,7 +151,9 @@ class KafkaBroker:
 
             self.cpu.submit(self.config.broker_cpu_ms, committed)
 
-        arrival = max(self.sim.now + self.config.produce_latency.sample(self.sim),
+        extra = fault.extra_delay_ms if fault is not None else 0.0
+        arrival = max(self.sim.now + extra
+                      + self.config.produce_latency.sample(self.sim),
                       partition.last_append)
         partition.last_append = arrival
         self.sim.schedule_at(arrival, append)
@@ -220,18 +241,33 @@ class KafkaBroker:
                           state.last_arrival.get(slot, 0.0))
             state.last_arrival[slot] = arrival
             self.sim.schedule_at(
-                arrival, self._deliver(state, slot, record, epoch))
+                arrival, self._deliver(group, state, slot, record, epoch))
             next_offset += 1
         state.scheduled[slot] = next_offset
 
-    def _deliver(self, state: _GroupState, slot: tuple[str, int],
-                 record: KafkaRecord, epoch: int) -> Callable[[], None]:
+    def _deliver(self, group: str, state: _GroupState,
+                 slot: tuple[str, int], record: KafkaRecord,
+                 epoch: int) -> Callable[[], None]:
         def fire() -> None:
             if state.paused or state.epoch != epoch:
                 return  # fenced by a seek/pause
             expected = state.offsets.get(slot, 0)
-            if record.offset != expected:
+            if record.offset < expected:
                 return  # already delivered past this point
+            if record.offset > expected:
+                # A predecessor's delivery was faulted and is still in
+                # flight: retry later so per-partition order holds.
+                self.sim.schedule(FETCH_RETRY_MS, fire)
+                return
+            fault = (self.fault_hook("fetch", group)
+                     if self.fault_hook is not None else None)
+            if fault is not None and (fault.drop or fault.extra_delay_ms):
+                # A faulted fetch is never lost — the consumer retries
+                # after its backoff (plus any injected delay spike).
+                self.deliveries_faulted += 1
+                self.sim.schedule(FETCH_RETRY_MS + fault.extra_delay_ms,
+                                  fire)
+                return
             state.offsets[slot] = expected + 1
             self.records_delivered += 1
             state.handler(record)

@@ -3,6 +3,12 @@
 Per-hop latencies are sampled from a log-normal distribution (the standard
 heavy-tailed model for datacenter RPC latency); each model is seeded from
 the simulation RNG, so runs are reproducible.
+
+Fault injection (:mod:`repro.faults`) plugs in through ``fault_hook``: a
+callable consulted once per :meth:`Network.send` that may return a
+:class:`DeliveryFault` — drop the message, deliver extra copies, or add a
+delay spike.  Senders may label messages with ``src``/``dst`` node names
+so hooks can scope faults to network partitions.
 """
 
 from __future__ import annotations
@@ -12,6 +18,27 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .simulation import Simulation
+
+
+@dataclass(slots=True)
+class DeliveryFault:
+    """One message's injected fate, as decided by a fault hook.
+
+    ``drop`` loses the message entirely; ``copies`` delivers that many
+    duplicates (each with an independently sampled hop latency);
+    ``extra_delay_ms`` adds a latency spike on top of the sampled hop.
+    Large random spikes double as reordering: a delayed message arrives
+    after its successors.
+    """
+
+    drop: bool = False
+    copies: int = 0
+    extra_delay_ms: float = 0.0
+
+
+#: Hook signature: ``(src, dst) -> DeliveryFault | None`` for the network,
+#: ``(op, name) -> DeliveryFault | None`` for the Kafka broker.
+FaultHook = Callable[[str | None, str | None], "DeliveryFault | None"]
 
 
 @dataclass(slots=True)
@@ -61,14 +88,36 @@ class Network:
         self.config = config or NetworkConfig()
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        #: Fault-injection hook (see module docstring); ``None`` = a
+        #: perfectly reliable fabric.
+        self.fault_hook: FaultHook | None = None
 
     def send(self, callback: Callable[[], None],
              *, model: LatencyModel | None = None,
-             size_bytes: int = 0) -> None:
-        """Deliver after one sampled hop (default: intra-cluster)."""
-        latency = (model or self.config.intra_cluster).sample(self.sim)
+             size_bytes: int = 0,
+             src: str | None = None, dst: str | None = None) -> None:
+        """Deliver after one sampled hop (default: intra-cluster).
+
+        ``src``/``dst`` are optional node labels used only to scope
+        injected faults (partitions); they do not affect routing."""
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        fault = (self.fault_hook(src, dst)
+                 if self.fault_hook is not None else None)
+        chosen = model or self.config.intra_cluster
+        if fault is not None:
+            if fault.drop:
+                self.messages_dropped += 1
+                return
+            for _ in range(fault.copies):
+                self.messages_duplicated += 1
+                self.sim.schedule(
+                    chosen.sample(self.sim) + fault.extra_delay_ms, callback)
+        latency = chosen.sample(self.sim)
+        if fault is not None:
+            latency += fault.extra_delay_ms
         self.sim.schedule(latency, callback)
 
     def rpc(self, execute: Callable[[Callable[[], None]], None],

@@ -88,6 +88,73 @@ class TestCli:
         assert completed.returncode != 0
 
 
+class TestChaosCli:
+    def test_plan_generation_is_reproducible(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for out in (first, second):
+            completed = _cli("chaos", "plan", "--seed", 11, "--out", out)
+            assert completed.returncode == 0, completed.stderr
+        assert first.read_text() == second.read_text()
+        plan = json.loads(first.read_text())
+        assert plan["seed"] == 11
+        assert any(event["kind"] == "crash_worker"
+                   for event in plan["events"])
+
+    def test_chaos_run_recovers_and_reproduces(self, tmp_path):
+        """Acceptance: a seeded plan (worker crash + message drops) on
+        StateFlow recovers loss-free, and the printed trace digest is
+        identical across reruns of the same seed."""
+        plan_path = tmp_path / "plan.json"
+        plan = {
+            "seed": 13, "name": "acceptance",
+            "events": [
+                {"kind": "messages", "at_ms": 100.0, "duration_ms": 900.0,
+                 "channel": "network",
+                 "profile": {"drop_p": 0.05, "delay_p": 0.1,
+                             "delay_ms": 10.0}},
+                {"kind": "crash_worker", "at_ms": 500.0, "worker": 1},
+            ],
+        }
+        plan_path.write_text(json.dumps(plan), encoding="utf-8")
+        digests = []
+        for _ in range(2):
+            completed = _cli("chaos", "run", "--plan", plan_path,
+                             "--seed", 13, "--duration-ms", 1500,
+                             "--records", 30, timeout=300)
+            assert completed.returncode == 0, (
+                completed.stdout + completed.stderr)
+            assert "serializable, loss-free, exactly-once" in completed.stdout
+            assert "recoveries" in completed.stdout
+            (digest_line,) = [line for line in completed.stdout.splitlines()
+                              if line.startswith("trace digest:")]
+            digests.append(digest_line.split()[-1])
+        assert digests[0] == digests[1], "same seed must replay identically"
+
+    def test_chaos_run_different_seed_different_digest(self, tmp_path):
+        outputs = []
+        for seed in (3, 4):
+            completed = _cli("chaos", "run", "--seed", seed,
+                             "--duration-ms", 1200, "--records", 25,
+                             timeout=300)
+            assert completed.returncode == 0, (
+                completed.stdout + completed.stderr)
+            (digest_line,) = [line for line in completed.stdout.splitlines()
+                              if line.startswith("trace digest:")]
+            outputs.append(digest_line.split()[-1])
+        assert outputs[0] != outputs[1]
+
+    def test_bench_accepts_faults_flag(self, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        completed = _cli("chaos", "plan", "--seed", 5, "--duration-ms", 1000,
+                         "--out", plan_path)
+        assert completed.returncode == 0, completed.stderr
+        completed = _cli("bench", "--duration-ms", 1000, "--rps", 60,
+                         "--records", 25, "--faults", plan_path, timeout=300)
+        assert completed.returncode == 0, completed.stderr
+        assert "recoveries" in completed.stdout
+
+
 class TestDot:
     def test_dataflow_dot_structure(self, shop_program):
         dot = dataflow_to_dot(shop_program.dataflow)

@@ -1,0 +1,88 @@
+"""In-process CLI coverage: drives ``repro.cli.main`` directly (the
+subprocess tests in test_cli_and_dot.py check the real entry point; these
+make the handler logic visible to the coverage gate)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SHOP = (
+    "from repro import entity\n"
+    "@entity\n"
+    "class Gadget:\n"
+    "    def __init__(self, gid: str):\n"
+    "        self.gid: str = gid\n"
+    "        self.uses: int = 0\n"
+    "    def __key__(self):\n"
+    "        return self.gid\n"
+    "    def use(self, n: int) -> int:\n"
+    "        self.uses += n\n"
+    "        return self.uses\n")
+
+
+@pytest.fixture()
+def module_path(tmp_path):
+    path = tmp_path / "gadget_app.py"
+    path.write_text(SHOP, encoding="utf-8")
+    return str(path)
+
+
+def test_compile_describe_dot_round_trip(module_path, tmp_path, capsys):
+    ir_path = str(tmp_path / "app.json")
+    assert main(["compile", module_path, "--out", ir_path]) == 0
+    assert main(["describe", ir_path]) == 0
+    assert main(["dot", ir_path]) == 0
+    assert main(["dot", ir_path, "--method", "Gadget.use"]) == 0
+    out = capsys.readouterr().out
+    assert "Gadget" in out and "digraph" in out
+
+
+def test_run_create_then_invoke(module_path, capsys):
+    assert main(["run", module_path, "Gadget", "__init__", "-",
+                 '"g1"']) == 0
+    assert main(["run", module_path, "Gadget", "use", '"g1"', "3"]) == 1
+    # invoking on a fresh runtime: the entity doesn't exist -> exit 1
+
+
+def test_run_with_fault_plan(module_path, tmp_path, capsys):
+    plan_path = str(tmp_path / "plan.json")
+    assert main(["chaos", "plan", "--seed", "3", "--no-process-faults",
+                 "--out", plan_path]) == 0
+    assert main(["run", module_path, "Gadget", "__init__", "-", '"g2"',
+                 "--faults", plan_path]) == 0
+    assert "Gadget/g2" in capsys.readouterr().out
+
+
+def test_chaos_plan_to_stdout(capsys):
+    assert main(["chaos", "plan", "--seed", "9",
+                 "--coordinator-faults"]) == 0
+    plan = json.loads(capsys.readouterr().out)
+    assert plan["seed"] == 9
+    assert any(event["kind"] == "crash_coordinator"
+               for event in plan["events"])
+
+
+def test_chaos_run_inprocess(capsys):
+    code = main(["chaos", "run", "--seed", "11", "--duration-ms", "1200",
+                 "--records", "25", "--rps", "80"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "trace digest:" in out
+    assert "serializable, loss-free, exactly-once" in out
+
+
+def test_bench_with_faults_inprocess(tmp_path, capsys):
+    plan_path = str(tmp_path / "plan.json")
+    assert main(["chaos", "plan", "--seed", "5", "--duration-ms", "1000",
+                 "--out", plan_path]) == 0
+    assert main(["bench", "--duration-ms", "1000", "--rps", "60",
+                 "--records", "25", "--faults", plan_path]) == 0
+    assert "recoveries" in capsys.readouterr().out
+
+
+def test_bench_rejects_unknown_env_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_STATE_BACKEND", "chalkboard")
+    with pytest.raises(SystemExit):
+        main(["bench", "--duration-ms", "500"])

@@ -62,6 +62,81 @@ def test_zoo_matches_oracle_on_every_runtime(runtime_cls, method, make_args,
     assert runtime.entity_state(counter) == vars(oracle_counter)
 
 
+# ---------------------------------------------------------------------------
+# Conformance matrix under faults: one message-level plan, three runtimes
+# ---------------------------------------------------------------------------
+
+from repro.faults import FaultEvent, FaultPlan, MessageFaultProfile  # noqa: E402
+from repro.runtimes.statefun import StatefunConfig  # noqa: E402
+from repro.runtimes.stateflow import StateflowConfig  # noqa: E402
+
+#: Delivery-perturbing but loss-free: delays reorder in-flight messages
+#: on the simulated runtimes and reorder the Local queue; no runtime may
+#: let delivery timing leak into entity state.
+CONFORMANCE_PLAN = FaultPlan(seed=31, name="conformance", events=[
+    FaultEvent(kind="messages", at_ms=0.0, duration_ms=600_000.0,
+               channel="all",
+               profile=MessageFaultProfile(delay_p=0.35, delay_ms=25.0))])
+
+
+def _faulted_runtime(runtime_cls, program):
+    if runtime_cls is LocalRuntime:
+        return LocalRuntime(program, fault_plan=CONFORMANCE_PLAN)
+    if runtime_cls is StatefunRuntime:
+        return StatefunRuntime(program, config=StatefunConfig(
+            fault_plan=CONFORMANCE_PLAN))
+    return StateflowRuntime(program, config=StateflowConfig(
+        fault_plan=CONFORMANCE_PLAN))
+
+
+@pytest.mark.parametrize("runtime_cls", RUNTIMES,
+                         ids=[cls.__name__ for cls in RUNTIMES])
+@pytest.mark.parametrize("method,make_args",
+                         [case for case in ZOO_CASES
+                          if case[0] in ("straight", "branch", "loop_for",
+                                         "helper_chain", "loop_while_break",
+                                         "remote_in_condition")],
+                         ids=lambda value: value if isinstance(value, str)
+                         else "")
+def test_zoo_conformance_under_shared_fault_plan(runtime_cls, method,
+                                                 make_args, zoo_program):
+    """Satellite: every runtime, same message-level fault plan, same
+    program — the final entity state must be identical everywhere (and
+    equal to the plain-Python oracle)."""
+    args = make_args(4)
+    runtime = _faulted_runtime(runtime_cls, zoo_program)
+    counter = runtime.create("Counter", "c1")
+    zoo = runtime.create("Zoo", "z1")
+    value = runtime.call(zoo, method, counter, *args)
+
+    oracle_counter = OracleCounter("c1")
+    oracle = OracleZoo("z1")
+    expected = getattr(oracle, method)(oracle_counter, *args)
+
+    assert value == expected
+    assert runtime.entity_state(counter) == vars(oracle_counter)
+    if runtime.faults is not None:  # simulated runtimes only
+        assert runtime.faults.stats.delayed + \
+            runtime.faults.stats.kafka_delayed > 0, (
+            "the plan was supposed to perturb deliveries")
+
+
+@pytest.mark.parametrize("runtime_cls", RUNTIMES,
+                         ids=[cls.__name__ for cls in RUNTIMES])
+def test_shop_conformance_under_shared_fault_plan(runtime_cls, shop_program):
+    runtime = _faulted_runtime(runtime_cls, shop_program)
+    apple = runtime.create("Item", "apple", 3)
+    runtime.call(apple, "update_stock", 10)
+    alice = runtime.create("User", "alice")
+    outcomes = [runtime.call(alice, "buy_item", 2, apple),
+                runtime.call(alice, "buy_item", 50, apple)]
+    assert outcomes == [True, False]
+    assert runtime.entity_state(alice) == {"username": "alice",
+                                           "balance": 94}
+    assert runtime.entity_state(apple) == {"item_id": "apple", "stock": 8,
+                                           "price_per_unit": 3}
+
+
 def test_tpcc_same_on_local_and_stateflow(tpcc_program):
     from repro.core.refs import EntityRef
     from repro.workloads import order_line_refs, sample_dataset

@@ -3,13 +3,28 @@
 Property: any concurrent mix of transfers and increments must leave the
 system in a state reachable by *some* serial order — for transfers, that
 means global conservation plus non-negative balances; for increments,
-exact sums."""
+exact sums.  The chaos variants re-check the same oracles while a fault
+plan crashes workers, drops messages and partitions the cluster: the
+committed history must still be serializable with zero lost or
+duplicated commits."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtimes.stateflow import StateflowRuntime
+from repro.bench import chaos_coordinator_config
+from repro.faults import random_plan
+from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
 from repro.workloads import Account
+
+
+def _chaos_config(seed: int, *, duration_ms: float = 3_000.0,
+                  intensity: str = "medium",
+                  coordinator_faults: bool = False) -> StateflowConfig:
+    plan = random_plan(seed, duration_ms=duration_ms, workers=5,
+                       intensity=intensity,
+                       coordinator_faults=coordinator_faults)
+    return StateflowConfig(fault_plan=plan,
+                           coordinator=chaos_coordinator_config())
 
 
 transfer_plan = st.lists(
@@ -45,6 +60,117 @@ def test_concurrent_increments_exact(account_program, increments):
         runtime.submit(ref, "add", (amount,))
     runtime.sim.run(until=runtime.sim.now + 60_000)
     assert runtime.entity_state(ref)["balance"] == sum(increments)
+
+
+# ---------------------------------------------------------------------------
+# Chaos variants: the same serial-order oracles under random fault plans
+# ---------------------------------------------------------------------------
+
+
+@given(transfer_plan, st.integers(0, 2**16))
+@settings(max_examples=8, deadline=None)
+def test_transfers_serializable_under_chaos(account_program, plan,
+                                            chaos_seed):
+    """YCSB-style transfer histories under a random fault plan must
+    still check out: conservation, non-negative balances, and exactly
+    one commit per submitted request (no loss, no duplication)."""
+    runtime = StateflowRuntime(account_program,
+                               config=_chaos_config(chaos_seed))
+    refs = runtime.preload(Account,
+                           [(f"acct-{i}", 100) for i in range(6)])
+    runtime.start()
+    replies: list[int] = []
+    for index, (source, target, amount) in enumerate(plan):
+        if source == target:
+            target = (target + 1) % 6
+        runtime.sim.schedule_at(
+            index * 40.0,
+            lambda s=source, t=target, a=amount: runtime.submit(
+                refs[s], "transfer", (a, refs[t]),
+                on_reply=lambda reply: replies.append(reply.request_id)))
+    runtime.sim.run_until(lambda: len(replies) >= len(plan),
+                          max_time=120_000)
+    balances = [runtime.entity_state(ref)["balance"] for ref in refs]
+    assert sum(balances) == 600, balances
+    assert all(balance >= 0 for balance in balances), balances
+    assert len(replies) == len(plan), "a commit was lost under faults"
+    assert len(set(replies)) == len(replies), "a reply was duplicated"
+
+
+@given(st.lists(st.integers(1, 9), min_size=1, max_size=30),
+       st.integers(0, 2**16))
+@settings(max_examples=6, deadline=None)
+def test_increments_exact_under_chaos(account_program, increments,
+                                      chaos_seed):
+    """Hot-key increments are lost-update detectors: any dropped or
+    double-applied commit shifts the final sum."""
+    runtime = StateflowRuntime(
+        account_program,
+        config=_chaos_config(chaos_seed, intensity="heavy",
+                             coordinator_faults=True))
+    (ref,) = runtime.preload(Account, [("hot", 0)])
+    runtime.start()
+    for index, amount in enumerate(increments):
+        runtime.sim.schedule_at(
+            index * 50.0, lambda a=amount: runtime.submit(ref, "add", (a,)))
+    expected = sum(increments)
+    runtime.sim.run_until(
+        lambda: (runtime.entity_state(ref) or {}).get("balance") == expected,
+        max_time=120_000)
+    assert runtime.entity_state(ref)["balance"] == expected
+
+
+def test_tpcc_history_matches_serial_oracle_under_chaos(tpcc_program):
+    """A sequential TPC-C history under worker crashes and message
+    faults must commit exactly the serial-order (fault-free Local)
+    state."""
+    from repro.core.refs import EntityRef
+    from repro.runtimes import LocalRuntime
+    from repro.workloads import order_line_refs, sample_dataset
+
+    def drive(runtime) -> tuple:
+        customer = EntityRef("Customer", "wh-0:d-0:c-0")
+        district = EntityRef("District", "wh-0:d-0")
+        warehouse = EntityRef("Warehouse", "wh-0")
+        outcomes = []
+        for lines, qties in (([1, 2], [4, 4]), ([3], [2]), ([2, 4], [1, 5])):
+            outcomes.append(runtime.call(
+                customer, "new_order", district,
+                order_line_refs("wh-0", lines), qties))
+        outcomes.append(runtime.call(customer, "payment", 99,
+                                     warehouse, district))
+        return (outcomes, runtime.entity_state(customer),
+                runtime.entity_state(district),
+                runtime.entity_state(warehouse))
+
+    oracle = LocalRuntime(tpcc_program)
+    dataset = sample_dataset()
+    for entity_name, rows in dataset.items():
+        for args in rows:
+            oracle.create(entity_name, *args)
+    expected = drive(oracle)
+
+    # Explicit schedule: a sequential history advances virtual time only
+    # while calls are in flight, so the faults must land early.
+    from repro.faults import FaultEvent, FaultPlan, MessageFaultProfile
+    plan = FaultPlan(seed=29, events=[
+        FaultEvent(kind="messages", at_ms=0.0, duration_ms=2_000.0,
+                   channel="all",
+                   profile=MessageFaultProfile(drop_p=0.04, duplicate_p=0.04,
+                                               delay_p=0.15, delay_ms=15.0)),
+        FaultEvent(kind="crash_worker", at_ms=40.0, worker=1),
+        FaultEvent(kind="crash_worker", at_ms=600.0, worker=3),
+    ])
+    chaotic = StateflowRuntime(tpcc_program, config=StateflowConfig(
+        fault_plan=plan, coordinator=chaos_coordinator_config()))
+    for entity_name, rows in sample_dataset().items():
+        chaotic.preload(entity_name, rows)
+    chaotic.start()
+    actual = drive(chaotic)
+    assert actual == expected
+    assert chaotic.faults is not None
+    assert chaotic.faults.stats.worker_crashes >= 1, (
+        "the plan should actually have crashed a worker")
 
 
 def test_interleaved_transfer_and_reads_consistent(account_program):
