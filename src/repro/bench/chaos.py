@@ -59,6 +59,21 @@ class ChaosReport:
     def ok(self) -> bool:
         return not self.problems
 
+    def as_artifact(self) -> dict[str, Any]:
+        """JSON-ready payload for ``BENCH_chaos.json`` persistence."""
+        return {
+            "cell": "chaos",
+            "row": self.row.as_dict(),
+            "plan": self.plan_name,
+            "recoveries": self.recoveries,
+            "failovers": self.failovers,
+            "recovery_time_ms": round(self.recovery_time_ms, 2),
+            "availability": round(self.availability, 3),
+            "fault_stats": self.fault_stats,
+            "trace_digest": self.trace_digest,
+            "problems": list(self.problems),
+        }
+
     def summary(self) -> str:
         lines = [
             f"plan:             {self.plan_name}",
@@ -81,10 +96,45 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def _digest(trace: list[tuple], state: dict) -> str:
+def trace_state_digest(trace: list[tuple], state: dict) -> str:
+    """SHA-256 over (reply trace, final committed state): the
+    reproducibility fingerprint shared by the chaos and rescale cells —
+    identical across reruns of the same (seed, plan) pair."""
     blob = repr((sorted(trace),
                  sorted(state.items(), key=repr))).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
+
+
+_digest = trace_state_digest
+
+
+def verify_history(*, sent: int, completed: int, trace: list[tuple],
+                   state: dict, workload, workload_name: str) -> list[str]:
+    """The shared serial-order oracle of the chaos and rescale cells:
+    exactly-once completion (no loss, no duplication) plus the
+    workload's state invariants (conservation and non-negative balances
+    for YCSB-T).  Returns the violations; an empty list is a pass."""
+    problems: list[str] = []
+    if completed < sent:
+        problems.append(f"lost replies: {sent - completed} "
+                        f"of {sent} requests never completed")
+    request_ids = [entry[0] for entry in trace]
+    if len(request_ids) != len(set(request_ids)):
+        problems.append("duplicated replies: a client observed the same "
+                        "request id twice")
+    if workload_name == "T":
+        total = sum(entry["balance"] for (entity, _), entry in state.items()
+                    if entity == "Account")
+        expected = workload.total_balance()
+        if total != expected:
+            problems.append(f"conservation violated: balances sum to "
+                            f"{total}, expected {expected}")
+    negatives = [key for (kind, key), entry in state.items()
+                 if kind == "Account" and entry.get("balance", 0) < 0]
+    if negatives:
+        problems.append(f"negative balances (non-serializable history): "
+                        f"{negatives[:5]}")
+    return problems
 
 
 def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
@@ -171,29 +221,12 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
     availability = len(hit) / buckets
 
     # -- invariants ------------------------------------------------------
-    problems: list[str] = []
-    if completed < result.sent:
-        problems.append(f"lost replies: {result.sent - completed} "
-                        f"of {result.sent} requests never completed")
-    request_ids = [entry[0] for entry in trace]
-    if len(request_ids) != len(set(request_ids)):
-        problems.append("duplicated replies: a client observed the same "
-                        "request id twice")
     state = materialize_snapshot(runtime.committed.snapshot()) \
         if hasattr(runtime, "committed") else {
             key: runtime.state.get(*key) for key in runtime.state.keys()}
-    if workload_name == "T":
-        total = sum(entry["balance"] for (entity, _), entry in state.items()
-                    if entity == "Account")
-        expected = workload.total_balance()
-        if total != expected:
-            problems.append(f"conservation violated: balances sum to "
-                            f"{total}, expected {expected}")
-    negatives = [key for (kind, key), entry in state.items()
-                 if kind == "Account" and entry.get("balance", 0) < 0]
-    if negatives:
-        problems.append(f"negative balances (non-serializable history): "
-                        f"{negatives[:5]}")
+    problems = verify_history(sent=result.sent, completed=completed,
+                              trace=trace, state=state, workload=workload,
+                              workload_name=workload_name)
 
     extra = {
         "state_backend": getattr(runtime.config, "state_backend", "dict"),

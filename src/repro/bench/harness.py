@@ -8,8 +8,10 @@ are thin wrappers over these functions.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from ..compiler.pipeline import CompiledProgram, compile_program
@@ -82,6 +84,24 @@ def default_state_backend() -> str:
     ``REPRO_STATE_BACKEND`` environment variable (the CLI/CI surface),
     falling back to ``dict``."""
     return os.environ.get("REPRO_STATE_BACKEND", "dict")
+
+
+def write_bench_artifact(cell: str, payload: dict[str, Any],
+                         directory: str | Path | None = None) -> Path:
+    """Persist one bench cell's results as ``BENCH_<cell>.json``.
+
+    Every CLI bench entry point calls this, so the perf trajectory is
+    recorded run over run instead of scrolling away.  The directory
+    defaults to ``$REPRO_BENCH_DIR`` or the current working directory;
+    payloads are pure simulation output (no wall-clock timestamps), so
+    reruns of the same seed produce byte-identical artifacts.
+    """
+    base = Path(directory or os.environ.get("REPRO_BENCH_DIR", "."))
+    base.mkdir(parents=True, exist_ok=True)
+    path = base / f"BENCH_{cell}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def run_ycsb_cell(system: str, workload_name: str, distribution: str,

@@ -16,12 +16,23 @@ Commands:
 - ``chaos run [--plan plan.json] [--seed N] ...`` — execute a workload
   under a fault plan and verify the committed history (exactly-once,
   conservation), printing recovery/availability metrics and a trace
-  digest that is identical across reruns of the same seed.
+  digest that is identical across reruns of the same seed;
+- ``rescale plan --targets 4,3 --out plan.json`` — generate a
+  declarative elastic-rescale schedule;
+- ``rescale run [--plan plan.json] [--faults chaos.json] ...`` — run a
+  workload that resizes the StateFlow cluster mid-stream (optionally
+  under chaos), verify the committed history, and report migration
+  pause times and post-rescale throughput.
 
 ``run`` and ``bench`` accept ``--state-backend`` to select the
-committed-state backend (see :mod:`repro.runtimes.state`) and
+committed-state backend (see :mod:`repro.runtimes.state`),
 ``--faults plan.json`` to run under a fault plan (see
-:mod:`repro.faults`).
+:mod:`repro.faults`), and ``--rescale plan.json`` to resize the cluster
+mid-run (StateFlow only; see :mod:`repro.rescale`).
+
+``bench``, ``chaos run`` and ``rescale run`` persist their results as
+``BENCH_<cell>.json`` in the working directory (override with
+``$REPRO_BENCH_DIR``), so the perf trajectory survives the run.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from .core.refs import EntityRef
 from .faults import INTENSITIES, FaultPlan, random_plan
 from .ir.dot import dataflow_to_dot, machine_to_dot
 from .ir.serde import dataflow_from_json, dataflow_to_json
+from .rescale import RescalePlan, staged_plan
 from .runtimes.local import LocalRuntime
 from .runtimes.state import BACKENDS
 
@@ -104,9 +116,31 @@ def _load_fault_plan(path: str | None) -> FaultPlan | None:
     return FaultPlan.from_json(Path(path))
 
 
+def _load_rescale_plan(path: str | None) -> RescalePlan | None:
+    if path is None:
+        return None
+    return RescalePlan.from_json(Path(path))
+
+
+def _parse_targets(text: str) -> list[int]:
+    try:
+        targets = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"--targets expects comma-separated worker "
+                         f"counts, got {text!r}")
+    if not targets or any(target < 1 for target in targets):
+        raise SystemExit(f"--targets needs positive worker counts, "
+                         f"got {text!r}")
+    return targets
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     classes = _load_module_entities(args.module)
     program = compile_program(classes)
+    if args.rescale is not None:
+        print("note: the Local runtime is single-process; --rescale "
+              "applies to `repro bench` / `repro rescale run` "
+              "(stateflow)", file=sys.stderr)
     runtime = LocalRuntime(program, state_backend=args.state_backend,
                            fault_plan=_load_fault_plan(args.faults))
     call_args = [_parse_literal(a) for a in args.args]
@@ -125,7 +159,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import default_state_backend, format_table, run_ycsb_cell
+    from .bench import (default_state_backend, format_table, run_ycsb_cell,
+                        write_bench_artifact)
 
     backend = args.state_backend or default_state_backend()
     if backend not in BACKENDS:
@@ -135,10 +170,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"repro bench: error: unknown state backend {backend!r}; "
             f"choose from {sorted(BACKENDS)}")
     plan = _load_fault_plan(args.faults)
+    rescale_plan = _load_rescale_plan(args.rescale)
+    if rescale_plan is not None and args.system != "stateflow":
+        raise SystemExit("repro bench: error: --rescale requires "
+                         "--system stateflow (the elastic runtime)")
+    overrides = ({"rescale_plan": rescale_plan}
+                 if rescale_plan is not None else None)
     row = run_ycsb_cell(args.system, args.workload, args.distribution,
                         rps=args.rps, duration_ms=args.duration_ms,
                         record_count=args.records, seed=args.seed,
-                        state_backend=backend, fault_plan=plan)
+                        state_backend=backend, fault_plan=plan,
+                        runtime_overrides=overrides)
     columns = ["system", "workload", "distribution", "state_backend",
                "rps", "p50_ms", "p99_ms", "mean_ms", "completed", "errors"]
     if plan is not None and args.system == "stateflow":
@@ -146,6 +188,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(format_table(
         [row], f"YCSB {args.workload}/{args.distribution} on {args.system}",
         columns=columns))
+    path = write_bench_artifact("ycsb", {"cell": "ycsb",
+                                         "rows": [row.as_dict()]})
+    print(f"wrote {path}")
     return 0
 
 
@@ -153,7 +198,8 @@ def _cmd_chaos_plan(args: argparse.Namespace) -> int:
     plan = random_plan(args.seed, duration_ms=args.duration_ms,
                        workers=args.workers, intensity=args.intensity,
                        process_faults=not args.no_process_faults,
-                       coordinator_faults=args.coordinator_faults)
+                       coordinator_faults=args.coordinator_faults,
+                       rescales=args.rescales)
     if args.out:
         plan.to_json(Path(args.out))
         print(f"wrote plan {plan.name!r} ({len(plan.events)} events) "
@@ -164,7 +210,7 @@ def _cmd_chaos_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos_run(args: argparse.Namespace) -> int:
-    from .bench import format_table, run_chaos_cell
+    from .bench import format_table, run_chaos_cell, write_bench_artifact
 
     plan = _load_fault_plan(args.plan)
     report = run_chaos_cell(
@@ -179,6 +225,50 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
                        f"{args.system} (seed {args.seed})", columns=columns))
     print()
     print(report.summary())
+    path = write_bench_artifact("chaos", report.as_artifact())
+    print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_rescale_plan(args: argparse.Namespace) -> int:
+    plan = staged_plan(_parse_targets(args.targets),
+                       start_ms=args.start_ms, interval_ms=args.interval_ms)
+    if args.out:
+        plan.to_json(Path(args.out))
+        print(f"wrote plan {plan.name!r} ({len(plan.steps)} steps) "
+              f"to {args.out}")
+    else:
+        print(plan.to_json())
+    return 0
+
+
+def _cmd_rescale_run(args: argparse.Namespace) -> int:
+    from .bench import format_table, run_rescale_cell, write_bench_artifact
+
+    if args.plan is not None:
+        plan = _load_rescale_plan(args.plan)
+    else:
+        plan = staged_plan(_parse_targets(args.targets),
+                           start_ms=args.duration_ms * 0.3,
+                           interval_ms=args.duration_ms * 0.3)
+    report = run_rescale_cell(
+        args.workload, args.distribution, workers=args.workers, plan=plan,
+        rps=args.rps, duration_ms=args.duration_ms,
+        record_count=args.records, seed=args.seed,
+        state_backend=args.state_backend,
+        fault_plan=_load_fault_plan(args.faults))
+    columns = ["system", "workload", "state_backend", "rps", "p50_ms",
+               "p99_ms", "completed", "errors", "rescales",
+               "mean_pause_ms", "keys_moved", "final_workers"]
+    print(format_table(
+        [report.row],
+        f"rescale {args.workload}/{args.distribution} "
+        f"{args.workers} -> {' -> '.join(str(t) for t in plan.targets)} "
+        f"(seed {args.seed})", columns=columns))
+    print()
+    print(report.summary())
+    path = write_bench_artifact("rescale", report.as_artifact())
+    print(f"wrote {path}")
     return 0 if report.ok else 1
 
 
@@ -219,6 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--faults", default=None, metavar="PLAN_JSON",
                          help="fault plan (Local applies its "
                               "message-reordering subset)")
+    run_cmd.add_argument("--rescale", default=None, metavar="PLAN_JSON",
+                         help="rescale plan (ignored by the Local "
+                              "runtime; see `repro rescale run`)")
     run_cmd.set_defaults(handler=_cmd_run)
 
     bench_cmd = commands.add_parser(
@@ -239,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "$REPRO_STATE_BACKEND or dict)")
     bench_cmd.add_argument("--faults", default=None, metavar="PLAN_JSON",
                            help="run the cell under a fault plan")
+    bench_cmd.add_argument("--rescale", default=None, metavar="PLAN_JSON",
+                           help="resize the cluster mid-run "
+                                "(stateflow only)")
     bench_cmd.set_defaults(handler=_cmd_bench)
 
     chaos_cmd = commands.add_parser(
@@ -256,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="message-level faults only")
     plan_cmd.add_argument("--coordinator-faults", action="store_true",
                           help="include a coordinator fail-over")
+    plan_cmd.add_argument("--rescales", type=int, default=0,
+                          help="sprinkle N elastic rescales through the "
+                               "schedule (rescale-under-chaos)")
     plan_cmd.add_argument("--out", default=None)
     plan_cmd.set_defaults(handler=_cmd_chaos_plan)
 
@@ -278,6 +377,51 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_run_cmd.add_argument("--state-backend", default=None,
                                choices=sorted(BACKENDS))
     chaos_run_cmd.set_defaults(handler=_cmd_chaos_run)
+
+    rescale_cmd = commands.add_parser(
+        "rescale", help="elastic rescaling with live state migration")
+    rescale_sub = rescale_cmd.add_subparsers(dest="rescale_command",
+                                             required=True)
+
+    rescale_plan_cmd = rescale_sub.add_parser(
+        "plan", help="generate a declarative rescale schedule")
+    rescale_plan_cmd.add_argument("--targets", default="4,3",
+                                  help="comma-separated worker counts, "
+                                       "one rescale per entry")
+    rescale_plan_cmd.add_argument("--start-ms", type=float, default=1_000.0)
+    rescale_plan_cmd.add_argument("--interval-ms", type=float,
+                                  default=1_000.0)
+    rescale_plan_cmd.add_argument("--out", default=None)
+    rescale_plan_cmd.set_defaults(handler=_cmd_rescale_plan)
+
+    rescale_run_cmd = rescale_sub.add_parser(
+        "run", help="run a workload that resizes the cluster mid-stream "
+                    "and verify the committed history")
+    rescale_run_cmd.add_argument("--plan", default=None,
+                                 metavar="PLAN_JSON",
+                                 help="rescale plan file (default: "
+                                      "--targets spread over the run)")
+    rescale_run_cmd.add_argument("--targets", default="4,3",
+                                 help="worker counts when no --plan is "
+                                      "given")
+    rescale_run_cmd.add_argument("--workers", type=int, default=2,
+                                 help="starting worker count")
+    rescale_run_cmd.add_argument("--seed", type=int, default=42)
+    rescale_run_cmd.add_argument("--workload", default="T",
+                                 choices=["A", "B", "M", "T"])
+    rescale_run_cmd.add_argument("--distribution", default="uniform",
+                                 choices=["zipfian", "uniform"])
+    rescale_run_cmd.add_argument("--rps", type=float, default=150.0)
+    rescale_run_cmd.add_argument("--duration-ms", type=float,
+                                 default=4_000.0)
+    rescale_run_cmd.add_argument("--records", type=int, default=60)
+    rescale_run_cmd.add_argument("--state-backend", default=None,
+                                 choices=sorted(BACKENDS))
+    rescale_run_cmd.add_argument("--faults", default=None,
+                                 metavar="PLAN_JSON",
+                                 help="additionally run under a fault "
+                                      "plan (rescale under chaos)")
+    rescale_run_cmd.set_defaults(handler=_cmd_rescale_run)
     return parser
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from ..substrates.kafka import KafkaBroker
 from ..substrates.network import DeliveryFault, Network
@@ -48,6 +48,7 @@ class FaultStats:
     coordinator_crashes: int = 0
     partitions_opened: int = 0
     partitions_healed: int = 0
+    rescales_requested: int = 0
     skipped_events: int = 0
     #: Simulation times of process-level faults (crashes, partitions) —
     #: the bench harness derives recovery-time metrics from these.
@@ -59,7 +60,7 @@ class FaultStats:
             "partition_drops", "kafka_records_seen", "kafka_duplicated",
             "kafka_delayed", "kafka_fetch_faults", "worker_crashes",
             "coordinator_crashes", "partitions_opened", "partitions_healed",
-            "skipped_events")}
+            "rescales_requested", "skipped_events")}
 
 
 class FaultInjector:
@@ -70,6 +71,7 @@ class FaultInjector:
                  broker: KafkaBroker | None = None,
                  workers: list[Any] | None = None,
                  coordinator: Any | None = None,
+                 rescaler: Callable[[int], None] | None = None,
                  duplicable_topics: tuple[str, ...] | None = None):
         plan.validate()
         self.plan = plan
@@ -78,6 +80,10 @@ class FaultInjector:
         self.broker = broker
         self.workers = workers
         self.coordinator = coordinator
+        #: ``rescale`` events call this with the target worker count;
+        #: runtimes without an elastic topology leave it unset and the
+        #: events are counted as skipped.
+        self.rescaler = rescaler
         #: Topics whose records may be duplicated (the runtime's dedup
         #: surface — ingress/egress).  ``None`` = every topic.
         self.duplicable_topics = duplicable_topics
@@ -106,6 +112,8 @@ class FaultInjector:
                 self._schedule_coordinator_crash(event)
             elif event.kind == "partition":
                 self._schedule_partition(event)
+            elif event.kind == "rescale":
+                self._schedule_rescale(event)
         if self.network is not None and (self._windows or self._has_partitions):
             self.network.fault_hook = self._network_hook
         if self.broker is not None and self._windows:
@@ -227,6 +235,20 @@ class FaultInjector:
                               self.coordinator.failover)
 
         self.sim.schedule_at(event.at_ms, crash)
+
+    def _schedule_rescale(self, event: FaultEvent) -> None:
+        if self.rescaler is None:
+            self.stats.skipped_events += 1
+            return
+
+        def fire() -> None:
+            # Not a disruption (no recovery-time sample): the rescale
+            # pause is measured separately via the coordinator's
+            # rescale_log.
+            self.stats.rescales_requested += 1
+            self.rescaler(event.target_workers)  # type: ignore[misc]
+
+        self.sim.schedule_at(event.at_ms, fire)
 
     def _schedule_partition(self, event: FaultEvent) -> None:
         if self.network is None or (self.workers is None

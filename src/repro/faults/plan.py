@@ -35,6 +35,12 @@ Fault taxonomy
     ``duration_ms``: every network message into or out of the isolated
     set is dropped until the partition heals.
 
+``rescale``
+    Ask the runtime to rescale to ``target_workers`` workers — elastic
+    topology change as a schedulable event, so one plan can interleave
+    rescales with crashes and partitions (rescale-under-chaos).  Not a
+    fault per se, but it shares the plan/schedule machinery.
+
 Runtimes without processes (Local) or without a coordinator (StateFun)
 apply the message-level subset only; process events are counted as
 skipped, never errors — one plan can drive all three runtimes.
@@ -52,7 +58,8 @@ from typing import Any
 CHANNELS = ("network", "kafka", "all")
 
 #: Event kinds (see module docstring for semantics).
-KINDS = ("messages", "crash_worker", "crash_coordinator", "partition")
+KINDS = ("messages", "crash_worker", "crash_coordinator", "partition",
+         "rescale")
 
 
 class FaultPlanError(ValueError):
@@ -99,6 +106,8 @@ class FaultEvent:
     profile: MessageFaultProfile = field(default_factory=MessageFaultProfile)
     #: ``partition``: node names cut off from everyone else.
     isolate: tuple[str, ...] = ()
+    #: ``rescale``: target worker count.
+    target_workers: int = 0
 
     def validate(self) -> None:
         if self.kind not in KINDS:
@@ -114,6 +123,10 @@ class FaultEvent:
             self.profile.validate()
         if self.kind == "partition" and not self.isolate:
             raise FaultPlanError("partition event isolates no nodes")
+        if self.kind == "rescale" and self.target_workers < 1:
+            raise FaultPlanError(
+                f"rescale needs target_workers >= 1, "
+                f"got {self.target_workers}")
 
     @property
     def until_ms(self) -> float:
@@ -179,14 +192,18 @@ INTENSITIES: dict[str, dict[str, float]] = {
 def random_plan(seed: int, *, duration_ms: float = 5_000.0,
                 workers: int = 5, intensity: str = "medium",
                 process_faults: bool = True,
-                coordinator_faults: bool = False) -> FaultPlan:
+                coordinator_faults: bool = False,
+                rescales: int = 0) -> FaultPlan:
     """Generate a reproducible random plan: seed in, same schedule out.
 
     The schedule mixes one network-fault window, one kafka-fault window
     (duplication/delay only — the log is durable), and, when
     ``process_faults`` is set, worker crashes and a short partition;
-    ``coordinator_faults`` adds a coordinator fail-over.  All times land
-    inside ``[0.1, 0.8] * duration_ms`` so the tail of the run can drain.
+    ``coordinator_faults`` adds a coordinator fail-over and ``rescales``
+    sprinkles that many elastic resizes (targets drawn around the
+    starting worker count) through the same window — the combined
+    rescale-under-chaos schedule.  All times land inside
+    ``[0.1, 0.8] * duration_ms`` so the tail of the run can drain.
     """
     if intensity not in INTENSITIES:
         raise FaultPlanError(f"unknown intensity {intensity!r}; "
@@ -227,6 +244,11 @@ def random_plan(seed: int, *, duration_ms: float = 5_000.0,
             kind="crash_coordinator",
             at_ms=round(rng.uniform(0.3, 1.0) * horizon, 3),
             duration_ms=round(rng.uniform(0.05, 0.1) * duration_ms, 3)))
+    for _ in range(rescales):
+        events.append(FaultEvent(
+            kind="rescale",
+            at_ms=round(rng.uniform(0.1, 1.0) * horizon, 3),
+            target_workers=rng.randint(max(workers - 2, 1), workers + 2)))
     events.sort(key=lambda event: event.at_ms)
     return FaultPlan(seed=seed, events=events,
                      name=f"random-{intensity}-{seed}").validate()

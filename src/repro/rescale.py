@@ -1,0 +1,96 @@
+"""Declarative elastic-rescale plans: *when* the cluster changes size.
+
+A :class:`RescalePlan` is a schedule of :class:`RescaleStep`\\ s on the
+simulation clock — the elasticity analogue of :class:`repro.faults.FaultPlan`.
+Each step names a target worker count; the StateFlow coordinator executes
+it at the next Aria batch boundary (the RESCALE barrier): it plans a
+minimal-movement slot rebalance, migrates the moved slots between workers
+through the snapshot machinery, commits the new routing table, and only
+then resumes batching.  Plans are plain data and round-trip through JSON,
+so a rescale scenario — like a fault plan — is replayable from a file.
+
+Steps with equal ``at_ms`` execute in list order; a step targeting the
+current worker count is a no-op.  Targets are clamped by the coordinator
+to ``[1, slots]`` (a worker without a slot could never own state).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+
+class RescalePlanError(ValueError):
+    """Malformed rescale plan (non-positive target, negative time, ...)."""
+
+
+@dataclass(slots=True)
+class RescaleStep:
+    """One scheduled resize: at ``at_ms``, rescale to ``workers``."""
+
+    at_ms: float
+    workers: int
+
+    def validate(self) -> None:
+        if self.at_ms < 0:
+            raise RescalePlanError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.workers < 1:
+            raise RescalePlanError(
+                f"workers must be >= 1, got {self.workers}")
+
+
+@dataclass(slots=True)
+class RescalePlan:
+    """A schedule of cluster resizes."""
+
+    steps: list[RescaleStep] = field(default_factory=list)
+    name: str = ""
+
+    def validate(self) -> "RescalePlan":
+        for step in self.steps:
+            step.validate()
+        return self
+
+    @property
+    def targets(self) -> list[int]:
+        return [step.workers for step in self.steps]
+
+    # -- serde ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name,
+                "steps": [asdict(step) for step in self.steps]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RescalePlan":
+        steps = [RescaleStep(at_ms=float(raw["at_ms"]),
+                             workers=int(raw["workers"]))
+                 for raw in data.get("steps", [])]
+        return cls(steps=steps, name=data.get("name", "")).validate()
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        document = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            Path(path).write_text(document + "\n", encoding="utf-8")
+        return document
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "RescalePlan":
+        """Parse a plan from JSON text, or from a file when *source* is
+        a path (a :class:`Path` or a string not starting with ``{``)."""
+        text = str(source)
+        if isinstance(source, Path) or not text.lstrip().startswith("{"):
+            text = Path(text).read_text(encoding="utf-8")
+        return cls.from_dict(json.loads(text))
+
+
+def staged_plan(targets: Iterable[int], *, start_ms: float = 1_000.0,
+                interval_ms: float = 1_000.0, name: str = "") -> RescalePlan:
+    """Evenly spaced steps through *targets* (e.g. ``(4, 3)`` from a
+    2-worker start gives the canonical 2 -> 4 -> 3 scenario)."""
+    steps = [RescaleStep(at_ms=round(start_ms + index * interval_ms, 3),
+                         workers=workers)
+             for index, workers in enumerate(targets)]
+    plan_name = name or ("staged-" + "-".join(str(t) for t in targets))
+    return RescalePlan(steps=steps, name=plan_name).validate()

@@ -14,7 +14,9 @@ from .state import (
     DictStateBackend,
     PartitionedSnapshot,
     PartitionedStore,
+    SlotAssignment,
     StateBackend,
+    WorkerSlice,
     make_state_backend,
     materialize_snapshot,
 )
@@ -32,7 +34,9 @@ __all__ = [
     "PartitionedSnapshot",
     "PartitionedStore",
     "Runtime",
+    "SlotAssignment",
     "StateBackend",
+    "WorkerSlice",
     "make_state_backend",
     "materialize_snapshot",
 ]

@@ -11,10 +11,16 @@ operator state behind the same :class:`StateBackend` contract:
   shared reference, so snapshot cost is O(1) regardless of how much
   state is committed.  Writes after a snapshot land in a fresh head,
   never touching frozen layers;
-- :class:`PartitionedStore` — shards a backend per partition by
-  ``stable_hash("entity|key") % partitions`` so each StateFlow worker
-  truly owns its partitions: commit-phase writes touch only the owning
-  partition and snapshots assemble from per-partition fragments.
+- :class:`PartitionedStore` — shards a backend per *slot* (a fixed
+  number of hash ranges: ``stable_hash("entity|key") % slots``) and maps
+  slots to workers through a :class:`SlotAssignment`, so each StateFlow
+  worker truly owns a set of slots: commit-phase writes touch only the
+  owning worker's slots and snapshots assemble from per-slot fragments.
+
+The slot indirection is what makes the cluster *elastic*: rescaling
+n -> m workers rebalances whole slots (minimal movement — a key only
+moves when its slot does) and migrating a slot is a snapshot/restore of
+one slot backend, which the cow backend captures in O(1).
 
 ``make_state_backend`` is the registry-backed factory used by runtime
 configs, the CLI (``--state-backend``) and the benchmark harness.
@@ -30,6 +36,8 @@ from ..ir.dataflow import stable_hash
 
 Key = tuple[str, Any]
 State = dict[str, Any]
+#: slot -> (old owner, new owner): the migration schedule of one rescale.
+RescaleDelta = dict[int, tuple[int, int]]
 
 
 @runtime_checkable
@@ -233,8 +241,11 @@ class CowStateBackend:
 
 @dataclass(slots=True, frozen=True)
 class PartitionedSnapshot:
-    """Per-partition snapshot fragments, index-aligned with the
-    :class:`PartitionedStore` that produced them."""
+    """Per-slot snapshot fragments, index-aligned with the
+    :class:`PartitionedStore` that produced them.  Fragments are keyed
+    by slot, not by worker, so a snapshot taken under one worker count
+    restores cleanly under any other — the property that lets recovery
+    and elastic rescaling compose."""
 
     parts: tuple[Any, ...]
 
@@ -243,94 +254,338 @@ class PartitionedSnapshot:
         return len(self.parts)
 
 
-class PartitionedStore:
-    """Committed state sharded into per-worker partitions.
+class SlotAssignment:
+    """The routing table: which worker owns which hash slot.
 
-    Routing is ``stable_hash("entity|key") % partitions`` — the same
-    function the StateFlow runtime uses to pick the worker executing a
-    key, so worker *i* and partition *i* always agree: each worker holds
-    (and is the only writer of) exactly its own partition backend.
+    ``slots`` is fixed for the lifetime of the store; ``owners[slot]``
+    is the owning worker index and changes only through
+    :meth:`plan`/:meth:`apply` (one rescale = one new routing epoch).
+    The default layout deals slots round-robin, so initial loads differ
+    by at most one slot.
 
-    Snapshots are assembled from per-partition fragments (each backend
-    snapshots independently) and ``restore`` fans the fragments back out
-    to their partitions.
+    :meth:`plan` computes a *minimal-movement* rebalance: only slots
+    that must change hands (their owner is being removed, or it is above
+    its new quota) are reassigned, so rescaling n -> n+1 workers moves
+    at most ``ceil(slots / (n+1))`` slots and every unmoved slot keeps
+    its owner.
     """
 
-    def __init__(self, partitions: int, backend: str | Callable[[], Any] = "dict"):
-        if partitions < 1:
+    def __init__(self, workers: int, slots: int | None = None):
+        if workers < 1:
+            raise ValueError("SlotAssignment needs at least one worker")
+        slots = workers if slots is None else slots
+        if slots < workers:
+            raise ValueError(
+                f"{workers} workers need at least as many slots, got {slots}")
+        self.slots = slots
+        self.workers = workers
+        self.owners: list[int] = [slot % workers for slot in range(slots)]
+        #: Routing epoch: bumped by every :meth:`apply` (and restore), so
+        #: consumers can fence messages routed under an older table.
+        self.epoch = 0
+
+    # -- routing --------------------------------------------------------
+    def slot_of(self, entity: str, key: Any) -> int:
+        return stable_hash(f"{entity}|{key}") % self.slots
+
+    def worker_of(self, entity: str, key: Any) -> int:
+        return self.owners[self.slot_of(entity, key)]
+
+    def slots_of(self, worker: int) -> list[int]:
+        return [slot for slot, owner in enumerate(self.owners)
+                if owner == worker]
+
+    def loads(self) -> list[int]:
+        """Slots owned per worker (index-aligned with worker indices)."""
+        counts = [0] * self.workers
+        for owner in self.owners:
+            counts[owner] += 1
+        return counts
+
+    # -- rescaling ------------------------------------------------------
+    def _quota(self, workers: int) -> list[int]:
+        base, extra = divmod(self.slots, workers)
+        return [base + 1 if index < extra else base
+                for index in range(workers)]
+
+    def plan(self, new_workers: int) -> RescaleDelta:
+        """The minimal-movement migration schedule for ``new_workers``.
+
+        Slots are surrendered in index order: first every slot whose
+        owner is being removed, then slots from owners above their new
+        quota; they are granted to under-quota workers in worker order.
+        Fully deterministic — same assignment, same plan.
+        """
+        if new_workers < 1:
+            raise ValueError("cannot rescale below one worker")
+        if new_workers > self.slots:
+            raise ValueError(
+                f"cannot rescale to {new_workers} workers with only "
+                f"{self.slots} slots")
+        quota = self._quota(new_workers)
+        load = [0] * max(self.workers, new_workers)
+        for owner in self.owners:
+            load[owner] += 1
+        surrendered: list[int] = []
+        for slot, owner in enumerate(self.owners):
+            if owner >= new_workers:
+                surrendered.append(slot)
+                load[owner] -= 1
+        for slot, owner in enumerate(self.owners):
+            if owner < new_workers and load[owner] > quota[owner]:
+                surrendered.append(slot)
+                load[owner] -= 1
+        delta: RescaleDelta = {}
+        grants = iter(surrendered)
+        for worker in range(new_workers):
+            while load[worker] < quota[worker]:
+                slot = next(grants)
+                delta[slot] = (self.owners[slot], worker)
+                load[worker] += 1
+        return dict(sorted(delta.items()))
+
+    def apply(self, new_workers: int, delta: RescaleDelta) -> None:
+        """Commit a planned rescale: flip the moved slots' owners and
+        open a new routing epoch."""
+        for slot, (_, new_owner) in delta.items():
+            self.owners[slot] = new_owner
+        self.workers = new_workers
+        self.epoch += 1
+
+    # -- snapshot support ------------------------------------------------
+    def freeze(self) -> tuple[int, tuple[int, ...]]:
+        """Immutable form for inclusion in a consistent snapshot."""
+        return (self.workers, tuple(self.owners))
+
+    def restore(self, frozen: tuple[int, tuple[int, ...]]) -> None:
+        workers, owners = frozen
+        if len(owners) != self.slots:
+            raise ValueError(
+                f"frozen assignment has {len(owners)} slots, table has "
+                f"{self.slots}")
+        self.workers = workers
+        self.owners = list(owners)
+        self.epoch += 1
+
+
+class WorkerSlice:
+    """One worker's live view of a :class:`PartitionedStore`: the slots
+    the assignment currently maps to it.
+
+    The slice implements the ``StateAccess`` surface the worker's
+    executor and commit path need.  Ownership is consulted per access,
+    so after a rescale the same slice object automatically covers the
+    worker's new slots.  Writes route by *slot* (not ownership), so a
+    commit-phase delivery delayed across a rescale still lands in the
+    right slot backend.
+    """
+
+    def __init__(self, store: "PartitionedStore", index: int):
+        self._store = store
+        self.index = index
+
+    def _owned(self, entity: str, key: Any) -> bool:
+        return self._store.assignment.worker_of(entity, key) == self.index
+
+    # -- StateAccess protocol -------------------------------------------
+    def get(self, entity: str, key: Any) -> State | None:
+        if not self._owned(entity, key):
+            return None
+        return self._store.get(entity, key)
+
+    def put(self, entity: str, key: Any, state: State) -> None:
+        self._store.put(entity, key, state)
+
+    def create(self, entity: str, key: Any, state: State) -> None:
+        self._store.create(entity, key, state)
+
+    def exists(self, entity: str, key: Any) -> bool:
+        return self._owned(entity, key) and self._store.exists(entity, key)
+
+    def apply_writes(self, writes: dict[Key, State]) -> None:
+        self._store.apply_writes(writes)
+
+    # -- migration hand-off ---------------------------------------------
+    def capture_slot(self, slot: int) -> Any:
+        return self._store.snapshot_slot(slot)
+
+    def install_slot(self, slot: int, fragment: Any) -> None:
+        self._store.install_slot(slot, fragment)
+
+    def slot_backend(self, slot: int) -> Any:
+        return self._store.slot_backend(slot)
+
+    # -- aggregation -----------------------------------------------------
+    def owned_slots(self) -> list[int]:
+        return self._store.assignment.slots_of(self.index)
+
+    def keys(self) -> list[Key]:
+        return [key for slot in self.owned_slots()
+                for key in self._store.slot_backend(slot).keys()]
+
+    def __len__(self) -> int:
+        return sum(len(self._store.slot_backend(slot))
+                   for slot in self.owned_slots())
+
+
+class PartitionedStore:
+    """Committed state sharded into hash slots owned by workers.
+
+    Routing is two-step: ``stable_hash("entity|key") % slots`` picks the
+    slot, the :class:`SlotAssignment` maps the slot to its owning
+    worker — the same table the StateFlow runtime uses to pick the
+    worker executing a key, so execution placement and state ownership
+    always agree.  With the default ``slots == workers`` the layout
+    degenerates to the classic one-partition-per-worker scheme.
+
+    Snapshots are assembled from per-slot fragments (each slot backend
+    snapshots independently) and ``restore`` fans the fragments back
+    out.  Rescaling reuses exactly that machinery per moved slot:
+    ``snapshot_slot`` at the old owner, ``install_slot`` at the new one.
+    """
+
+    def __init__(self, workers: int, backend: str | Callable[[], Any] = "dict",
+                 *, slots: int | None = None):
+        if workers < 1:
             raise ValueError("PartitionedStore needs at least one partition")
         factory = (backend if callable(backend)
                    else lambda: make_state_backend(backend))
-        self._partitions: list[Any] = [factory() for _ in range(partitions)]
+        self._factory = factory
+        self.assignment = SlotAssignment(workers, slots=slots)
+        self._slots: list[Any] = [factory()
+                                  for _ in range(self.assignment.slots)]
 
     # -- partition topology ---------------------------------------------
     @property
     def partition_count(self) -> int:
-        return len(self._partitions)
+        return self.assignment.workers
+
+    @property
+    def slot_count(self) -> int:
+        return self.assignment.slots
 
     def partition_of(self, entity: str, key: Any) -> int:
-        return stable_hash(f"{entity}|{key}") % len(self._partitions)
+        """The worker owning *key* under the current assignment."""
+        return self.assignment.worker_of(entity, key)
 
-    def partition(self, index: int) -> Any:
-        """The backend owned by worker *index*."""
-        return self._partitions[index]
+    def slot_of(self, entity: str, key: Any) -> int:
+        return self.assignment.slot_of(entity, key)
 
-    def partitions(self) -> Iterator[Any]:
-        return iter(self._partitions)
+    def partition(self, index: int) -> WorkerSlice:
+        """Worker *index*'s live slice of the store."""
+        return WorkerSlice(self, index)
 
-    # -- StateAccess protocol (routes to the owning partition) ----------
-    def _owner(self, entity: str, key: Any) -> Any:
-        return self._partitions[self.partition_of(entity, key)]
+    def partitions(self) -> Iterator[WorkerSlice]:
+        return (self.partition(index)
+                for index in range(self.assignment.workers))
+
+    # -- StateAccess protocol (routes to the owning slot) ----------------
+    def _backend(self, entity: str, key: Any) -> Any:
+        return self._slots[self.assignment.slot_of(entity, key)]
 
     def get(self, entity: str, key: Any) -> State | None:
-        return self._owner(entity, key).get(entity, key)
+        return self._backend(entity, key).get(entity, key)
 
     def put(self, entity: str, key: Any, state: State) -> None:
-        self._owner(entity, key).put(entity, key, state)
+        self._backend(entity, key).put(entity, key, state)
 
     def create(self, entity: str, key: Any, state: State) -> None:
-        self._owner(entity, key).create(entity, key, state)
+        self._backend(entity, key).create(entity, key, state)
 
     def exists(self, entity: str, key: Any) -> bool:
-        return self._owner(entity, key).exists(entity, key)
+        return self._backend(entity, key).exists(entity, key)
 
     def apply_writes(self, writes: dict[Key, State]) -> None:
-        """Route a write set to its owning partitions (callers that
-        already bucket per worker use ``partition(i).apply_writes``)."""
+        """Route a write set to its owning slots (callers that already
+        bucket per worker use ``partition(i).apply_writes``)."""
         buckets: dict[int, dict[Key, State]] = {}
         for (entity, key), state in writes.items():
-            index = self.partition_of(entity, key)
+            index = self.assignment.slot_of(entity, key)
             buckets.setdefault(index, {})[(entity, key)] = state
         for index, bucket in buckets.items():
-            self._partitions[index].apply_writes(bucket)
+            self._slots[index].apply_writes(bucket)
 
     # -- snapshot assembly ----------------------------------------------
     def snapshot(self) -> PartitionedSnapshot:
         return PartitionedSnapshot(
-            parts=tuple(backend.snapshot() for backend in self._partitions))
+            parts=tuple(backend.snapshot() for backend in self._slots))
 
     def restore(self, snapshot: PartitionedSnapshot) -> None:
-        if snapshot.partition_count != len(self._partitions):
+        if snapshot.partition_count != len(self._slots):
             raise ValueError(
                 f"snapshot has {snapshot.partition_count} partition "
-                f"fragments, store has {len(self._partitions)} partitions")
-        for backend, part in zip(self._partitions, snapshot.parts):
+                f"fragments, store has {len(self._slots)} partitions")
+        for backend, part in zip(self._slots, snapshot.parts):
             backend.restore(part)
 
     def snapshot_partition(self, index: int) -> Any:
-        return self._partitions[index].snapshot()
+        return self._slots[index].snapshot()
 
     def restore_partition(self, index: int, fragment: Any) -> None:
-        self._partitions[index].restore(fragment)
+        self._slots[index].restore(fragment)
+
+    # -- slot migration ---------------------------------------------------
+    def slot_backend(self, slot: int) -> Any:
+        return self._slots[slot]
+
+    def slot_size(self, slot: int) -> int:
+        return len(self._slots[slot])
+
+    def snapshot_slot(self, slot: int) -> Any:
+        """Capture one slot for migration (O(1) on the cow backend)."""
+        return self._slots[slot].snapshot()
+
+    def install_slot(self, slot: int, fragment: Any) -> None:
+        """Install a migrated slot: a fresh backend restored from the
+        fragment replaces the slot's previous backend.  Idempotent for
+        a fragment captured under the rescale barrier (slot contents
+        cannot change between capture and install), so an aborted
+        migration can simply be retried."""
+        backend = self._factory()
+        backend.restore(fragment)
+        self._slots[slot] = backend
+
+    # -- rescaling --------------------------------------------------------
+    def plan_rescale(self, new_workers: int) -> RescaleDelta:
+        return self.assignment.plan(new_workers)
+
+    def commit_rescale(self, new_workers: int, delta: RescaleDelta) -> None:
+        self.assignment.apply(new_workers, delta)
+
+    def rescale(self, new_workers: int) -> RescaleDelta:
+        """Synchronous rescale (tests, single-process callers): migrate
+        every moved slot through the snapshot machinery, then commit.
+        The distributed runtime drives the same three steps through
+        coordinator/worker messages instead."""
+        delta = self.plan_rescale(new_workers)
+        for slot in delta:
+            self.install_slot(slot, self.snapshot_slot(slot))
+        self.commit_rescale(new_workers, delta)
+        return delta
+
+    def split(self) -> RescaleDelta:
+        """Grow by one worker (hash-range split)."""
+        return self.rescale(self.assignment.workers + 1)
+
+    def merge(self) -> RescaleDelta:
+        """Shrink by one worker, merging its ranges into the survivors."""
+        return self.rescale(self.assignment.workers - 1)
+
+    # -- assignment snapshot ----------------------------------------------
+    def freeze_assignment(self) -> tuple[int, tuple[int, ...]]:
+        return self.assignment.freeze()
+
+    def restore_assignment(self, frozen: tuple[int, tuple[int, ...]]) -> None:
+        self.assignment.restore(frozen)
 
     # -- aggregation -----------------------------------------------------
     def keys(self) -> list[Key]:
-        """All resident keys, grouped by partition (not insertion
-        order); order-sensitive consumers must sort."""
-        return [key for backend in self._partitions for key in backend.keys()]
+        """All resident keys, grouped by slot (not insertion order);
+        order-sensitive consumers must sort."""
+        return [key for backend in self._slots for key in backend.keys()]
 
     def __len__(self) -> int:
-        return sum(len(backend) for backend in self._partitions)
+        return sum(len(backend) for backend in self._slots)
 
 
 def materialize_snapshot(payload: Any,

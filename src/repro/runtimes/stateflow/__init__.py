@@ -6,11 +6,17 @@ from ..state import (
     DictStateBackend,
     PartitionedSnapshot,
     PartitionedStore,
+    SlotAssignment,
     StateBackend,
     make_state_backend,
 )
 from .aria import AriaStats, BatchMember, ConflictReport, TxnOutcome, decide
-from .coordinator import Coordinator, CoordinatorConfig, TxnRecord
+from .coordinator import (
+    Coordinator,
+    CoordinatorConfig,
+    RescaleRecord,
+    TxnRecord,
+)
 from .runtime import StateflowConfig, StateflowRuntime, default_kafka_config
 from .snapshots import Snapshot, SnapshotStore
 from .state_backend import AriaStateView, CommittedStore
@@ -30,6 +36,8 @@ __all__ = [
     "ConflictReport",
     "Coordinator",
     "CoordinatorConfig",
+    "RescaleRecord",
+    "SlotAssignment",
     "Snapshot",
     "SnapshotStore",
     "StateflowConfig",

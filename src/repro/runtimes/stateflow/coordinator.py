@@ -13,7 +13,11 @@ Responsibilities:
 - gate transactional outputs on epoch boundaries (exactly-once output
   visibility, paper Section 5) and deduplicate replies;
 - take batch-boundary consistent snapshots and run recovery: restore the
-  latest snapshot, rewind the source, replay.
+  latest snapshot, rewind the source, replay;
+- drive elastic rescales (the RESCALE barrier): between two batches it
+  migrates the minimal set of hash slots to their new owners through the
+  snapshot machinery, commits the new routing table, snapshots the new
+  topology, and resumes batching (see :meth:`Coordinator.request_rescale`).
 
 Commit-phase writes are bucketed per owning worker (``hooks.worker_of``)
 so each worker installs only its own partition's writes; snapshots are
@@ -79,6 +83,24 @@ class _Batch:
 
 
 @dataclass(slots=True)
+class RescaleRecord:
+    """One completed rescale — the audit trail the bench harness turns
+    into migration-pause metrics."""
+
+    started_at_ms: float
+    committed_at_ms: float
+    from_workers: int
+    to_workers: int
+    slots_moved: int
+    keys_moved: int
+
+    @property
+    def pause_ms(self) -> float:
+        """How long batching was barred for this rescale."""
+        return self.committed_at_ms - self.started_at_ms
+
+
+@dataclass(slots=True)
 class CoordinatorHooks:
     """Runtime-provided effects (network sends, Kafka control)."""
 
@@ -86,7 +108,6 @@ class CoordinatorHooks:
     apply_writes: Callable[[int, dict, Callable[[], None]], None]
     emit_reply: Callable[[Event], None]
     worker_of: Callable[[str, Any], int]
-    worker_count: int
     source_positions: Callable[[], dict]
     source_seek: Callable[[dict], None]
     restore_workers: Callable[[], None]
@@ -97,6 +118,13 @@ class CoordinatorHooks:
     #: callback receives the reply events.
     execute_single_key: Callable[
         [int, list[Event], Callable[[list[Event]], None]], None] = None  # type: ignore[assignment]
+    #: Elasticity: size the active worker set (create/revive workers
+    #: below *count*, retire the rest).
+    set_worker_count: Callable[[int], None] = lambda count: None
+    #: Ship one slot from its old owner to its new one over the network
+    #: substrate (capture -> transfer -> install), acking via callback.
+    migrate_slot: Callable[
+        [int, int, int, Callable[[], None]], None] = None  # type: ignore[assignment]
 
 
 @dataclass(slots=True)
@@ -171,6 +199,21 @@ class Coordinator:
         self._fallback_queue: list[TxnRecord] = []
         self._fallback_current: TxnRecord | None = None
         self._fallback_tid = FALLBACK_TID_BASE
+        #: Elastic-rescale machinery.  ``rescaling`` bars batch formation
+        #: (the RESCALE barrier); requested targets queue FIFO and run
+        #: one at a time at batch boundaries.
+        self.rescaling = False
+        self.rescales = 0
+        self.rescale_aborts = 0
+        self.slots_migrated = 0
+        self.keys_migrated = 0
+        self.rescale_log: list[RescaleRecord] = []
+        self._rescale_requests: list[int] = []
+        self._rescale_target: int | None = None
+        self._rescale_progress_at = 0.0
+        #: Bumped by every rescale begin/abort/crash: fences acks from a
+        #: superseded migration attempt.
+        self._rescale_epoch = 0
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -206,6 +249,14 @@ class Coordinator:
         self._epoch_buffer.clear()
         self._fallback_queue = []
         self._fallback_current = None
+        # Rescale intents are volatile sequencing state: an in-flight
+        # migration is abandoned (installs already delivered are benign —
+        # the barrier kept the slots quiescent, so the fragments equal
+        # the live contents — and later ones are incarnation-fenced).
+        self.rescaling = False
+        self._rescale_epoch += 1
+        self._rescale_requests.clear()
+        self._rescale_target = None
 
     def failover(self) -> None:
         """A standby coordinator takes over: restore the latest durable
@@ -261,7 +312,11 @@ class Coordinator:
 
     # -- batches --------------------------------------------------------
     def _tick_batch(self) -> None:
-        if self.active is None and self.pending and not self.recovering:
+        if self.active is not None or self.recovering or self.rescaling:
+            return
+        if self._rescale_requests:
+            self._begin_rescale(self._rescale_requests.pop(0))
+        elif self.pending:
             self._start_batch()
 
     def _start_batch(self) -> None:
@@ -432,7 +487,13 @@ class Coordinator:
         self._fallback_current = None
         if self._snapshot_requested:
             self._take_snapshot()
-        if self.pending and not self.recovering:
+        if self.recovering:
+            return
+        if self._rescale_requests:
+            # The batch boundary is the RESCALE barrier: no transaction
+            # is in flight, so slots are quiescent and safe to migrate.
+            self._begin_rescale(self._rescale_requests.pop(0))
+        elif self.pending:
             self._start_batch()
 
     # -- sequential fallback -------------------------------------------------
@@ -479,6 +540,100 @@ class Coordinator:
         for worker, writes in buckets.items():
             self.hooks.apply_writes(worker, writes, one_ack)
 
+    # -- elastic rescaling -------------------------------------------------
+    def request_rescale(self, workers: int) -> None:
+        """Queue a cluster resize; it runs at the next batch boundary.
+
+        Targets are clamped to ``[1, slots]`` (rescale intents arrive
+        from declarative plans that cannot know the slot count).  A
+        crashed coordinator consumes nothing — like any other volatile
+        intent, a rescale step lost to a crash is not replayed."""
+        if self.crashed:
+            return
+        assignment = getattr(self.committed, "assignment", None)
+        ceiling = assignment.slots if assignment is not None else workers
+        self._rescale_requests.append(max(1, min(workers, ceiling)))
+
+    def _begin_rescale(self, target: int) -> None:
+        """Execute one rescale under the batch-boundary barrier:
+
+        1. size the worker set up front (new owners must exist to
+           receive migrations; old owners retire only after commit);
+        2. migrate every moved slot old-owner -> new-owner through the
+           snapshot machinery, over the (faultable) network substrate;
+        3. when all installs acked, commit the new assignment (one
+           routing-epoch flip), retire surplus workers, snapshot the new
+           topology durably, and resume batching.
+
+        Migration messages can be lost to injected faults or a worker
+        crash; the rescale watchdog then aborts the attempt and runs
+        ordinary recovery, which re-queues the target (see
+        :meth:`_tick_watchdog`).  Aborting mid-migration is safe because
+        the barrier keeps slots quiescent: every install is a no-op
+        rewrite of identical contents, fenced by worker incarnations
+        once recovery restarts the workers."""
+        old = self.committed.assignment.workers
+        if target == old:
+            return
+        self.rescaling = True
+        self._rescale_target = target
+        self._rescale_epoch += 1
+        epoch = self._rescale_epoch
+        self._rescale_progress_at = self.sim.now
+        started = self.sim.now
+        delta = self.committed.plan_rescale(target)
+        keys_moved = sum(self.committed.slot_size(slot) for slot in delta)
+        self.hooks.set_worker_count(max(old, target))
+        # Acks are tracked per slot, not by count: the commit must mean
+        # "every moved slot is installed", even if a transport ever
+        # redelivered an ack.  (The direct channels model sequenced
+        # transports — the injector suppresses network duplicates — and
+        # an ack is only ever sent after its install executed, so the
+        # commit cannot outrun an install.)
+        outstanding = set(delta)
+
+        def finish() -> None:
+            self.committed.commit_rescale(target, delta)
+            self.hooks.set_worker_count(target)
+            self.rescales += 1
+            self.slots_migrated += len(delta)
+            self.keys_migrated += keys_moved
+            self.rescale_log.append(RescaleRecord(
+                started_at_ms=started, committed_at_ms=self.sim.now,
+                from_workers=old, to_workers=target,
+                slots_moved=len(delta), keys_moved=keys_moved))
+            self.rescaling = False
+            self._rescale_target = None
+            # Durable cut of the new topology: a recovery from here on
+            # replays under the post-rescale routing table.
+            self._take_snapshot()
+            if self._rescale_requests:
+                self._begin_rescale(self._rescale_requests.pop(0))
+            elif self.pending:
+                self._start_batch()
+
+        def one_ack(slot: int) -> None:
+            if epoch != self._rescale_epoch or self.crashed:
+                return  # a superseded attempt's ack
+            if not self.rescaling:
+                return  # this attempt already committed
+            self._rescale_progress_at = self.sim.now
+            outstanding.discard(slot)
+            if not outstanding:
+                finish()
+
+        def launch() -> None:
+            if epoch != self._rescale_epoch or self.crashed:
+                return
+            if not delta:
+                finish()
+                return
+            for slot, (src, dst) in delta.items():
+                self.hooks.migrate_slot(slot, src, dst,
+                                        lambda s=slot: one_ack(s))
+
+        self.cpu.submit(0.05 + 0.01 * max(len(delta), 1), launch)
+
     # -- replies ----------------------------------------------------------
     def _enqueue_reply(self, txn: TxnRecord, error: str | None) -> None:
         reply = Event(kind=EventKind.REPLY,
@@ -524,6 +679,7 @@ class Coordinator:
                       attempt=txn.attempt)
             for txn in self.pending
         ]
+        freeze = getattr(self.committed, "freeze_assignment", None)
         self.snapshots.take(
             taken_at_ms=self.sim.now,
             state=self.committed.snapshot(),
@@ -532,10 +688,23 @@ class Coordinator:
             batch_seq=self._batch_seq,
             arrival_seq=self._arrival_seq,
             pending=pending_copy,
-            admitted=self.admitted)
+            admitted=self.admitted,
+            assignment=freeze() if freeze is not None else None)
 
     def _tick_watchdog(self) -> None:
-        if self.recovering or self.active is None:
+        if self.recovering:
+            return
+        if self.rescaling:
+            # A migration can stall exactly like a batch (dead worker,
+            # dropped transfer).  Abort the attempt and run ordinary
+            # recovery — it restarts the workers, fences stale installs
+            # via their incarnations, and re-queues the target.
+            if (self.sim.now - self._rescale_progress_at
+                    >= self.config.failure_detect_ms):
+                self.rescale_aborts += 1
+                self.recover()
+            return
+        if self.active is None:
             return
         stalled_since = max(self.active.started_at,
                             self.active.last_progress)
@@ -556,6 +725,18 @@ class Coordinator:
         self._epoch_buffer.clear()
         self._fallback_queue = []
         self._fallback_current = None
+        # Abort any in-flight rescale and re-queue its target: the
+        # migration re-runs from scratch against the restored state.
+        self._rescale_epoch += 1
+        self.rescaling = False
+        if self._rescale_target is not None:
+            self._rescale_requests.insert(0, self._rescale_target)
+            self._rescale_target = None
+        # Replay must route exactly as the original execution did, so
+        # the routing table is restored before any worker restarts.
+        if snapshot.assignment is not None:
+            self.committed.restore_assignment(snapshot.assignment)
+            self.hooks.set_worker_count(snapshot.assignment[0])
         self.hooks.restore_workers()
         self.committed.restore(snapshot.state)
         self.replied = set(snapshot.replied)

@@ -22,6 +22,7 @@ from ...core.errors import RuntimeExecutionError
 from ...core.refs import EntityRef
 from ...faults import FaultInjector, FaultPlan
 from ...ir.events import Event, EventKind
+from ...rescale import RescalePlan
 from ...substrates.kafka import KafkaBroker, KafkaConfig, KafkaRecord
 from ...substrates.network import LatencyModel, Network, NetworkConfig
 from ...substrates.simulation import MetricRecorder, Simulation
@@ -58,6 +59,10 @@ class StateflowConfig:
     #: Committed-state backend per worker partition: "dict" (deep-copy
     #: snapshots) or "cow" (copy-on-write version-chained snapshots).
     state_backend: str = "dict"
+    #: Hash slots of the committed store (the granularity of elastic
+    #: rescaling).  Fixed for the run; must be >= the largest worker
+    #: count the run will rescale to.
+    state_slots: int = 64
     check_state_serializable: bool = False
     ingress_partitions: int = 4
     egress_partitions: int = 4
@@ -67,6 +72,9 @@ class StateflowConfig:
     #: Deterministic fault schedule (chaos testing); ``None`` = a
     #: fault-free run.  See :mod:`repro.faults`.
     fault_plan: FaultPlan | None = None
+    #: Declarative elastic-rescale schedule; ``None`` = a fixed-size
+    #: cluster.  See :mod:`repro.rescale`.
+    rescale_plan: RescalePlan | None = None
     sync_wait_ms: float = 120_000.0
 
 
@@ -83,38 +91,42 @@ class StateflowRuntime(Runtime):
         self.sim = sim or Simulation()
         self.network = Network(self.sim, self.config.network)
         self.broker = KafkaBroker(self.sim, self.config.kafka)
-        #: Committed state sharded one partition per worker; routing uses
-        #: the same stable hash as worker placement, so worker *i* owns
-        #: exactly partition *i*.
-        self.committed = PartitionedStore(self.config.workers,
-                                          backend=self.config.state_backend)
+        #: Committed state sharded into hash slots dealt round-robin over
+        #: the workers; routing (slot -> owner) and worker placement use
+        #: the same table, so a worker always executes the keys whose
+        #: slots it owns.  Rescaling rebalances the table and migrates
+        #: the moved slots.
+        self.committed = PartitionedStore(
+            self.config.workers, backend=self.config.state_backend,
+            slots=max(self.config.state_slots, self.config.workers))
         self.metrics = MetricRecorder()
         self._executor = OperatorExecutor(
             program.entities,
             check_state_serializable=self.config.check_state_serializable)
-        self.workers = [
-            Worker(index, self.sim, self._executor,
-                   self.committed.partition(index),
-                   (lambda event, sender=index:
-                    self._on_worker_out(event, sender)),
-                   exec_service_ms=self.config.exec_service_ms,
-                   state_op_ms=self.config.state_op_ms,
-                   committed_reader=self.committed)
-            for index in range(self.config.workers)
-        ]
+        #: Every worker ever created (index-stable); retired workers stay
+        #: in place, dead, until a later rescale revives them.
+        self.workers = [self._make_worker(index)
+                        for index in range(self.config.workers)]
         hooks = CoordinatorHooks(
             dispatch=self._dispatch_to_worker,
             apply_writes=self._apply_writes,
             emit_reply=self._emit_reply,
             worker_of=self.worker_of,
-            worker_count=self.config.workers,
             source_positions=lambda: self.broker.positions("stateflow-coord"),
             source_seek=self._seek_source,
             restore_workers=self._restore_workers,
             is_single_key=self._is_single_key,
-            execute_single_key=self._execute_single_key)
+            execute_single_key=self._execute_single_key,
+            set_worker_count=self._set_worker_count,
+            migrate_slot=self._migrate_slot)
         self.coordinator = Coordinator(self.sim, self.committed, hooks,
                                        self.config.coordinator)
+        if self.config.rescale_plan is not None:
+            for step in self.config.rescale_plan.validate().steps:
+                self.sim.schedule_at(
+                    max(step.at_ms, self.sim.now),
+                    lambda workers=step.workers:
+                    self.coordinator.request_rescale(workers))
 
         self.broker.create_topic(INGRESS_TOPIC,
                                  self.config.ingress_partitions)
@@ -144,12 +156,72 @@ class StateflowRuntime(Runtime):
                 self.config.fault_plan, sim=self.sim, network=self.network,
                 broker=self.broker, workers=self.workers,
                 coordinator=self.coordinator,
+                rescaler=self.request_rescale,
                 duplicable_topics=(INGRESS_TOPIC, EGRESS_TOPIC)).install()
+
+    def _make_worker(self, index: int) -> Worker:
+        return Worker(index, self.sim, self._executor,
+                      self.committed.partition(index),
+                      (lambda event, sender=index:
+                       self._on_worker_out(event, sender)),
+                      exec_service_ms=self.config.exec_service_ms,
+                      state_op_ms=self.config.state_op_ms,
+                      committed_reader=self.committed)
 
     # -- partitioning ------------------------------------------------------
     def worker_of(self, entity: str, key: Any) -> int:
-        """Worker placement == partition ownership (one stable hash)."""
+        """Worker placement == slot ownership (one shared routing
+        table, see :class:`~repro.runtimes.state.SlotAssignment`)."""
         return self.committed.partition_of(entity, key)
+
+    @property
+    def worker_count(self) -> int:
+        """Active workers under the current routing table."""
+        return self.committed.assignment.workers
+
+    # -- elasticity --------------------------------------------------------
+    def request_rescale(self, workers: int) -> None:
+        """Ask the coordinator to rescale to *workers* at the next batch
+        boundary (the programmatic face of ``rescale_plan``)."""
+        self.coordinator.request_rescale(workers)
+
+    def _set_worker_count(self, count: int) -> None:
+        """Size the active worker set: create or revive workers below
+        *count*, retire the rest.  Worker objects are never removed —
+        indices stay stable so routing tables and fault plans can name
+        them across rescales."""
+        while len(self.workers) < count:
+            self.workers.append(self._make_worker(len(self.workers)))
+        for index, worker in enumerate(self.workers):
+            if index < count:
+                worker.revive()
+            elif not worker.retired:
+                worker.retire()
+
+    def _migrate_slot(self, slot: int, src: int, dst: int,
+                      on_done: Callable[[], None]) -> None:
+        """Ship one slot over the network: coordinator asks the old
+        owner to capture, the fragment travels worker-to-worker on the
+        direct channels, the new owner installs and acks.  Every hop is
+        subject to fault injection; incarnation tokens fence deliveries
+        that outlive a recovery."""
+        src_worker, dst_worker = self.workers[src], self.workers[dst]
+        src_token = src_worker.incarnation
+        dst_token = dst_worker.incarnation
+
+        def ship(fragment: Any) -> None:
+            self.network.send(
+                lambda: dst_worker.install_slot(
+                    slot, fragment,
+                    lambda: self.network.send(
+                        on_done, src=f"worker-{dst}", dst="coordinator"),
+                    incarnation=dst_token),
+                src=f"worker-{src}", dst=f"worker-{dst}")
+
+        self.network.send(
+            lambda: src_worker.capture_slot(slot, ship,
+                                            incarnation=src_token),
+            src="coordinator", dst=f"worker-{src}")
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:

@@ -26,10 +26,13 @@ suppresses duplicate replies — exactly-once end to end.
 The operator-state payload is whatever the committed store's backend
 produced: a deep-copied dict for the ``dict`` backend, a shared chain of
 frozen layers for the ``cow`` backend, or — with the partitioned store —
-a :class:`~repro.runtimes.state.PartitionedSnapshot` of per-partition
-fragments (one incremental payload per worker-owned partition).
-``restore`` is symmetric: the store fans fragments back out to their
-partitions.
+a :class:`~repro.runtimes.state.PartitionedSnapshot` of per-slot
+fragments (one incremental payload per hash slot).  ``restore`` is
+symmetric: the store fans fragments back out to their slots.  Keying
+fragments by slot rather than by worker makes snapshots independent of
+the cluster size, so recovery composes with elastic rescaling; the
+frozen :class:`~repro.runtimes.state.SlotAssignment` rides along in the
+snapshot so replay routes exactly as the original execution did.
 """
 
 from __future__ import annotations
@@ -64,6 +67,12 @@ class Snapshot:
     #: requests after recovery must re-admit, so the set is snapshotted
     #: with everything else).
     admitted: set[int] = field(default_factory=set)
+    #: Frozen slot assignment ``(workers, owners)`` at the cut — part of
+    #: the consistent state because a recovery that lands after an
+    #: elastic rescale must replay under the snapshot's routing table,
+    #: not whatever table is current.  ``None`` when the committed store
+    #: is not partitioned.
+    assignment: Any = None
 
 
 class SnapshotStore:
@@ -78,13 +87,14 @@ class SnapshotStore:
              source_offsets: dict, replied: set[int],
              batch_seq: int, arrival_seq: int,
              pending: list[Any] | None = None,
-             admitted: set[int] | None = None) -> Snapshot:
+             admitted: set[int] | None = None,
+             assignment: Any = None) -> Snapshot:
         snapshot = Snapshot(
             snapshot_id=self._next_id, taken_at_ms=taken_at_ms,
             state=state, source_offsets=dict(source_offsets),
             replied=set(replied), batch_seq=batch_seq,
             arrival_seq=arrival_seq, pending=list(pending or []),
-            admitted=set(admitted or ()))
+            admitted=set(admitted or ()), assignment=assignment)
         self._next_id += 1
         self._snapshots.append(snapshot)
         if len(self._snapshots) > self._keep:

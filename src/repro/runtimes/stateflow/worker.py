@@ -18,7 +18,7 @@ from typing import Any, Callable
 from ...ir.events import Event
 from ...substrates.simulation import CpuPool, Simulation
 from ..executor import OperatorExecutor
-from ..state import StateBackend
+from ..state import CowStateBackend, StateBackend
 from .state_backend import AriaStateView
 
 
@@ -34,14 +34,22 @@ class Worker:
         self.sim = sim
         self.cpu = CpuPool(sim, 1, name=f"worker-{index}")
         self.alive = True
+        #: Retired workers left the cluster through a rescale: they stay
+        #: dead across recoveries (``restart`` skips them) until a later
+        #: grow revives them.
+        self.retired = False
         #: Bumped by every :meth:`restart` (i.e. every coordinator
         #: ``recover()``): store-mutating messages carry the incarnation
         #: they were addressed to, so a delivery delayed past a recovery
         #: cannot land on the restored store and double-apply a batch
-        #: that replay is about to re-execute.
+        #: that replay is about to re-execute.  Slot-migration messages
+        #: ride the same fence: an install delayed past a recovery (or a
+        #: superseded rescale attempt) must not clobber restored state.
         self.incarnation = 0
         self.events_processed = 0
         self.writes_applied = 0
+        self.slots_captured = 0
+        self.slots_installed = 0
         self._executor = executor
         #: This worker's own partition of committed state (it is the only
         #: writer; the coordinator only touches it for snapshot/restore).
@@ -122,10 +130,76 @@ class Worker:
 
         self.cpu.submit(self._state_op_ms * max(len(writes), 1), install)
 
+    # ------------------------------------------------------------------
+    def _migration_cost_ms(self, slot: int) -> float:
+        """CPU to capture/install one slot: O(1) for the cow backend
+        (the snapshot is a frozen layer chain), O(keys) for the dict
+        backend (deep copy)."""
+        backend = self.store.slot_backend(slot)
+        if isinstance(backend, CowStateBackend):
+            return self._state_op_ms
+        return self._state_op_ms * max(len(backend), 1)
+
+    def capture_slot(self, slot: int, on_done: Callable[[Any], None],
+                     *, incarnation: int | None = None) -> None:
+        """Migration source side: snapshot one owned slot and hand the
+        fragment to *on_done* (the runtime ships it to the new owner).
+        Runs under the coordinator's rescale barrier, so the slot is
+        quiescent while it is captured."""
+        if not self.alive:
+            return
+        if incarnation is not None and incarnation != self.incarnation:
+            return  # addressed to a pre-recovery incarnation
+        token = self.incarnation
+
+        def capture() -> None:
+            if not self.alive or token != self.incarnation:
+                return
+            self.slots_captured += 1
+            on_done(self.store.capture_slot(slot))
+
+        self.cpu.submit(self._migration_cost_ms(slot), capture)
+
+    def install_slot(self, slot: int, fragment: Any,
+                     on_done: Callable[[], None],
+                     *, incarnation: int | None = None) -> None:
+        """Migration destination side: restore the shipped fragment into
+        the slot and ack.  The incarnation fence drops installs delayed
+        past a recovery (their fragment predates the restored state)."""
+        if not self.alive:
+            return
+        if incarnation is not None and incarnation != self.incarnation:
+            return
+        token = self.incarnation
+
+        def install() -> None:
+            if not self.alive or token != self.incarnation:
+                return
+            self.store.install_slot(slot, fragment)
+            self.slots_installed += 1
+            on_done()
+
+        self.cpu.submit(self._migration_cost_ms(slot), install)
+
     # -- failure model ------------------------------------------------------
     def kill(self) -> None:
         self.alive = False
 
     def restart(self) -> None:
+        self.alive = not self.retired
+        self.incarnation += 1
+
+    # -- elasticity ---------------------------------------------------------
+    def retire(self) -> None:
+        """Leave the cluster (rescale shrink): permanently dead until a
+        later grow calls :meth:`revive`."""
+        self.retired = True
+        self.alive = False
+
+    def revive(self) -> None:
+        """Rejoin the cluster (rescale grow after an earlier shrink)."""
+        if not self.retired:
+            return
+        self.retired = False
         self.alive = True
         self.incarnation += 1

@@ -1,26 +1,34 @@
-"""Determinism regression: identical (seed, fault plan) pairs must
-reproduce the run bit for bit — byte-identical committed-state snapshots
-and identical reply traces.  This is the property that makes every chaos
-scenario a *test* instead of an anecdote."""
+"""Determinism regression: identical (seed, fault plan, rescale plan)
+tuples must reproduce the run bit for bit — byte-identical
+committed-state snapshots and identical reply traces.  This is the
+property that makes every chaos (and rescale) scenario a *test* instead
+of an anecdote."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bench import chaos_coordinator_config
 from repro.faults import FaultEvent, FaultPlan, MessageFaultProfile, random_plan
+from repro.rescale import RescalePlan, staged_plan
 from repro.runtimes.state import materialize_snapshot
 from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
 from repro.workloads import Account, DriverConfig, WorkloadDriver, YcsbWorkload
 
 
-def _chaos_config(plan: FaultPlan) -> StateflowConfig:
-    return StateflowConfig(fault_plan=plan,
+def _chaos_config(plan: FaultPlan,
+                  rescale_plan: RescalePlan | None = None,
+                  workers: int = 5) -> StateflowConfig:
+    return StateflowConfig(workers=workers, fault_plan=plan,
+                           rescale_plan=rescale_plan,
                            coordinator=chaos_coordinator_config())
 
 
-def _run_once(account_program, seed: int, plan: FaultPlan):
+def _run_once(account_program, seed: int, plan: FaultPlan,
+              rescale_plan: RescalePlan | None = None, workers: int = 5):
     """One chaos run; returns (committed-state bytes, reply trace)."""
-    runtime = StateflowRuntime(account_program, config=_chaos_config(plan))
+    runtime = StateflowRuntime(
+        account_program,
+        config=_chaos_config(plan, rescale_plan, workers))
     trace: list[tuple] = []
     runtime.reply_tap = lambda reply: trace.append(
         (reply.request_id, repr(reply.payload), reply.error,
@@ -82,3 +90,58 @@ def test_fixed_seed_regression(account_program):
     assert runs_differ[1] != first[1], (
         "different runtime seeds should perturb the trace — if they do "
         "not, the fault machinery is not actually wired in")
+
+
+# ---------------------------------------------------------------------------
+# Rescale determinism: same (seed, workload, rescale plan, fault plan)
+# -> byte-identical final state and reply trace
+# ---------------------------------------------------------------------------
+
+
+rescale_plan_strategy = st.builds(
+    lambda targets, start, interval: staged_plan(
+        targets, start_ms=float(start), interval_ms=float(interval)),
+    targets=st.lists(st.integers(1, 8), min_size=1, max_size=3),
+    start=st.integers(100, 800),
+    interval=st.integers(200, 600))
+
+
+@given(seed=st.integers(0, 2**16), rescale_plan=rescale_plan_strategy)
+@settings(max_examples=5, deadline=None)
+def test_same_seed_and_rescale_plan_reproduce_identically(
+        account_program, seed, rescale_plan):
+    """Pure-rescale runs (no faults) replay byte-identically."""
+    empty = FaultPlan(seed=seed)
+    first = _run_once(account_program, seed, empty, rescale_plan, workers=2)
+    second = _run_once(account_program, seed, empty, rescale_plan, workers=2)
+    assert first == second, (
+        "a rescale run diverged across identical replays")
+
+
+@given(seed=st.integers(0, 2**16), plan=plan_strategy,
+       rescale_plan=rescale_plan_strategy)
+@settings(max_examples=5, deadline=None)
+def test_combined_rescale_and_chaos_reproduce_identically(
+        account_program, seed, plan, rescale_plan):
+    """The full battery: rescale steps interleaved with crashes, drops
+    and fail-overs must still replay bit for bit."""
+    first = _run_once(account_program, seed, plan, rescale_plan, workers=2)
+    second = _run_once(account_program, seed, plan, rescale_plan, workers=2)
+    assert first[0] == second[0], (
+        "committed-state snapshots diverged across identical "
+        "rescale+chaos runs")
+    assert first[1] == second[1], (
+        "reply traces diverged across identical rescale+chaos runs")
+
+
+def test_rescale_events_inside_fault_plan_reproduce(account_program):
+    """The other scheduling surface — ``rescale`` events inside the
+    fault plan itself — is deterministic too, and actually rescales."""
+    plan = random_plan(31, duration_ms=1_500.0, workers=2,
+                       intensity="medium", rescales=2)
+    first_state, first_trace = _run_once(account_program, 31, plan,
+                                         workers=2)
+    second_state, second_trace = _run_once(account_program, 31, plan,
+                                           workers=2)
+    assert first_state == second_state
+    assert first_trace == second_trace

@@ -55,6 +55,36 @@ def test_run_with_fault_plan(module_path, tmp_path, capsys):
     assert "Gadget/g2" in capsys.readouterr().out
 
 
+def test_run_rescale_flag_is_noted_and_ignored(module_path, tmp_path,
+                                               capsys):
+    plan_path = str(tmp_path / "rescale.json")
+    assert main(["rescale", "plan", "--targets", "3",
+                 "--out", plan_path]) == 0
+    assert main(["run", module_path, "Gadget", "__init__", "-", '"g3"',
+                 "--rescale", plan_path]) == 0
+    captured = capsys.readouterr()
+    assert "single-process" in captured.err
+    assert "Gadget/g3" in captured.out
+
+
+def test_rescale_plan_to_stdout(capsys):
+    assert main(["rescale", "plan", "--targets", "4,3"]) == 0
+    assert '"workers": 4' in capsys.readouterr().out
+
+
+def test_rescale_plan_rejects_bad_targets(capsys):
+    import pytest
+    with pytest.raises(SystemExit, match="targets"):
+        main(["rescale", "plan", "--targets", "4,x"])
+    with pytest.raises(SystemExit, match="targets"):
+        main(["rescale", "plan", "--targets", "0"])
+
+
+def test_chaos_plan_with_rescales(capsys):
+    assert main(["chaos", "plan", "--seed", "9", "--rescales", "2"]) == 0
+    assert '"rescale"' in capsys.readouterr().out
+
+
 def test_chaos_plan_to_stdout(capsys):
     assert main(["chaos", "plan", "--seed", "9",
                  "--coordinator-faults"]) == 0
