@@ -142,6 +142,7 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
                    duration_ms: float = 3_000.0, record_count: int = 50,
                    seed: int = 42, plan: FaultPlan | None = None,
                    state_backend: str | None = None,
+                   pipeline_depth: int | None = None,
                    drain_ms: float = 30_000.0,
                    bucket_ms: float = 250.0) -> ChaosReport:
     """Run one chaos cell; ``plan=None`` generates ``random_plan(seed)``.
@@ -171,6 +172,8 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
     }
     if system == "stateflow":
         overrides["coordinator"] = chaos_coordinator_config()
+        if pipeline_depth is not None:
+            overrides["pipeline_depth"] = pipeline_depth
     runtime = build_runtime(system, program, seed=seed, **overrides)
 
     trace: list[tuple] = []

@@ -113,6 +113,7 @@ def run_rescale_cell(workload_name: str = "T",
                      record_count: int = 60, seed: int = 42,
                      state_backend: str | None = None,
                      fault_plan: FaultPlan | None = None,
+                     pipeline_depth: int | None = None,
                      drain_ms: float = 30_000.0) -> RescaleReport:
     """Run one rescale cell; ``plan=None`` uses the canonical
     2 -> 4 -> 3 staged plan spread across the load window.
@@ -130,6 +131,7 @@ def run_rescale_cell(workload_name: str = "T",
         workers=workers,
         state_backend=state_backend or default_state_backend(),
         rescale_plan=plan, fault_plan=fault_plan,
+        pipeline_depth=pipeline_depth,
         coordinator=chaos_coordinator_config())
 
     trace: list[tuple] = []

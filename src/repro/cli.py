@@ -11,6 +11,8 @@ Commands:
   execution against a fresh Local runtime (debugging aid);
 - ``bench [--system ...] [--state-backend dict|cow] ...`` — run one
   YCSB benchmark cell on a simulated runtime and print its row;
+  ``--cell pipeline`` instead sweeps the epoch-pipeline depth
+  (1/2/4) on a saturating cell and writes ``BENCH_pipeline.json``;
 - ``chaos plan --seed N --out plan.json`` — generate a reproducible
   random fault plan;
 - ``chaos run [--plan plan.json] [--seed N] ...`` — execute a workload
@@ -28,7 +30,10 @@ Commands:
 committed-state backend (see :mod:`repro.runtimes.state`),
 ``--faults plan.json`` to run under a fault plan (see
 :mod:`repro.faults`), and ``--rescale plan.json`` to resize the cluster
-mid-run (StateFlow only; see :mod:`repro.rescale`).
+mid-run (StateFlow only; see :mod:`repro.rescale`).  ``bench``,
+``chaos run`` and ``rescale run`` accept ``--pipeline-depth N`` to set
+the StateFlow epoch pipeline's bound (1 = the strictly serial
+pre-pipeline batching).
 
 ``bench``, ``chaos run`` and ``rescale run`` persist their results as
 ``BENCH_<cell>.json`` in the working directory (override with
@@ -141,6 +146,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("note: the Local runtime is single-process; --rescale "
               "applies to `repro bench` / `repro rescale run` "
               "(stateflow)", file=sys.stderr)
+    if args.pipeline_depth is not None:
+        print("note: the Local runtime has no epoch pipeline; "
+              "--pipeline-depth applies to `repro bench` / `repro chaos "
+              "run` / `repro rescale run` (stateflow)", file=sys.stderr)
     runtime = LocalRuntime(program, state_backend=args.state_backend,
                            fault_plan=_load_fault_plan(args.faults))
     call_args = [_parse_literal(a) for a in args.args]
@@ -169,18 +178,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"repro bench: error: unknown state backend {backend!r}; "
             f"choose from {sorted(BACKENDS)}")
+    if args.cell == "pipeline":
+        # The sweep owns the depth axis and the saturating deployment;
+        # flags it cannot honour are rejected, not silently dropped.
+        if args.system != "stateflow":
+            raise SystemExit("repro bench: error: --cell pipeline runs "
+                             "on stateflow (the batching runtime)")
+        if args.pipeline_depth is not None:
+            raise SystemExit("repro bench: error: --cell pipeline sweeps "
+                             "depths 1/2/4 itself; drop --pipeline-depth")
+        if args.faults is not None or args.rescale is not None:
+            raise SystemExit("repro bench: error: --cell pipeline does "
+                             "not compose with --faults/--rescale (use "
+                             "`repro chaos run --pipeline-depth` / "
+                             "`repro rescale run --pipeline-depth`)")
+        return _run_pipeline_cell(args, backend)
     plan = _load_fault_plan(args.faults)
     rescale_plan = _load_rescale_plan(args.rescale)
     if rescale_plan is not None and args.system != "stateflow":
         raise SystemExit("repro bench: error: --rescale requires "
                          "--system stateflow (the elastic runtime)")
-    overrides = ({"rescale_plan": rescale_plan}
-                 if rescale_plan is not None else None)
+    if args.pipeline_depth is not None and args.system != "stateflow":
+        raise SystemExit("repro bench: error: --pipeline-depth requires "
+                         "--system stateflow (the batching runtime)")
+    overrides: dict | None = {}
+    if rescale_plan is not None:
+        overrides["rescale_plan"] = rescale_plan
+    if args.pipeline_depth is not None:
+        overrides["pipeline_depth"] = args.pipeline_depth
     row = run_ycsb_cell(args.system, args.workload, args.distribution,
-                        rps=args.rps, duration_ms=args.duration_ms,
-                        record_count=args.records, seed=args.seed,
+                        rps=args.rps if args.rps is not None else 100.0,
+                        duration_ms=(args.duration_ms
+                                     if args.duration_ms is not None
+                                     else 2_000.0),
+                        record_count=(args.records
+                                      if args.records is not None else 100),
+                        seed=args.seed,
                         state_backend=backend, fault_plan=plan,
-                        runtime_overrides=overrides)
+                        runtime_overrides=overrides or None)
     columns = ["system", "workload", "distribution", "state_backend",
                "rps", "p50_ms", "p99_ms", "mean_ms", "completed", "errors"]
     if plan is not None and args.system == "stateflow":
@@ -190,6 +225,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         columns=columns))
     path = write_bench_artifact("ycsb", {"cell": "ycsb",
                                          "rows": [row.as_dict()]})
+    print(f"wrote {path}")
+    return 0
+
+
+def _run_pipeline_cell(args: argparse.Namespace, backend: str) -> int:
+    """``repro bench --cell pipeline``: sweep the epoch-pipeline depth
+    over a saturating YCSB cell and persist ``BENCH_pipeline.json``."""
+    from .bench import run_pipeline_cell, write_bench_artifact
+
+    sweep_args: dict = {}
+    if args.rps is not None:
+        sweep_args["rps"] = args.rps
+    if args.duration_ms is not None:
+        sweep_args["duration_ms"] = args.duration_ms
+    if args.records is not None:
+        sweep_args["record_count"] = args.records
+    report = run_pipeline_cell(state_backend=backend, seed=args.seed,
+                               workload_name=args.workload,
+                               distribution=args.distribution,
+                               **sweep_args)
+    lines = ["depth  txn/s     mean_ms  p99_ms   batches  stall_ms"]
+    for row in report.rows:
+        lines.append(f"{row.depth:<5}  {row.throughput_txn_s:<8.0f}  "
+                     f"{row.mean_ms:<7.1f}  {row.p99_ms:<7.1f}  "
+                     f"{row.batches:<7}  {row.stall_ms:.1f}")
+    title = (f"pipeline sweep: YCSB {report.workload}/"
+             f"{report.distribution}, {report.workers} workers, "
+             f"{backend} backend")
+    print(title)
+    print("-" * len(title))
+    print("\n".join(lines))
+    print()
+    print(report.summary())
+    path = write_bench_artifact("pipeline", report.as_artifact())
     print(f"wrote {path}")
     return 0
 
@@ -213,10 +282,14 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     from .bench import format_table, run_chaos_cell, write_bench_artifact
 
     plan = _load_fault_plan(args.plan)
+    if args.pipeline_depth is not None and args.system != "stateflow":
+        raise SystemExit("repro chaos run: error: --pipeline-depth "
+                         "requires --system stateflow")
     report = run_chaos_cell(
         args.system, args.workload, args.distribution, rps=args.rps,
         duration_ms=args.duration_ms, record_count=args.records,
-        seed=args.seed, plan=plan, state_backend=args.state_backend)
+        seed=args.seed, plan=plan, state_backend=args.state_backend,
+        pipeline_depth=args.pipeline_depth)
     columns = ["system", "workload", "state_backend", "rps", "p50_ms",
                "p99_ms", "completed", "errors", "recoveries",
                "recovery_time_ms", "availability"]
@@ -256,7 +329,8 @@ def _cmd_rescale_run(args: argparse.Namespace) -> int:
         rps=args.rps, duration_ms=args.duration_ms,
         record_count=args.records, seed=args.seed,
         state_backend=args.state_backend,
-        fault_plan=_load_fault_plan(args.faults))
+        fault_plan=_load_fault_plan(args.faults),
+        pipeline_depth=args.pipeline_depth)
     columns = ["system", "workload", "state_backend", "rps", "p50_ms",
                "p99_ms", "completed", "errors", "rescales",
                "mean_pause_ms", "keys_moved", "final_workers"]
@@ -312,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--rescale", default=None, metavar="PLAN_JSON",
                          help="rescale plan (ignored by the Local "
                               "runtime; see `repro rescale run`)")
+    run_cmd.add_argument("--pipeline-depth", type=int, default=None,
+                         metavar="N",
+                         help="epoch-pipeline depth (ignored by the "
+                              "Local runtime; see `repro bench`)")
     run_cmd.set_defaults(handler=_cmd_run)
 
     bench_cmd = commands.add_parser(
@@ -322,9 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["A", "B", "M", "T"])
     bench_cmd.add_argument("--distribution", default="zipfian",
                            choices=["zipfian", "uniform"])
-    bench_cmd.add_argument("--rps", type=float, default=100.0)
-    bench_cmd.add_argument("--duration-ms", type=float, default=2_000.0)
-    bench_cmd.add_argument("--records", type=int, default=100)
+    # None = the active cell's own default (ycsb: 100 rps / 2000 ms /
+    # 100 records; pipeline: its saturating sweep configuration).
+    bench_cmd.add_argument("--rps", type=float, default=None)
+    bench_cmd.add_argument("--duration-ms", type=float, default=None)
+    bench_cmd.add_argument("--records", type=int, default=None)
     bench_cmd.add_argument("--seed", type=int, default=42)
     bench_cmd.add_argument("--state-backend", default=None,
                            choices=sorted(BACKENDS),
@@ -335,6 +415,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--rescale", default=None, metavar="PLAN_JSON",
                            help="resize the cluster mid-run "
                                 "(stateflow only)")
+    bench_cmd.add_argument("--pipeline-depth", type=int, default=None,
+                           metavar="N",
+                           help="epoch-pipeline depth (stateflow only; "
+                                "1 = serial batches, default 2)")
+    bench_cmd.add_argument("--cell", default="ycsb",
+                           choices=["ycsb", "pipeline"],
+                           help="'pipeline' sweeps depth 1/2/4 on a "
+                                "saturating YCSB-A/zipfian cell and "
+                                "writes BENCH_pipeline.json")
     bench_cmd.set_defaults(handler=_cmd_bench)
 
     chaos_cmd = commands.add_parser(
@@ -376,6 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_run_cmd.add_argument("--records", type=int, default=50)
     chaos_run_cmd.add_argument("--state-backend", default=None,
                                choices=sorted(BACKENDS))
+    chaos_run_cmd.add_argument("--pipeline-depth", type=int, default=None,
+                               metavar="N",
+                               help="epoch-pipeline depth (stateflow "
+                                    "only; 1 = serial batches)")
     chaos_run_cmd.set_defaults(handler=_cmd_chaos_run)
 
     rescale_cmd = commands.add_parser(
@@ -421,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  metavar="PLAN_JSON",
                                  help="additionally run under a fault "
                                       "plan (rescale under chaos)")
+    rescale_run_cmd.add_argument("--pipeline-depth", type=int,
+                                 default=None, metavar="N",
+                                 help="epoch-pipeline depth "
+                                      "(1 = serial batches)")
     rescale_run_cmd.set_defaults(handler=_cmd_rescale_run)
     return parser
 

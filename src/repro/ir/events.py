@@ -113,6 +113,11 @@ class TxnContext:
     #: Entities created by this transaction: {(entity, key): state_dict}
     create_set: dict = field(default_factory=dict)
     attempt: int = 0
+    #: Pipelined epochs: the committed-store version (last closed batch
+    #: id) this batch's execution phase reads through.  ``None`` = read
+    #: live committed state (no older batch was in flight at seal time —
+    #: always the case at pipeline depth 1, and for fallback re-runs).
+    base: int | None = None
 
     def record_read(self, entity: str, key: Any) -> None:
         self.read_set.add((entity, key))

@@ -17,6 +17,17 @@ operator state behind the same :class:`StateBackend` contract:
   worker truly owns a set of slots: commit-phase writes touch only the
   owning worker's slots and snapshots assemble from per-slot fragments.
 
+Every backend additionally supports *version-pinned read views*
+(``pin_view``/``view``/``release_view``): a read-only window onto the
+store's contents exactly as they were at pin time, immune to later
+writes.  The pipelined epoch coordinator pins one view per committed
+batch boundary so a batch's execution phase can overlap the previous
+batch's commit phase: workers read through the pinned view while the
+older batch's writes land in the live store.  The cow backend pins in
+O(1) (freeze the write head, share the layer chain); the dict backend
+keeps a per-view undo overlay, capturing a key's pre-image on its first
+overwrite after the pin — O(active views) per write, O(1) per read.
+
 The slot indirection is what makes the cluster *elastic*: rescaling
 n -> m workers rebalances whole slots (minimal movement — a key only
 moves when its slot does) and migrating a slot is a snapshot/restore of
@@ -69,6 +80,44 @@ class StateBackend(Protocol):
 
     def __len__(self) -> int: ...
 
+    def pin_view(self, version: int) -> None: ...
+
+    def view(self, version: int) -> Any: ...
+
+    def release_view(self, version: int) -> None: ...
+
+
+class DictReadView:
+    """A version-pinned read view over a :class:`DictStateBackend`.
+
+    The backend records a key's *pre-image* into ``overlay`` the first
+    time the key is overwritten after the pin (``None`` marks a key that
+    was absent), so the view always answers with the pinned contents:
+    overlay first, live store for untouched keys.  Cheap by
+    construction — nothing is copied until (and unless) a pinned key is
+    actually overwritten, and then only a reference to the replaced
+    entry is kept.
+    """
+
+    __slots__ = ("_backend", "overlay")
+
+    def __init__(self, backend: "DictStateBackend"):
+        self._backend = backend
+        self.overlay: dict[Key, State | None] = {}
+
+    def get(self, entity: str, key: Any) -> State | None:
+        composite = (entity, key)
+        if composite in self.overlay:
+            state = self.overlay[composite]
+            return copy.deepcopy(state) if state is not None else None
+        return self._backend.get(entity, key)
+
+    def exists(self, entity: str, key: Any) -> bool:
+        composite = (entity, key)
+        if composite in self.overlay:
+            return self.overlay[composite] is not None
+        return self._backend.exists(entity, key)
+
 
 class DictStateBackend:
     """Plain in-memory state: one dict, deep-copy snapshots.
@@ -84,6 +133,8 @@ class DictStateBackend:
 
     def __init__(self, store: dict[Key, State] | None = None):
         self.store: dict[Key, State] = store if store is not None else {}
+        #: Active version-pinned read views (see :class:`DictReadView`).
+        self._views: dict[int, DictReadView] = {}
 
     # -- StateAccess protocol -------------------------------------------
     def get(self, entity: str, key: Any) -> State | None:
@@ -91,7 +142,16 @@ class DictStateBackend:
         return copy.deepcopy(state) if state is not None else None
 
     def put(self, entity: str, key: Any, state: State) -> None:
-        self.store[(entity, key)] = copy.deepcopy(state)
+        composite = (entity, key)
+        if self._views:
+            # Pre-image capture: the replaced entry is about to leave the
+            # store, so aliasing it into the overlays is safe (entries
+            # are never mutated in place, only swapped whole).
+            previous = self.store.get(composite)
+            for view in self._views.values():
+                if composite not in view.overlay:
+                    view.overlay[composite] = previous
+        self.store[composite] = copy.deepcopy(state)
 
     def create(self, entity: str, key: Any, state: State) -> None:
         self.put(entity, key, state)
@@ -111,6 +171,19 @@ class DictStateBackend:
 
     def restore(self, snapshot: dict[Key, State]) -> None:
         self.store = copy.deepcopy(snapshot)
+        # A restore is a rewind: any pinned view predates it and is dead.
+        self._views.clear()
+
+    # -- version-pinned read views --------------------------------------
+    def pin_view(self, version: int) -> None:
+        """Pin the current contents as read-only *version*."""
+        self._views.setdefault(version, DictReadView(self))
+
+    def view(self, version: int) -> DictReadView | None:
+        return self._views.get(version)
+
+    def release_view(self, version: int) -> None:
+        self._views.pop(version, None)
 
     def keys(self) -> list[Key]:
         return list(self.store)
@@ -160,6 +233,30 @@ class CowSnapshot:
         return len(self.merged())
 
 
+class CowReadView:
+    """A version-pinned read view over a :class:`CowStateBackend`: the
+    frozen layer chain as of the pin, shared (not copied) with the live
+    backend.  Later writes land in a fresh head and newer layers, so the
+    view stays immutable for free."""
+
+    __slots__ = ("_layers",)
+
+    def __init__(self, layers: tuple[dict[Key, State], ...]):
+        self._layers = layers
+
+    def get(self, entity: str, key: Any) -> State | None:
+        composite = (entity, key)
+        for layer in reversed(self._layers):
+            state = layer.get(composite)
+            if state is not None:
+                return copy.deepcopy(state)
+        return None
+
+    def exists(self, entity: str, key: Any) -> bool:
+        composite = (entity, key)
+        return any(composite in layer for layer in self._layers)
+
+
 class CowStateBackend:
     """Copy-on-write committed state with version-chained snapshots.
 
@@ -182,6 +279,8 @@ class CowStateBackend:
         self._compact_after = compact_after
         self.snapshots_taken = 0
         self.layers_compacted = 0
+        #: Active version-pinned read views (see :class:`CowReadView`).
+        self._views: dict[int, CowReadView] = {}
 
     # -- StateAccess protocol -------------------------------------------
     def get(self, entity: str, key: Any) -> State | None:
@@ -221,6 +320,35 @@ class CowStateBackend:
     def restore(self, snapshot: CowSnapshot) -> None:
         self._layers = tuple(snapshot.layers)
         self._head = {}
+        self._views.clear()
+
+    # -- version-pinned read views --------------------------------------
+    def pin_view(self, version: int) -> None:
+        """Pin the current contents as read-only *version*: freeze the
+        write head onto the chain (O(1) — no entries are copied) and
+        share the chain with the view.
+
+        Pinning every batch boundary (the pipelined coordinator does)
+        grows the layer chain only for backends that were actually
+        written since the last freeze; compaction then bounds read
+        amplification at O(keys in this backend) every
+        ``compact_after`` freezes.  The freeze cannot be deferred to a
+        view's first reader: the pin captures the quiescent batch
+        boundary, and by the time a reader arrives the next batch's
+        commit is already mutating the head."""
+        if version in self._views:
+            return
+        if self._head:
+            self._layers = self._layers + (self._head,)
+            self._head = {}
+            self._maybe_compact()
+        self._views[version] = CowReadView(self._layers)
+
+    def view(self, version: int) -> CowReadView | None:
+        return self._views.get(version)
+
+    def release_view(self, version: int) -> None:
+        self._views.pop(version, None)
 
     def _maybe_compact(self) -> None:
         if len(self._layers) <= self._compact_after:
@@ -428,6 +556,31 @@ class WorkerSlice:
                    for slot in self.owned_slots())
 
 
+class PartitionedReadView:
+    """A version-pinned read view over a :class:`PartitionedStore`:
+    routes each read to the owning slot's pinned view.  Routing uses the
+    live assignment — safe because the pipelined coordinator drains all
+    views before a rescale can change the table."""
+
+    __slots__ = ("_store", "_version")
+
+    def __init__(self, store: "PartitionedStore", version: int):
+        self._store = store
+        self._version = version
+
+    def _slot_view(self, entity: str, key: Any) -> Any:
+        slot = self._store.assignment.slot_of(entity, key)
+        return self._store.slot_backend(slot).view(self._version)
+
+    def get(self, entity: str, key: Any) -> State | None:
+        view = self._slot_view(entity, key)
+        return view.get(entity, key) if view is not None else None
+
+    def exists(self, entity: str, key: Any) -> bool:
+        view = self._slot_view(entity, key)
+        return view.exists(entity, key) if view is not None else False
+
+
 class PartitionedStore:
     """Committed state sharded into hash slots owned by workers.
 
@@ -454,6 +607,8 @@ class PartitionedStore:
         self.assignment = SlotAssignment(workers, slots=slots)
         self._slots: list[Any] = [factory()
                                   for _ in range(self.assignment.slots)]
+        #: Active version-pinned read views, one per pinned version.
+        self._views: dict[int, PartitionedReadView] = {}
 
     # -- partition topology ---------------------------------------------
     @property
@@ -505,6 +660,24 @@ class PartitionedStore:
         for index, bucket in buckets.items():
             self._slots[index].apply_writes(bucket)
 
+    # -- version-pinned read views --------------------------------------
+    def pin_view(self, version: int) -> None:
+        """Pin every slot's current contents as read-only *version*."""
+        if version in self._views:
+            return
+        for backend in self._slots:
+            backend.pin_view(version)
+        self._views[version] = PartitionedReadView(self, version)
+
+    def view(self, version: int) -> PartitionedReadView | None:
+        return self._views.get(version)
+
+    def release_view(self, version: int) -> None:
+        if self._views.pop(version, None) is None:
+            return
+        for backend in self._slots:
+            backend.release_view(version)
+
     # -- snapshot assembly ----------------------------------------------
     def snapshot(self) -> PartitionedSnapshot:
         return PartitionedSnapshot(
@@ -517,6 +690,7 @@ class PartitionedStore:
                 f"fragments, store has {len(self._slots)} partitions")
         for backend, part in zip(self._slots, snapshot.parts):
             backend.restore(part)
+        self._views.clear()
 
     def snapshot_partition(self, index: int) -> Any:
         return self._slots[index].snapshot()

@@ -23,6 +23,7 @@ directly unit- and property-testable.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Hashable
@@ -36,6 +37,11 @@ class TxnOutcome(Enum):
     COMMIT = "commit"
     ABORT_WAW = "abort-waw"
     ABORT_RAW = "abort-raw"
+    #: Cross-batch conflict under pipelined epochs: the transaction read
+    #: a key that a batch committed *after* this batch's snapshot wrote.
+    #: Its reads are stale, and no reordering can save it — the writer
+    #: batch already externalized — so it re-executes.
+    ABORT_STALE = "abort-stale"
 
 
 @dataclass(slots=True)
@@ -91,15 +97,27 @@ def build_reservations(members: list[BatchMember],
 
 
 def decide(members: list[BatchMember], *, reordering: bool = True,
+           stale_keys: frozenset[Key] | set[Key] = frozenset(),
            ) -> ConflictReport:
     """Aria's commit decision for a batch.
 
     Without reordering: abort iff WAW or RAW.
     With reordering:    abort iff WAW or (RAW and WAR).
+
+    ``stale_keys`` is the pipelined-epoch extension: the union of write
+    footprints of every batch that committed between this batch's
+    snapshot and its own commit barrier.  A member that read any of them
+    executed against a stale snapshot and aborts (``ABORT_STALE``) — even
+    a *failed* member, because its failure may itself be an artifact of
+    the stale read.  Cross-batch WAW needs no check: writes install in
+    batch order, so a blind overwrite is already serialized correctly.
     """
     read_res, write_res = build_reservations(members)
     report = ConflictReport()
     for member in members:
+        if stale_keys and not stale_keys.isdisjoint(member.read_set):
+            report.aborts[member.tid] = TxnOutcome.ABORT_STALE
+            continue
         if member.failed:
             report.commits.append(member.tid)
             continue
@@ -146,16 +164,18 @@ def serializable_order(members: list[BatchMember],
                 if writer not in successors[member.tid]:
                     successors[member.tid].add(writer)
                     indegree[writer] += 1
-    ready = sorted(tid for tid, degree in indegree.items() if degree == 0)
+    # Smallest-TID-first topological order via a heap: O((n + e) log n)
+    # instead of the O(n^2 log n) pop(0)-and-resort loop this replaces.
+    ready = [tid for tid, degree in indegree.items() if degree == 0]
+    heapq.heapify(ready)
     order: list[int] = []
     while ready:
-        tid = ready.pop(0)
+        tid = heapq.heappop(ready)
         order.append(tid)
-        for successor in sorted(successors[tid]):
+        for successor in successors[tid]:
             indegree[successor] -= 1
             if indegree[successor] == 0:
-                ready.append(successor)
-        ready.sort()
+                heapq.heappush(ready, successor)
     if len(order) != len(committed):  # pragma: no cover - theorem guard
         raise ValueError("reader->writer graph of a committed batch "
                          "must be acyclic")
@@ -171,10 +191,18 @@ class AriaStats:
     commits: int = 0
     aborts_waw: int = 0
     aborts_raw: int = 0
+    #: Cross-batch stale-read aborts (pipelined epochs only).
+    aborts_stale: int = 0
     retries: int = 0
     fallback_runs: int = 0
     #: Transactions that took the single-key path (no reservations).
     single_key: int = 0
+    #: Pipelined-epoch telemetry: how many batches were in flight at
+    #: each seal ({depth: seals observed at that depth}) ...
+    depth_hist: dict[int, int] = field(default_factory=dict)
+    #: ... and how long execution-complete batches sat waiting for the
+    #: ordered commit region (the pipeline's structural stall).
+    stall_ms: float = 0.0
 
     def observe(self, report: ConflictReport) -> None:
         self.batches += 1
@@ -183,11 +211,19 @@ class AriaStats:
         for outcome in report.aborts.values():
             if outcome is TxnOutcome.ABORT_WAW:
                 self.aborts_waw += 1
+            elif outcome is TxnOutcome.ABORT_STALE:
+                self.aborts_stale += 1
             else:
                 self.aborts_raw += 1
+
+    def observe_seal(self, inflight_depth: int) -> None:
+        """Record the pipeline depth (batches in flight) at a seal."""
+        self.depth_hist[inflight_depth] = (
+            self.depth_hist.get(inflight_depth, 0) + 1)
 
     @property
     def abort_rate(self) -> float:
         if self.transactions == 0:
             return 0.0
-        return (self.aborts_waw + self.aborts_raw) / self.transactions
+        return (self.aborts_waw + self.aborts_raw
+                + self.aborts_stale) / self.transactions

@@ -7,9 +7,12 @@ Responsibilities:
 - admit client requests from the replayable (Kafka) source and sequence
   them into deterministic transaction batches;
 - drive Aria's execution phase (dispatch), commit barrier, conflict
-  detection and write installation;
-- retry aborted transactions in later batches with their original
-  priority;
+  detection and write installation — as a bounded *epoch pipeline*:
+  while batch N runs its commit phase, up to ``pipeline_depth - 1``
+  younger batches are already sealed and executing against pinned
+  committed-snapshot views (see "Pipelined epochs" below);
+- retry aborted transactions (conflict, or stale cross-batch reads)
+  with their original priority;
 - gate transactional outputs on epoch boundaries (exactly-once output
   visibility, paper Section 5) and deduplicate replies;
 - take batch-boundary consistent snapshots and run recovery: restore the
@@ -18,6 +21,41 @@ Responsibilities:
   migrates the minimal set of hash slots to their new owners through the
   snapshot machinery, commits the new routing table, snapshots the new
   topology, and resumes batching (see :meth:`Coordinator.request_rescale`).
+
+Pipelined epochs
+----------------
+
+Aria's phases admit a classic pipelining optimisation (Lu et al., VLDB
+2020): a batch's execution phase only reads the committed snapshot at
+its batch start, so batch N+1 can be sealed and dispatched as soon as
+batch N enters its commit phase, overlapping N+1's worker-side execution
+with N's conflict detection, write installation, single-key phase and
+fallback.  The invariants that keep this serializable and deterministic:
+
+- **Ordered commit core.**  Conflict detection, write application, the
+  single-key phase and the sequential fallback run for at most one batch
+  at a time, in batch-id order (:attr:`Coordinator._commit_batch`).
+- **Pinned snapshot views.**  A batch sealed while older batches are
+  still in flight records ``base`` — the last *closed* batch id — in its
+  transaction contexts; workers read through the committed store's
+  version-pinned view of that boundary (O(1) to pin on the cow backend),
+  so older batches' writes landing mid-execution stay invisible.
+- **Cross-batch conflict detection.**  At its commit barrier a batch
+  checks its read sets against the write footprints of every batch that
+  committed after its snapshot (``stale_keys`` in :func:`aria.decide`);
+  stale readers abort and re-execute (sequential fallback) or re-enter
+  the next sealable batch with their original priority.
+- **Whole-pipeline drains.**  Recovery and coordinator crashes abandon
+  *all* in-flight batches and release every pinned view; the rescale
+  barrier waits for the pipeline to empty; snapshot cuts happen at batch
+  close with still-executing batches folded back into the pending
+  channel state — a snapshot never contains a half-committed batch.
+
+``pipeline_depth = 1`` restores strictly-serial one-batch-at-a-time
+scheduling: no pinned views, no cross-batch footprints, no overlap.
+(The idle-seal optimisation — see ``idle_seal_fraction`` — applies at
+every depth, so batch-formation *timing* still differs from the
+pre-pipeline coordinator.)
 
 Commit-phase writes are bucketed per owning worker (``hooks.worker_of``)
 so each worker installs only its own partition's writes; snapshots are
@@ -62,6 +100,15 @@ class TxnRecord:
                      request_id=self.request_id, txn=self.ctx,
                      ingress_time=self.ingress_time)
 
+    def fresh_copy(self) -> "TxnRecord":
+        """A clean re-executable copy (ctx/results are per-attempt)."""
+        return TxnRecord(arrival_seq=self.arrival_seq, target=self.target,
+                         method=self.method, args=self.args,
+                         request_id=self.request_id,
+                         ingress_time=self.ingress_time,
+                         is_transactional_method=self.is_transactional_method,
+                         attempt=self.attempt)
+
 
 #: Fallback transactions get TIDs above this base so reports are
 #: distinguishable from execution-phase reports of the same batch.
@@ -80,6 +127,21 @@ class _Batch:
     #: the multi-key commit — our "extension of Aria" (they can never
     #: conflict across partitions, so they skip reservations entirely).
     single: list[TxnRecord] = field(default_factory=list)
+    #: Pipelined epochs: the committed-store version (last closed batch
+    #: id) this batch's execution phase reads through; ``None`` = live
+    #: state (the pipeline was empty at seal time).
+    base: int | None = None
+    #: Execution phase complete (every dispatch reported back); the
+    #: batch is waiting for — or holds — the ordered commit region.
+    execution_done: bool = False
+    execution_done_at: float = 0.0
+    #: Keys written by this batch's commit (multi-key committed writes,
+    #: fallback writes, single-key targets): the write footprint younger
+    #: overlapping batches check their read sets against.
+    footprint: set = field(default_factory=set)
+
+    def all_records(self) -> list[TxnRecord]:
+        return list(self.txns.values()) + list(self.single)
 
 
 @dataclass(slots=True)
@@ -145,6 +207,16 @@ class CoordinatorConfig:
     #: inside the same batch — no retry spiral under hot keys.
     #: "retry" = re-enqueue into the next batch (ablation baseline).
     fallback: str = "sequential"
+    #: Bounded epoch pipeline: how many batches may be in flight at once
+    #: (one in the ordered commit region, the rest executing against
+    #: pinned snapshot views).  1 = the strictly serial pre-pipeline
+    #: behaviour.
+    pipeline_depth: int = 2
+    #: Idle batch formation: when a request arrives and the pipeline has
+    #: a free slot, seal on the next sub-interval boundary instead of
+    #: waiting a full ``batch_interval_ms`` tick.  The fraction keeps
+    #: near-simultaneous arrivals coalescing into one batch.
+    idle_seal_fraction: float = 0.25
 
 
 class Coordinator:
@@ -161,7 +233,10 @@ class Coordinator:
         self.snapshots = SnapshotStore()
         self.stats = AriaStats()
         self.pending: list[TxnRecord] = []
-        self.active: _Batch | None = None
+        #: The epoch pipeline: every sealed-but-not-closed batch, by id.
+        #: The oldest is (or will be promoted to) the ordered commit
+        #: region; younger ones are executing against pinned views.
+        self.inflight: dict[int, _Batch] = {}
         self.replied: set[int] = set()
         #: Ingress dedup: request ids ever admitted from the source.  An
         #: at-least-once producer (or an injected Kafka duplication
@@ -194,6 +269,15 @@ class Coordinator:
         #: previous incarnation (pre-crash chains that would otherwise
         #: survive a short outage and double every tick rate).
         self._tick_epoch = 0
+        #: Pipeline bookkeeping: the batch holding the ordered commit
+        #: region; the last closed batch id (the current committed-store
+        #: version); versions pinned on the store; closed batches' write
+        #: footprints still needed by overlapping in-flight batches.
+        self._commit_batch: _Batch | None = None
+        self._last_closed = -1
+        self._pinned: set[int] = set()
+        self._footprints: dict[int, frozenset] = {}
+        self._seal_scheduled = False
         #: Sequential-fallback machinery: queue of aborted transactions
         #: re-executing one at a time inside the current batch.
         self._fallback_queue: list[TxnRecord] = []
@@ -201,7 +285,7 @@ class Coordinator:
         self._fallback_tid = FALLBACK_TID_BASE
         #: Elastic-rescale machinery.  ``rescaling`` bars batch formation
         #: (the RESCALE barrier); requested targets queue FIFO and run
-        #: one at a time at batch boundaries.
+        #: one at a time at batch boundaries once the pipeline drains.
         self.rescaling = False
         self.rescales = 0
         self.rescale_aborts = 0
@@ -214,6 +298,16 @@ class Coordinator:
         #: Bumped by every rescale begin/abort/crash: fences acks from a
         #: superseded migration attempt.
         self._rescale_epoch = 0
+
+    # -- pipeline views -----------------------------------------------------
+    @property
+    def active(self) -> _Batch | None:
+        """The oldest in-flight batch (the one whose stall the watchdog
+        tracks).  With ``pipeline_depth`` 1 this is the only batch, i.e.
+        exactly the pre-pipeline ``active`` attribute."""
+        if not self.inflight:
+            return None
+        return self.inflight[min(self.inflight)]
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -244,11 +338,9 @@ class Coordinator:
         self.crashed = True
         self._running = False  # in-flight tick closures die off
         self._recovery_epoch += 1  # a pre-crash resume must not land
-        self.active = None
+        self._abandon_pipeline()
         self.pending.clear()
         self._epoch_buffer.clear()
-        self._fallback_queue = []
-        self._fallback_current = None
         # Rescale intents are volatile sequencing state: an in-flight
         # migration is abandoned (installs already delivered are benign —
         # the barrier kept the slots quiescent, so the fragments equal
@@ -270,6 +362,23 @@ class Coordinator:
         self._running = True
         self.recover()
         self._start_ticks()
+
+    def _abandon_pipeline(self) -> None:
+        """Drop every in-flight batch and all pipeline metadata: pinned
+        snapshot views, write footprints, the commit region, the
+        fallback queue.  In-flight work is re-created by replay (the
+        abandoned batches' requests are either in the restored pending
+        channel state or re-consumed from the rewound source)."""
+        self.inflight.clear()
+        self._commit_batch = None
+        self._fallback_queue = []
+        self._fallback_current = None
+        self._footprints.clear()
+        release = getattr(self.committed, "release_view", None)
+        if release is not None:
+            for version in self._pinned:
+                release(version)
+        self._pinned.clear()
 
     def _schedule_tick(self, interval: float,
                        action: Callable[[], None]) -> None:
@@ -305,30 +414,61 @@ class Coordinator:
             is_transactional_method=is_transactional_method)
         self._arrival_seq += 1
         self.pending.append(record)
-        if self.active is None and not self.recovering:
-            # Do not wait a full tick when idle; seal on the next
-            # sub-interval boundary to bound formation latency.
-            pass  # the periodic batch tick will pick it up
+        if self._can_seal() and not self._seal_scheduled:
+            # Do not wait a full tick when the pipeline has a free slot:
+            # seal on the next sub-interval boundary to bound formation
+            # latency (the fraction lets near-simultaneous arrivals
+            # still coalesce into one batch).
+            self._seal_scheduled = True
+            delay = (self.config.batch_interval_ms
+                     * self.config.idle_seal_fraction)
+
+            def fire_seal() -> None:
+                self._seal_scheduled = False
+                if self._can_seal():
+                    self._start_batch()
+
+            self.sim.schedule(delay, fire_seal)
 
     # -- batches --------------------------------------------------------
+    def _can_seal(self) -> bool:
+        """A new batch may be sealed: load is waiting, the pipeline has
+        a free slot, and every in-flight batch has finished its
+        execution phase (i.e. the newest batch has entered — or is
+        queued for — the commit region).  Rescale intents drain the
+        pipeline first."""
+        return (self._running and not self.crashed and not self.recovering
+                and not self.rescaling and not self._rescale_requests
+                and bool(self.pending)
+                and len(self.inflight) < max(self.config.pipeline_depth, 1)
+                and all(batch.execution_done
+                        for batch in self.inflight.values()))
+
     def _tick_batch(self) -> None:
-        if self.active is not None or self.recovering or self.rescaling:
+        if self.recovering or self.rescaling:
             return
-        if self._rescale_requests:
+        if self._rescale_requests and not self.inflight:
             self._begin_rescale(self._rescale_requests.pop(0))
-        elif self.pending:
+        elif self._can_seal():
             self._start_batch()
 
     def _start_batch(self) -> None:
         self.pending.sort(key=lambda t: t.arrival_seq)
         taken = self.pending[:self.config.max_batch_size]
         del self.pending[:len(taken)]
+        # Batches sealed over a busy pipeline execute against the last
+        # *closed* committed version (pinned when the previous batch was
+        # promoted into the commit region); a batch sealed into an empty
+        # pipeline reads live state — nothing can mutate it until the
+        # batch's own commit.
+        base = self._last_closed if self.inflight else None
         batch = _Batch(batch_id=self._batch_seq, txns={}, outstanding=set(),
-                       started_at=self.sim.now, last_progress=self.sim.now)
+                       started_at=self.sim.now, last_progress=self.sim.now,
+                       base=base)
         self._batch_seq += 1
         for tid, txn in enumerate(taken):
             txn.ctx = TxnContext(tid=tid, batch_id=batch.batch_id,
-                                 attempt=txn.attempt)
+                                 attempt=txn.attempt, base=base)
             txn.done = False
             txn.result = None
             txn.error = None
@@ -338,14 +478,16 @@ class Coordinator:
             else:
                 batch.txns[tid] = txn
                 batch.outstanding.add(tid)
-        self.active = batch
+        self.inflight[batch.batch_id] = batch
+        self.stats.observe_seal(len(self.inflight))
 
         def dispatch_all() -> None:
-            if self.active is not batch:  # recovery raced us
-                return
+            if self.inflight.get(batch.batch_id) is not batch:
+                return  # recovery raced us
             if not batch.outstanding:
-                # No multi-key work: skip straight past the barrier.
-                self._commit_phase(batch)
+                # No multi-key work: the execution phase is trivially
+                # complete; head straight for the commit region.
+                self._execution_finished(batch)
                 return
             for txn in batch.txns.values():
                 self.hooks.dispatch(txn.fresh_event())
@@ -358,13 +500,19 @@ class Coordinator:
         if self.crashed:
             return
         ctx = event.txn
-        batch = self.active
-        if ctx is None or batch is None or ctx.batch_id != batch.batch_id:
-            return  # stale report from before a recovery
-        batch.last_progress = self.sim.now
+        if ctx is None:
+            return
         if ctx.tid >= FALLBACK_TID_BASE:
+            batch = self._commit_batch
+            if batch is None or ctx.batch_id != batch.batch_id:
+                return  # stale fallback report from before a recovery
+            batch.last_progress = self.sim.now
             self._on_fallback_report(event, ctx)
             return
+        batch = self.inflight.get(ctx.batch_id)
+        if batch is None:
+            return  # stale report from before a recovery
+        batch.last_progress = self.sim.now
         txn = batch.txns.get(ctx.tid)
         if txn is None or txn.done:
             return
@@ -373,18 +521,65 @@ class Coordinator:
         txn.error = event.error
         batch.outstanding.discard(ctx.tid)
         if not batch.outstanding:
-            self._commit_phase(batch)
+            self._execution_finished(batch)
+
+    # -- pipeline sequencing ------------------------------------------------
+    def _execution_finished(self, batch: _Batch) -> None:
+        """The batch's execution phase is complete: queue it for the
+        ordered commit region (commit/apply/single-key/fallback stay
+        strictly ordered by batch id) and let the next batch seal."""
+        batch.execution_done = True
+        batch.execution_done_at = self.sim.now
+        self._maybe_promote()
+        if self._can_seal():
+            self._start_batch()
+
+    def _maybe_promote(self) -> None:
+        """Move the oldest in-flight batch into the commit region once
+        its execution phase is done.  Promotion is the quiescent point
+        between two batches' commits: the store holds exactly the last
+        closed version, so pin it for batches sealed over this commit."""
+        if self._commit_batch is not None or not self.inflight:
+            return
+        batch = self.inflight[min(self.inflight)]
+        if not batch.execution_done:
+            return
+        if self.config.pipeline_depth > 1:
+            self._pin_version(self._last_closed)
+        self.stats.stall_ms += self.sim.now - batch.execution_done_at
+        self._commit_batch = batch
+        self._commit_phase(batch)
+
+    def _pin_version(self, version: int) -> None:
+        if version in self._pinned:
+            return
+        pin = getattr(self.committed, "pin_view", None)
+        if pin is None:
+            return
+        pin(version)
+        self._pinned.add(version)
+
+    def _stale_keys_for(self, batch: _Batch) -> set:
+        """Union of write footprints of every batch that committed
+        between *batch*'s snapshot (``base``) and its commit barrier."""
+        if batch.base is None:
+            return set()
+        stale: set = set()
+        for closed_id in range(batch.base + 1, batch.batch_id):
+            stale |= self._footprints.get(closed_id, frozenset())
+        return stale
 
     # -- commit phase ------------------------------------------------------
     def _commit_phase(self, batch: _Batch) -> None:
         def run_detection() -> None:
-            if self.active is not batch:
+            if self._commit_batch is not batch:
                 return
             members = [
                 BatchMember.from_context(txn.ctx, failed=txn.error is not None)
                 for txn in batch.txns.values()
             ]
-            report = decide(members, reordering=self.config.reordering)
+            report = decide(members, reordering=self.config.reordering,
+                            stale_keys=self._stale_keys_for(batch))
             self.stats.observe(report)
             committed_tids = [tid for tid in sorted(report.commits)
                               if batch.txns[tid].error is None]
@@ -395,6 +590,7 @@ class Coordinator:
                 for (entity, key), value in ctx.write_set.items():
                     worker = self.hooks.worker_of(entity, key)
                     buckets.setdefault(worker, {})[(entity, key)] = value
+                    batch.footprint.add((entity, key))
             if not buckets:
                 self._finalize_batch(batch, report)
                 return
@@ -402,7 +598,7 @@ class Coordinator:
 
             def one_ack() -> None:
                 remaining["count"] -= 1
-                if remaining["count"] == 0 and self.active is batch:
+                if remaining["count"] == 0 and self._commit_batch is batch:
                     self._finalize_batch(batch, report)
 
             for worker, writes in buckets.items():
@@ -428,6 +624,9 @@ class Coordinator:
                             f"transaction aborted after {txn.attempt} "
                             f"attempts ({report.aborts[tid].value})"))
                     else:
+                        # Re-enters the next *sealable* batch: priority
+                        # (arrival_seq) is preserved by the seal-time
+                        # sort, so retried work still goes first.
                         self.pending.append(txn)
             else:
                 self._enqueue_reply(txn, error=txn.error)
@@ -442,7 +641,7 @@ class Coordinator:
     def _single_key_phase(self, batch: _Batch) -> None:
         """Execute the batch's single-key transactions serially per
         owning worker (parallel across workers), against live state."""
-        if self.active is not batch or not batch.single:
+        if self._commit_batch is not batch or not batch.single:
             self._fallback_or_close(batch)
             return
         groups: dict[int, list[TxnRecord]] = {}
@@ -450,11 +649,14 @@ class Coordinator:
                           key=lambda t: t.ctx.tid if t.ctx else 0):
             worker = self.hooks.worker_of(txn.target.entity, txn.target.key)
             groups.setdefault(worker, []).append(txn)
+            # Single-key transactions may write their own key: part of
+            # the batch's footprint for cross-batch stale detection.
+            batch.footprint.add((txn.target.entity, txn.target.key))
         by_request = {txn.request_id: txn for txn in batch.single}
         remaining = {"count": len(groups)}
 
         def on_worker_done(replies: list[Event]) -> None:
-            if self.active is not batch:
+            if self._commit_batch is not batch:
                 return
             batch.last_progress = self.sim.now
             for reply in replies:
@@ -474,7 +676,7 @@ class Coordinator:
             self.hooks.execute_single_key(worker, events, on_worker_done)
 
     def _fallback_or_close(self, batch: _Batch) -> None:
-        if self.active is not batch:
+        if self._commit_batch is not batch:
             return
         if self._fallback_queue:
             self._fallback_next(batch)
@@ -482,23 +684,51 @@ class Coordinator:
             self._close_batch()
 
     def _close_batch(self) -> None:
-        self.active = None
+        batch = self._commit_batch
+        self._commit_batch = None
         self._fallback_queue = []
         self._fallback_current = None
+        if batch is not None:
+            self.inflight.pop(batch.batch_id, None)
+            self._last_closed = batch.batch_id
+            if self.config.pipeline_depth > 1:
+                self._footprints[batch.batch_id] = frozenset(batch.footprint)
+            self._prune_pipeline_metadata()
         if self._snapshot_requested:
             self._take_snapshot()
         if self.recovering:
             return
-        if self._rescale_requests:
-            # The batch boundary is the RESCALE barrier: no transaction
-            # is in flight, so slots are quiescent and safe to migrate.
+        if self._rescale_requests and not self.inflight:
+            # The drained-pipeline batch boundary is the RESCALE barrier:
+            # no transaction is in flight, so slots are quiescent and
+            # safe to migrate.
             self._begin_rescale(self._rescale_requests.pop(0))
-        elif self.pending:
+            return
+        self._maybe_promote()
+        if self._can_seal():
             self._start_batch()
+
+    def _prune_pipeline_metadata(self) -> None:
+        """Release pinned views and footprints no in-flight batch can
+        reference any more.  A footprint for closed batch ``b`` matters
+        only to batches whose snapshot predates it (``base < b``); a
+        pinned version only to batches reading through it."""
+        live_bases = {batch.base for batch in self.inflight.values()
+                      if batch.base is not None}
+        min_base = min(live_bases, default=None)
+        for closed_id in list(self._footprints):
+            if min_base is None or closed_id <= min_base:
+                del self._footprints[closed_id]
+        release = getattr(self.committed, "release_view", None)
+        for version in list(self._pinned):
+            if version not in live_bases:
+                if release is not None:
+                    release(version)
+                self._pinned.discard(version)
 
     # -- sequential fallback -------------------------------------------------
     def _fallback_next(self, batch: _Batch) -> None:
-        if self.active is not batch:
+        if self._commit_batch is not batch:
             return
         if not self._fallback_queue:
             self._close_batch()
@@ -507,13 +737,15 @@ class Coordinator:
         self._fallback_current = txn
         self._fallback_tid += 1
         self.stats.fallback_runs += 1
+        # Fallback re-runs read live state (base=None): every earlier
+        # write of this and all older batches is already installed.
         txn.ctx = TxnContext(tid=self._fallback_tid,
                              batch_id=batch.batch_id, attempt=txn.attempt)
         batch.last_progress = self.sim.now
         self.hooks.dispatch(txn.fresh_event())
 
     def _on_fallback_report(self, event: Event, ctx: TxnContext) -> None:
-        batch = self.active
+        batch = self._commit_batch
         txn = self._fallback_current
         if batch is None or txn is None or txn.ctx is not ctx:
             return
@@ -525,6 +757,7 @@ class Coordinator:
             for (entity, key), value in ctx.write_set.items():
                 worker = self.hooks.worker_of(entity, key)
                 buckets.setdefault(worker, {})[(entity, key)] = value
+                batch.footprint.add((entity, key))
         if not buckets:
             self._enqueue_reply(txn, error=txn.error)
             self._fallback_next(batch)
@@ -533,7 +766,7 @@ class Coordinator:
 
         def one_ack() -> None:
             remaining["count"] -= 1
-            if remaining["count"] == 0 and self.active is batch:
+            if remaining["count"] == 0 and self._commit_batch is batch:
                 self._enqueue_reply(txn, error=txn.error)
                 self._fallback_next(batch)
 
@@ -542,7 +775,8 @@ class Coordinator:
 
     # -- elastic rescaling -------------------------------------------------
     def request_rescale(self, workers: int) -> None:
-        """Queue a cluster resize; it runs at the next batch boundary.
+        """Queue a cluster resize; it runs once the pipeline drains at a
+        batch boundary.
 
         Targets are clamped to ``[1, slots]`` (rescale intents arrive
         from declarative plans that cannot know the slot count).  A
@@ -555,7 +789,7 @@ class Coordinator:
         self._rescale_requests.append(max(1, min(workers, ceiling)))
 
     def _begin_rescale(self, target: int) -> None:
-        """Execute one rescale under the batch-boundary barrier:
+        """Execute one rescale under the drained-pipeline barrier:
 
         1. size the worker set up front (new owners must exist to
            receive migrations; old owners retire only after commit);
@@ -609,7 +843,7 @@ class Coordinator:
             self._take_snapshot()
             if self._rescale_requests:
                 self._begin_rescale(self._rescale_requests.pop(0))
-            elif self.pending:
+            elif self._can_seal():
                 self._start_batch()
 
         def one_ack(slot: int) -> None:
@@ -662,23 +896,25 @@ class Coordinator:
     # -- snapshots & recovery ----------------------------------------------
     def _tick_snapshot(self) -> None:
         self._snapshot_requested = True
-        if self.active is None and not self.recovering:
+        if not self.inflight and not self.recovering:
             self._take_snapshot()
 
     def _take_snapshot(self) -> None:
+        """Cut a consistent snapshot at a batch boundary.
+
+        Called only when no batch holds the commit region, so the
+        committed store is exactly the last closed version — a snapshot
+        never contains a half-committed batch.  Still-executing
+        pipelined batches have no committed effects yet; their requests
+        (like the pending queue, already consumed from the source) are
+        folded back into the snapshot's channel state, so replay
+        re-forms and re-executes them."""
         self._snapshot_requested = False
-        # Pending requests were already consumed from the source, so a
-        # pure offset rewind would lose them: snapshot them as channel
-        # state (fresh copies — ctx/results are per-attempt).
-        pending_copy = [
-            TxnRecord(arrival_seq=txn.arrival_seq, target=txn.target,
-                      method=txn.method, args=txn.args,
-                      request_id=txn.request_id,
-                      ingress_time=txn.ingress_time,
-                      is_transactional_method=txn.is_transactional_method,
-                      attempt=txn.attempt)
-            for txn in self.pending
-        ]
+        uncommitted = list(self.pending)
+        for batch_id in sorted(self.inflight):
+            uncommitted.extend(self.inflight[batch_id].all_records())
+        pending_copy = [txn.fresh_copy() for txn in
+                        sorted(uncommitted, key=lambda t: t.arrival_seq)]
         freeze = getattr(self.committed, "freeze_assignment", None)
         self.snapshots.take(
             taken_at_ms=self.sim.now,
@@ -704,15 +940,17 @@ class Coordinator:
                 self.rescale_aborts += 1
                 self.recover()
             return
-        if self.active is None:
+        oldest = self.active
+        if oldest is None:
             return
-        stalled_since = max(self.active.started_at,
-                            self.active.last_progress)
+        stalled_since = max(oldest.started_at, oldest.last_progress)
         if self.sim.now - stalled_since >= self.config.failure_detect_ms:
             self.recover()
 
     def recover(self) -> None:
-        """Restore the latest snapshot and replay the source."""
+        """Restore the latest snapshot and replay the source.  The whole
+        epoch pipeline is abandoned — every in-flight batch, pinned
+        view and footprint — not just the committing batch."""
         snapshot = self.snapshots.latest()
         assert snapshot is not None  # start() always takes one
         started_at = self.sim.now
@@ -720,11 +958,9 @@ class Coordinator:
         self.recoveries += 1
         self._recovery_epoch += 1
         epoch = self._recovery_epoch
-        self.active = None
+        self._abandon_pipeline()
         self.pending.clear()
         self._epoch_buffer.clear()
-        self._fallback_queue = []
-        self._fallback_current = None
         # Abort any in-flight rescale and re-queue its target: the
         # migration re-runs from scratch against the restored state.
         self._rescale_epoch += 1
@@ -741,15 +977,12 @@ class Coordinator:
         self.committed.restore(snapshot.state)
         self.replied = set(snapshot.replied)
         self.admitted = set(snapshot.admitted)
-        self.pending = [
-            TxnRecord(arrival_seq=txn.arrival_seq, target=txn.target,
-                      method=txn.method, args=txn.args,
-                      request_id=txn.request_id,
-                      ingress_time=txn.ingress_time,
-                      is_transactional_method=txn.is_transactional_method,
-                      attempt=txn.attempt)
-            for txn in snapshot.pending
-        ]
+        self.pending = [txn.fresh_copy() for txn in snapshot.pending]
+        # Batch ids stay monotonic across recoveries (never restored):
+        # a stale in-flight report can therefore never collide with a
+        # post-recovery batch.  The committed-store version label tracks
+        # them: everything below the next batch id counts as closed.
+        self._last_closed = self._batch_seq - 1
         self.hooks.source_seek(snapshot.source_offsets)
 
         def resume() -> None:

@@ -14,7 +14,7 @@ Kafka loop-backs (what StateFun must do) — the ABL-COMM ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from ...compiler.pipeline import CompiledProgram
@@ -63,6 +63,12 @@ class StateflowConfig:
     #: rescaling).  Fixed for the run; must be >= the largest worker
     #: count the run will rescale to.
     state_slots: int = 64
+    #: Bounded epoch pipeline (``--pipeline-depth`` on the CLI): batches
+    #: in flight at once — 1 = strictly serial batches, the default (2)
+    #: overlaps a batch's execution with its predecessor's commit.
+    #: ``None`` keeps whatever ``coordinator.pipeline_depth`` says; a
+    #: value overrides it.
+    pipeline_depth: int | None = None
     check_state_serializable: bool = False
     ingress_partitions: int = 4
     egress_partitions: int = 4
@@ -88,6 +94,15 @@ class StateflowRuntime(Runtime):
                  config: StateflowConfig | None = None):
         super().__init__(program)
         self.config = config or StateflowConfig()
+        if self.config.pipeline_depth is not None:
+            # Fresh config objects, not in-place writes: the caller may
+            # share a StateflowConfig or CoordinatorConfig across
+            # runtimes.
+            self.config = replace(
+                self.config,
+                coordinator=replace(
+                    self.config.coordinator,
+                    pipeline_depth=max(1, self.config.pipeline_depth)))
         self.sim = sim or Simulation()
         self.network = Network(self.sim, self.config.network)
         self.broker = KafkaBroker(self.sim, self.config.kafka)

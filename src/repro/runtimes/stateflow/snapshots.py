@@ -15,7 +15,11 @@ boundary:
 - the replayable source's (Kafka) consumer offsets,
 - the coordinator's queue of admitted-but-uncommitted requests (they
   were already consumed from the source, so offset rewind alone would
-  lose them — they are the "channel state" of the classic protocol),
+  lose them — they are the "channel state" of the classic protocol).
+  Under pipelined epochs this includes the transactions of
+  still-*executing* batches: their effects are uncommitted at the cut,
+  so they fold back into pending and replay re-forms them — a snapshot
+  never contains a half-committed batch,
 - the set of request ids already answered (egress dedup),
 - protocol counters (batch sequence, transaction arrival sequence).
 

@@ -52,6 +52,10 @@ class AriaStateView:
         self._txn.record_write(entity, key, dict(state))
 
     def create(self, entity: str, key: Any, state: dict[str, Any]) -> None:
+        # The duplicate-key check is a read of the key's existence:
+        # record it so conflict detection (including the pipelined
+        # cross-batch stale check) sees creates that raced a writer.
+        self._txn.record_read(entity, key)
         if (self._committed.get(entity, key) is not None
                 or (entity, key) in self._txn.write_set):
             raise EntityAlreadyExistsError(

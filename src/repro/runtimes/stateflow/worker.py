@@ -50,6 +50,10 @@ class Worker:
         self.writes_applied = 0
         self.slots_captured = 0
         self.slots_installed = 0
+        #: Execution-phase deliveries dropped because their batch's
+        #: pinned snapshot view was already released (batch abandoned by
+        #: a recovery while the event was in flight).
+        self.stale_executions_dropped = 0
         self._executor = executor
         #: This worker's own partition of committed state (it is the only
         #: writer; the coordinator only touches it for snapshot/restore).
@@ -66,6 +70,23 @@ class Worker:
         self._state_op_ms = state_op_ms
 
     # ------------------------------------------------------------------
+    def _committed_view(self, event: Event) -> StateBackend | None:
+        """The committed-state window for *event*'s execution: the live
+        reader, unless the event's batch was sealed while an older batch
+        was still committing — then reads go through the version-pinned
+        view of the batch's snapshot (``txn.base``), so mid-flight
+        commit-phase writes of older batches stay invisible.  ``None``
+        means the pinned view is gone (the batch was abandoned by a
+        recovery and its pins released): the event is stale and must be
+        dropped, not executed against torn state."""
+        txn = event.txn
+        if txn is None or txn.base is None:
+            return self._committed_reader
+        resolve = getattr(self._committed_reader, "view", None)
+        if resolve is None:
+            return self._committed_reader
+        return resolve(txn.base)
+
     def deliver(self, event: Event) -> None:
         """Entry point: an event arrived over a channel.  Dead workers
         drop everything (the failure model)."""
@@ -75,8 +96,12 @@ class Worker:
         def process() -> None:
             if not self.alive:
                 return
+            reader = self._committed_view(event)
+            if reader is None:
+                self.stale_executions_dropped += 1
+                return
             self.events_processed += 1
-            view = AriaStateView(self._committed_reader, event.txn)
+            view = AriaStateView(reader, event.txn)
             for outbound in self._executor.handle(event, view):
                 self._emit(outbound)
 

@@ -116,3 +116,52 @@ def test_bench_rejects_unknown_env_backend(monkeypatch):
     monkeypatch.setenv("REPRO_STATE_BACKEND", "chalkboard")
     with pytest.raises(SystemExit):
         main(["bench", "--duration-ms", "500"])
+
+
+def test_bench_pipeline_depth_flag(capsys):
+    assert main(["bench", "--duration-ms", "600", "--rps", "80",
+                 "--records", "25", "--pipeline-depth", "1"]) == 0
+    assert "YCSB" in capsys.readouterr().out
+
+
+def test_bench_pipeline_depth_requires_stateflow(capsys):
+    with pytest.raises(SystemExit):
+        main(["bench", "--system", "statefun", "--duration-ms", "500",
+              "--pipeline-depth", "2"])
+
+
+def test_chaos_run_pipeline_depth_requires_stateflow(capsys):
+    with pytest.raises(SystemExit):
+        main(["chaos", "run", "--system", "statefun",
+              "--pipeline-depth", "2"])
+
+
+def test_run_pipeline_depth_flag_is_noted_and_ignored(module_path, capsys):
+    assert main(["run", module_path, "Gadget", "__init__", "-", '"g3"',
+                 "--pipeline-depth", "4"]) == 0
+    captured = capsys.readouterr()
+    assert "--pipeline-depth applies to" in captured.err
+    assert "Gadget/g3" in captured.out
+
+
+def test_bench_pipeline_cell_rejects_unsupported_flags(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["bench", "--cell", "pipeline", "--system", "statefun"])
+    with pytest.raises(SystemExit):
+        main(["bench", "--cell", "pipeline", "--pipeline-depth", "2"])
+    plan_path = str(tmp_path / "plan.json")
+    assert main(["chaos", "plan", "--seed", "3", "--out", plan_path]) == 0
+    with pytest.raises(SystemExit):
+        main(["bench", "--cell", "pipeline", "--faults", plan_path])
+
+
+def test_bench_pipeline_cell_honours_load_flags(capsys):
+    assert main(["bench", "--cell", "pipeline", "--rps", "2000",
+                 "--duration-ms", "250", "--records", "200",
+                 "--state-backend", "cow", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline speedup" in out
+    assert "wrote" in out and "BENCH_pipeline.json" in out
+    payload = json.loads(
+        __import__("pathlib").Path("BENCH_pipeline.json").read_text())
+    assert payload["rps"] == 2000.0

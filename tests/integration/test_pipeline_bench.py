@@ -1,0 +1,44 @@
+"""The pipeline bench cell: depth sweep plumbing, artifact shape, and
+exactly-once completion at every depth.  (The full-size ≥1.5x speedup
+acceptance run lives in `repro bench --cell pipeline` / CI, where the
+cell saturates a 32-worker deployment; here we only check the machinery
+on a small, fast configuration.)"""
+
+from repro.bench import run_pipeline_cell
+
+
+def test_pipeline_cell_sweeps_depths_and_reports():
+    report = run_pipeline_cell(
+        depths=(1, 2), rps=4_000.0, duration_ms=300.0, record_count=300,
+        workers=8, state_slots=64, seed=7, state_backend="cow",
+        drain_ms=30_000.0)
+    assert [row.depth for row in report.rows] == [1, 2]
+    for row in report.rows:
+        assert row.completed == row.sent, (
+            f"depth {row.depth} lost replies")
+        assert row.errors == 0
+        assert row.throughput_txn_s > 0
+        assert row.batches > 0
+    piped = report.rows[1]
+    assert piped.depth_hist.get(2, 0) > 0, (
+        "the depth-2 run never actually pipelined")
+    assert report.speedup > 0.9, (
+        "depth 2 must not be slower than the serial baseline: "
+        f"{report.speedup:.2f}")
+
+    artifact = report.as_artifact()
+    assert artifact["cell"] == "pipeline"
+    assert artifact["state_backend"] == "cow"
+    assert len(artifact["rows"]) == 2
+    assert artifact["rows"][1]["depth_hist"]
+    assert "speedup_depth2_over_depth1" in artifact
+    assert isinstance(artifact["mean_latency_improved"], bool)
+
+
+def test_pipeline_cell_depth1_only_has_nan_speedup():
+    report = run_pipeline_cell(
+        depths=(1,), rps=1_000.0, duration_ms=200.0, record_count=100,
+        workers=4, state_slots=16, seed=7, state_backend="dict",
+        drain_ms=20_000.0)
+    assert report.speedup != report.speedup  # NaN: nothing to compare
+    assert not report.mean_latency_improved

@@ -167,3 +167,104 @@ def test_serializable_order_respects_raw_edges(spec):
             for writer in committed.values():
                 if writer.tid < reader.tid and key in writer.write_set:
                     assert position[reader.tid] < position[writer.tid]
+
+
+# -- pipelined epochs: cross-batch stale detection ---------------------------
+
+
+class TestStaleDetection:
+    def _stale(self, *keys):
+        return frozenset(("Account", k) for k in keys)
+
+    def test_stale_read_aborts(self):
+        report = decide([_member(0, reads=["a"], writes=["b"])],
+                        stale_keys=self._stale("a"))
+        assert report.aborts == {0: TxnOutcome.ABORT_STALE}
+
+    def test_blind_overwrite_of_stale_key_commits(self):
+        """Cross-batch WAW needs no abort: writes install in batch
+        order, so a blind overwrite is already serialized correctly."""
+        report = decide([_member(0, writes=["a"])],
+                        stale_keys=self._stale("a"))
+        assert report.commits == [0]
+
+    def test_disjoint_reads_unaffected(self):
+        report = decide([_member(0, reads=["b"], writes=["b"])],
+                        stale_keys=self._stale("a"))
+        assert report.commits == [0]
+
+    def test_failed_member_with_stale_read_aborts(self):
+        """A user-level failure observed through a stale snapshot cannot
+        be trusted: the failure itself may be the artifact (e.g. a
+        balance check against a pre-deposit value).  It re-executes."""
+        failed = BatchMember(tid=0,
+                             read_set=frozenset({("Account", "a")}),
+                             write_set=frozenset(), failed=True)
+        report = decide([failed], stale_keys=self._stale("a"))
+        assert report.aborts == {0: TxnOutcome.ABORT_STALE}
+
+    def test_stale_outcome_counted_separately(self):
+        stats = AriaStats()
+        stats.observe(decide([_member(0, reads=["a"])],
+                             stale_keys=self._stale("a")))
+        assert stats.aborts_stale == 1
+        assert stats.aborts_raw == 0 and stats.aborts_waw == 0
+        assert stats.abort_rate == 1.0
+
+    def test_empty_stale_set_is_the_plain_protocol(self):
+        members = [_member(0, writes=["a"]), _member(1, reads=["a"])]
+        assert decide(members).commits == decide(
+            members, stale_keys=frozenset()).commits
+
+
+@given(member_sets, st.frozensets(keys, max_size=3))
+@settings(max_examples=200, deadline=None)
+def test_stale_aborts_exactly_the_readers(spec, stale):
+    """With stale keys, precisely the members that read one abort with
+    ABORT_STALE; the rest are decided as if the batch had been filtered
+    to the non-stale members *plus* the stale members' reservations."""
+    members = _members_from(spec)
+    stale_keys = frozenset(("Account", k) for k in stale)
+    report = decide(members, stale_keys=stale_keys)
+    for member in members:
+        if member.read_set & stale_keys:
+            assert report.aborts[member.tid] is TxnOutcome.ABORT_STALE
+        else:
+            assert report.aborts.get(member.tid) is not TxnOutcome.ABORT_STALE
+
+
+@given(member_sets)
+@settings(max_examples=150, deadline=None)
+def test_heap_topological_order_matches_reference(spec):
+    """The heapq-based serializable_order must produce exactly the
+    smallest-TID-first topological order of the naive resort loop it
+    replaced."""
+    members = _members_from(spec)
+    report = decide(members, reordering=True)
+    order = serializable_order(members, report)
+
+    committed = [m for m in members if m.tid in set(report.commits)]
+    writer_of = {}
+    for member in committed:
+        for key in member.write_set:
+            writer_of[key] = member.tid
+    successors = {m.tid: set() for m in committed}
+    indegree = {m.tid: 0 for m in committed}
+    for member in committed:
+        for key in member.read_set:
+            writer = writer_of.get(key)
+            if writer is not None and writer != member.tid:
+                if writer not in successors[member.tid]:
+                    successors[member.tid].add(writer)
+                    indegree[writer] += 1
+    ready = sorted(t for t, d in indegree.items() if d == 0)
+    reference = []
+    while ready:
+        tid = ready.pop(0)
+        reference.append(tid)
+        for successor in sorted(successors[tid]):
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+        ready.sort()
+    assert order == reference

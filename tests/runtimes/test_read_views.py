@@ -1,0 +1,116 @@
+"""Version-pinned read views: the state-layer contract the pipelined
+epoch coordinator relies on — a pinned view answers with the store's
+contents exactly as of the pin, regardless of later writes, on every
+backend and on the partitioned store."""
+
+import pytest
+
+from repro.runtimes.state import (
+    CowStateBackend,
+    DictStateBackend,
+    PartitionedStore,
+)
+
+BACKENDS = [DictStateBackend, CowStateBackend]
+
+
+@pytest.mark.parametrize("backend_cls", BACKENDS)
+class TestBackendReadViews:
+    def test_view_is_immune_to_later_writes(self, backend_cls):
+        backend = backend_cls()
+        backend.put("Account", "a", {"balance": 100})
+        backend.pin_view(7)
+        backend.put("Account", "a", {"balance": 999})
+        view = backend.view(7)
+        assert view.get("Account", "a") == {"balance": 100}
+        assert backend.get("Account", "a") == {"balance": 999}
+
+    def test_view_hides_keys_created_after_pin(self, backend_cls):
+        backend = backend_cls()
+        backend.pin_view(1)
+        backend.put("Account", "new", {"balance": 1})
+        view = backend.view(1)
+        assert view.get("Account", "new") is None
+        assert not view.exists("Account", "new")
+        assert backend.exists("Account", "new")
+
+    def test_view_sees_untouched_keys_live(self, backend_cls):
+        backend = backend_cls()
+        backend.put("Account", "quiet", {"balance": 5})
+        backend.pin_view(3)
+        backend.put("Account", "hot", {"balance": 1})
+        assert backend.view(3).get("Account", "quiet") == {"balance": 5}
+        assert backend.view(3).exists("Account", "quiet")
+
+    def test_release_and_unknown_versions(self, backend_cls):
+        backend = backend_cls()
+        backend.pin_view(2)
+        assert backend.view(2) is not None
+        backend.release_view(2)
+        assert backend.view(2) is None
+        backend.release_view(2)  # idempotent
+        assert backend.view(99) is None
+
+    def test_view_get_returns_copies(self, backend_cls):
+        backend = backend_cls()
+        backend.put("Account", "a", {"balance": 100})
+        backend.pin_view(1)
+        backend.put("Account", "a", {"balance": 200})
+        copy_out = backend.view(1).get("Account", "a")
+        copy_out["balance"] = -1
+        assert backend.view(1).get("Account", "a") == {"balance": 100}
+
+    def test_restore_drops_views(self, backend_cls):
+        backend = backend_cls()
+        backend.put("Account", "a", {"balance": 1})
+        frozen = backend.snapshot()
+        backend.pin_view(4)
+        backend.restore(frozen)
+        assert backend.view(4) is None
+
+    def test_multiple_pinned_versions_are_independent(self, backend_cls):
+        backend = backend_cls()
+        backend.put("Account", "a", {"balance": 1})
+        backend.pin_view(1)
+        backend.put("Account", "a", {"balance": 2})
+        backend.pin_view(2)
+        backend.put("Account", "a", {"balance": 3})
+        assert backend.view(1).get("Account", "a") == {"balance": 1}
+        assert backend.view(2).get("Account", "a") == {"balance": 2}
+        assert backend.get("Account", "a") == {"balance": 3}
+
+
+@pytest.mark.parametrize("backend", ["dict", "cow"])
+class TestPartitionedStoreViews:
+    def test_view_routes_and_pins_across_slots(self, backend):
+        store = PartitionedStore(3, backend=backend, slots=8)
+        keys = [f"acct-{i}" for i in range(16)]
+        for key in keys:
+            store.put("Account", key, {"balance": 10})
+        store.pin_view(5)
+        for key in keys:
+            store.put("Account", key, {"balance": 99})
+        view = store.view(5)
+        assert all(view.get("Account", key) == {"balance": 10}
+                   for key in keys)
+        assert all(store.get("Account", key) == {"balance": 99}
+                   for key in keys)
+
+    def test_release_view_releases_every_slot(self, backend):
+        store = PartitionedStore(2, backend=backend, slots=4)
+        store.pin_view(1)
+        store.pin_view(2)
+        store.release_view(1)
+        store.release_view(2)
+        assert store.view(1) is None and store.view(2) is None
+        # Slot backends released too: nothing lingers.
+        assert all(slot.view(1) is None and slot.view(2) is None
+                   for slot in store._slots)
+
+    def test_restore_drops_views(self, backend):
+        store = PartitionedStore(2, backend=backend, slots=4)
+        store.put("Account", "a", {"balance": 1})
+        frozen = store.snapshot()
+        store.pin_view(9)
+        store.restore(frozen)
+        assert store.view(9) is None
