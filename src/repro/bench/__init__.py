@@ -28,6 +28,11 @@ from .pipeline import (
     PipelineRow,
     run_pipeline_cell,
 )
+from .recovery import (
+    RecoveryReport,
+    RecoveryRow,
+    run_recovery_cell,
+)
 from .rescale import (
     RescaleReport,
     run_rescale_cell,
@@ -56,8 +61,11 @@ __all__ = [
     "OverheadRow",
     "PipelineReport",
     "PipelineRow",
+    "RecoveryReport",
+    "RecoveryRow",
     "RescaleReport",
     "run_pipeline_cell",
+    "run_recovery_cell",
     "SnapshotOverheadRow",
     "build_runtime",
     "run_rescale_cell",

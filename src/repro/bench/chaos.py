@@ -143,6 +143,8 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
                    seed: int = 42, plan: FaultPlan | None = None,
                    state_backend: str | None = None,
                    pipeline_depth: int | None = None,
+                   snapshot_mode: str | None = None,
+                   changelog: bool | None = None,
                    drain_ms: float = 30_000.0,
                    bucket_ms: float = 250.0) -> ChaosReport:
     """Run one chaos cell; ``plan=None`` generates ``random_plan(seed)``.
@@ -174,6 +176,10 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
         overrides["coordinator"] = chaos_coordinator_config()
         if pipeline_depth is not None:
             overrides["pipeline_depth"] = pipeline_depth
+        if snapshot_mode is not None:
+            overrides["snapshot_mode"] = snapshot_mode
+        if changelog is not None:
+            overrides["changelog"] = changelog
     runtime = build_runtime(system, program, seed=seed, **overrides)
 
     trace: list[tuple] = []

@@ -114,6 +114,8 @@ def run_rescale_cell(workload_name: str = "T",
                      state_backend: str | None = None,
                      fault_plan: FaultPlan | None = None,
                      pipeline_depth: int | None = None,
+                     snapshot_mode: str | None = None,
+                     changelog: bool | None = None,
                      drain_ms: float = 30_000.0) -> RescaleReport:
     """Run one rescale cell; ``plan=None`` uses the canonical
     2 -> 4 -> 3 staged plan spread across the load window.
@@ -132,6 +134,7 @@ def run_rescale_cell(workload_name: str = "T",
         state_backend=state_backend or default_state_backend(),
         rescale_plan=plan, fault_plan=fault_plan,
         pipeline_depth=pipeline_depth,
+        snapshot_mode=snapshot_mode, changelog=changelog,
         coordinator=chaos_coordinator_config())
 
     trace: list[tuple] = []
@@ -203,6 +206,11 @@ def run_rescale_cell(workload_name: str = "T",
         "mean_pause_ms": round(sum(pauses) / len(pauses), 3) if pauses else 0.0,
         "keys_moved": coordinator.keys_migrated,
         "final_workers": runtime.worker_count,
+        # Incremental snapshots: slots shipped as base+delta fragments
+        # vs full copies, and the delta volume that crossed the wire.
+        "migration_delta_slots": runtime.migration_delta_slots,
+        "migration_full_slots": runtime.migration_full_slots,
+        "migration_delta_keys": runtime.migration_delta_keys,
     }
     row = ExperimentRow(
         system="stateflow", workload=workload_name,

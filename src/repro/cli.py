@@ -13,6 +13,9 @@ Commands:
   YCSB benchmark cell on a simulated runtime and print its row;
   ``--cell pipeline`` instead sweeps the epoch-pipeline depth
   (1/2/4) on a saturating cell and writes ``BENCH_pipeline.json``;
+  ``--cell recovery`` sweeps snapshot mode (full/incremental) against
+  state size, measuring snapshot bytes/cut and recovery time, and
+  writes ``BENCH_recovery.json`` with the <= 0.25x capture-volume gate;
 - ``chaos plan --seed N --out plan.json`` — generate a reproducible
   random fault plan;
 - ``chaos run [--plan plan.json] [--seed N] ...`` — execute a workload
@@ -33,7 +36,10 @@ committed-state backend (see :mod:`repro.runtimes.state`),
 mid-run (StateFlow only; see :mod:`repro.rescale`).  ``bench``,
 ``chaos run`` and ``rescale run`` accept ``--pipeline-depth N`` to set
 the StateFlow epoch pipeline's bound (1 = the strictly serial
-pre-pipeline batching).
+pre-pipeline batching), ``--snapshot-mode full|incremental`` to pick
+the durability path (incremental = dirtied-slots cuts chained to
+periodic bases, plus a per-commit changelog) and ``--changelog on|off``
+to toggle the commit changelog that repairs torn incremental chains.
 
 ``bench``, ``chaos run`` and ``rescale run`` persist their results as
 ``BENCH_<cell>.json`` in the working directory (override with
@@ -193,6 +199,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                              "`repro chaos run --pipeline-depth` / "
                              "`repro rescale run --pipeline-depth`)")
         return _run_pipeline_cell(args, backend)
+    if args.cell == "recovery":
+        if args.system != "stateflow":
+            raise SystemExit("repro bench: error: --cell recovery runs "
+                             "on stateflow (the snapshotting runtime)")
+        if args.snapshot_mode is not None:
+            raise SystemExit("repro bench: error: --cell recovery sweeps "
+                             "full and incremental itself; drop "
+                             "--snapshot-mode")
+        if args.faults is not None or args.rescale is not None:
+            raise SystemExit("repro bench: error: --cell recovery does "
+                             "not compose with --faults/--rescale (it "
+                             "injects its own fail-over)")
+        if args.changelog is not None or args.pipeline_depth is not None:
+            raise SystemExit("repro bench: error: --cell recovery runs "
+                             "canonical configurations; drop "
+                             "--changelog/--pipeline-depth")
+        return _run_recovery_cell(args, backend)
     plan = _load_fault_plan(args.faults)
     rescale_plan = _load_rescale_plan(args.rescale)
     if rescale_plan is not None and args.system != "stateflow":
@@ -201,11 +224,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.pipeline_depth is not None and args.system != "stateflow":
         raise SystemExit("repro bench: error: --pipeline-depth requires "
                          "--system stateflow (the batching runtime)")
+    if args.snapshot_mode is not None and args.system != "stateflow":
+        raise SystemExit("repro bench: error: --snapshot-mode requires "
+                         "--system stateflow (the snapshotting runtime)")
     overrides: dict | None = {}
     if rescale_plan is not None:
         overrides["rescale_plan"] = rescale_plan
     if args.pipeline_depth is not None:
         overrides["pipeline_depth"] = args.pipeline_depth
+    if args.snapshot_mode is not None:
+        overrides["snapshot_mode"] = args.snapshot_mode
+    if args.changelog is not None:
+        overrides["changelog"] = args.changelog == "on"
     row = run_ycsb_cell(args.system, args.workload, args.distribution,
                         rps=args.rps if args.rps is not None else 100.0,
                         duration_ms=(args.duration_ms
@@ -263,12 +293,45 @@ def _run_pipeline_cell(args: argparse.Namespace, backend: str) -> int:
     return 0
 
 
+def _run_recovery_cell(args: argparse.Namespace, backend: str) -> int:
+    """``repro bench --cell recovery``: sweep snapshot mode against
+    state size and persist ``BENCH_recovery.json``."""
+    from .bench import run_recovery_cell, write_bench_artifact
+
+    sweep_args: dict = {}
+    if args.rps is not None:
+        sweep_args["rps"] = args.rps
+    if args.duration_ms is not None:
+        sweep_args["duration_ms"] = args.duration_ms
+    if args.records is not None:
+        sweep_args["record_counts"] = (args.records,)
+    report = run_recovery_cell(state_backend=backend, seed=args.seed,
+                               **sweep_args)
+    lines = ["mode         records  cuts  keys/cut  bytes/cut  "
+             "recovery_ms  changelog"]
+    for row in report.rows:
+        lines.append(
+            f"{row.mode:<11}  {row.records:<7}  {row.cuts:<4}  "
+            f"{row.mean_keys_per_cut:<8.1f}  {row.mean_bytes_per_cut:<9.0f}  "
+            f"{row.recovery_ms:<11.2f}  {row.changelog_records}")
+    title = f"recovery sweep: full vs incremental, {backend} backend"
+    print(title)
+    print("-" * len(title))
+    print("\n".join(lines))
+    print()
+    print(report.summary())
+    path = write_bench_artifact("recovery", report.as_artifact())
+    print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos_plan(args: argparse.Namespace) -> int:
     plan = random_plan(args.seed, duration_ms=args.duration_ms,
                        workers=args.workers, intensity=args.intensity,
                        process_faults=not args.no_process_faults,
                        coordinator_faults=args.coordinator_faults,
-                       rescales=args.rescales)
+                       rescales=args.rescales,
+                       torn_snapshots=args.torn_snapshots)
     if args.out:
         plan.to_json(Path(args.out))
         print(f"wrote plan {plan.name!r} ({len(plan.events)} events) "
@@ -285,11 +348,17 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     if args.pipeline_depth is not None and args.system != "stateflow":
         raise SystemExit("repro chaos run: error: --pipeline-depth "
                          "requires --system stateflow")
+    if args.snapshot_mode is not None and args.system != "stateflow":
+        raise SystemExit("repro chaos run: error: --snapshot-mode "
+                         "requires --system stateflow")
     report = run_chaos_cell(
         args.system, args.workload, args.distribution, rps=args.rps,
         duration_ms=args.duration_ms, record_count=args.records,
         seed=args.seed, plan=plan, state_backend=args.state_backend,
-        pipeline_depth=args.pipeline_depth)
+        pipeline_depth=args.pipeline_depth,
+        snapshot_mode=args.snapshot_mode,
+        changelog=(None if args.changelog is None
+                   else args.changelog == "on"))
     columns = ["system", "workload", "state_backend", "rps", "p50_ms",
                "p99_ms", "completed", "errors", "recoveries",
                "recovery_time_ms", "availability"]
@@ -330,7 +399,10 @@ def _cmd_rescale_run(args: argparse.Namespace) -> int:
         record_count=args.records, seed=args.seed,
         state_backend=args.state_backend,
         fault_plan=_load_fault_plan(args.faults),
-        pipeline_depth=args.pipeline_depth)
+        pipeline_depth=args.pipeline_depth,
+        snapshot_mode=args.snapshot_mode,
+        changelog=(None if args.changelog is None
+                   else args.changelog == "on"))
     columns = ["system", "workload", "state_backend", "rps", "p50_ms",
                "p99_ms", "completed", "errors", "rescales",
                "mean_pause_ms", "keys_moved", "final_workers"]
@@ -419,11 +491,23 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="N",
                            help="epoch-pipeline depth (stateflow only; "
                                 "1 = serial batches, default 2)")
+    bench_cmd.add_argument("--snapshot-mode", default=None,
+                           choices=["full", "incremental"],
+                           help="snapshot durability path (stateflow "
+                                "only; incremental = dirtied-slot cuts "
+                                "+ commit changelog)")
+    bench_cmd.add_argument("--changelog", default=None,
+                           choices=["on", "off"],
+                           help="commit changelog toggle (stateflow "
+                                "only; default on in incremental mode)")
     bench_cmd.add_argument("--cell", default="ycsb",
-                           choices=["ycsb", "pipeline"],
+                           choices=["ycsb", "pipeline", "recovery"],
                            help="'pipeline' sweeps depth 1/2/4 on a "
                                 "saturating YCSB-A/zipfian cell and "
-                                "writes BENCH_pipeline.json")
+                                "writes BENCH_pipeline.json; 'recovery' "
+                                "sweeps full-vs-incremental snapshots "
+                                "against state size and writes "
+                                "BENCH_recovery.json")
     bench_cmd.set_defaults(handler=_cmd_bench)
 
     chaos_cmd = commands.add_parser(
@@ -444,6 +528,10 @@ def build_parser() -> argparse.ArgumentParser:
     plan_cmd.add_argument("--rescales", type=int, default=0,
                           help="sprinkle N elastic rescales through the "
                                "schedule (rescale-under-chaos)")
+    plan_cmd.add_argument("--torn-snapshots", type=int, default=0,
+                          help="tear N incremental snapshot cuts "
+                               "(dropped/duplicated delta fragments; "
+                               "no-ops on full-mode runs)")
     plan_cmd.add_argument("--out", default=None)
     plan_cmd.set_defaults(handler=_cmd_chaos_plan)
 
@@ -469,6 +557,14 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="N",
                                help="epoch-pipeline depth (stateflow "
                                     "only; 1 = serial batches)")
+    chaos_run_cmd.add_argument("--snapshot-mode", default=None,
+                               choices=["full", "incremental"],
+                               help="snapshot durability path "
+                                    "(stateflow only)")
+    chaos_run_cmd.add_argument("--changelog", default=None,
+                               choices=["on", "off"],
+                               help="commit changelog toggle (stateflow "
+                                    "only)")
     chaos_run_cmd.set_defaults(handler=_cmd_chaos_run)
 
     rescale_cmd = commands.add_parser(
@@ -518,6 +614,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  default=None, metavar="N",
                                  help="epoch-pipeline depth "
                                       "(1 = serial batches)")
+    rescale_run_cmd.add_argument("--snapshot-mode", default=None,
+                                 choices=["full", "incremental"],
+                                 help="snapshot durability path")
+    rescale_run_cmd.add_argument("--changelog", default=None,
+                                 choices=["on", "off"],
+                                 help="commit changelog toggle")
     rescale_run_cmd.set_defaults(handler=_cmd_rescale_run)
     return parser
 

@@ -11,6 +11,7 @@ from .plan import (
     CHANNELS,
     INTENSITIES,
     KINDS,
+    TORN_VARIANTS,
     FaultEvent,
     FaultPlan,
     FaultPlanError,
@@ -28,5 +29,6 @@ __all__ = [
     "INTENSITIES",
     "KINDS",
     "MessageFaultProfile",
+    "TORN_VARIANTS",
     "random_plan",
 ]

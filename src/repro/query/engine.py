@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterable
 
 from ..core.errors import StatefulEntityError
 from ..runtimes.state import materialize_snapshot
+from ..runtimes.stateflow.snapshots import SnapshotChainError
 
 
 class QueryError(StatefulEntityError):
@@ -92,9 +93,19 @@ class QueryEngine:
         snapshot = coordinator.snapshots.latest()
         if snapshot is None:
             raise QueryError("no snapshot completed yet")
+        # Incremental cuts carry only the dirtied slots: resolve the
+        # delta chain back into a full payload first (full-mode cuts
+        # resolve to themselves).  A torn/broken chain surfaces as the
+        # engine's own error type, like every other unqueryable state.
+        try:
+            payload = coordinator.snapshots.resolve(snapshot)
+        except SnapshotChainError as error:
+            raise QueryError(
+                f"latest snapshot is not resolvable ({error}); recovery "
+                f"will repair it — retry, or use consistency='live'")
         # Materialize (copy) only the queried entity's rows, not the
         # whole committed store.
-        state = materialize_snapshot(snapshot.state, entity)
+        state = materialize_snapshot(payload, entity)
         return list(state.items()), snapshot.taken_at_ms
 
     # -- core ------------------------------------------------------------

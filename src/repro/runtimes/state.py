@@ -17,6 +17,22 @@ operator state behind the same :class:`StateBackend` contract:
   worker truly owns a set of slots: commit-phase writes touch only the
   owning worker's slots and snapshots assemble from per-slot fragments.
 
+Every backend additionally supports *incremental capture*
+(``capture_base``/``capture_delta``): the backend tracks which keys were
+written since the last capture and hands out a :class:`StateDelta` of
+just those entries instead of a full payload.  Cuts therefore cost
+O(writes since the previous cut), not O(total state): the cow backend
+reuses its O(1) head-freeze (a delta is the tuple of layers frozen since
+the last capture, shared not copied), the dict backend diffs its dirty
+set, and the partitioned store assembles per-slot fragments
+(``None`` for clean slots, a delta for dirtied ones, a
+:class:`FullFragment` for slots whose tracking was invalidated by a
+restore or migration).  ``resolve_payload`` replays a base payload plus
+a delta chain back into a full payload; ``compact_deltas`` collapses a
+chain into one equivalent delta (the algebra the snapshot store's
+bounded-depth compaction relies on).  Deletes travel as
+:data:`TOMBSTONE` entries inside delta layers.
+
 Every backend additionally supports *version-pinned read views*
 (``pin_view``/``view``/``release_view``): a read-only window onto the
 store's contents exactly as they were at pin time, immune to later
@@ -51,6 +67,240 @@ State = dict[str, Any]
 RescaleDelta = dict[int, tuple[int, int]]
 
 
+class _Tombstone:
+    """Marker for a deleted key inside delta layers and cow heads.
+    Identity-compared (``state is TOMBSTONE``), so copies must preserve
+    identity."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<deleted>"
+
+
+#: The one tombstone instance (deletes inside deltas / cow heads).
+TOMBSTONE = _Tombstone()
+
+
+@dataclass(slots=True, frozen=True)
+class StateDelta:
+    """Writes since a capture point: a chain of layers (oldest first,
+    newer entries shadow older ones).  Values are committed states, or
+    :data:`TOMBSTONE` for deleted keys."""
+
+    layers: tuple[dict[Key, Any], ...]
+
+    def merged(self) -> dict[Key, Any]:
+        """Flatten the chain (newer wins), tombstones preserved.
+        Entries are shared with the layers — do not mutate."""
+        merged: dict[Key, Any] = {}
+        for layer in self.layers:
+            merged.update(layer)
+        return merged
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self.layers)
+
+    def key_count(self) -> int:
+        """Entries across all layers (a key written in two layers counts
+        twice — this is the shipped volume, not the distinct-key set)."""
+        return sum(len(layer) for layer in self.layers)
+
+
+@dataclass(slots=True, frozen=True)
+class FullFragment:
+    """A per-slot piece of an incremental cut that had to fall back to a
+    full capture (the slot's delta tracking was invalidated by a restore
+    or a migration install).  Resolution replaces the slot's base with
+    ``payload`` instead of applying a delta."""
+
+    payload: Any
+
+
+@dataclass(slots=True, frozen=True)
+class PartitionedDelta:
+    """One incremental cut of a :class:`PartitionedStore`: per-slot
+    fragments, index-aligned with the store's slots.  ``None`` marks a
+    slot untouched since the previous cut."""
+
+    parts: tuple[Any, ...]  # None | StateDelta | FullFragment per slot
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.parts)
+
+
+@dataclass(slots=True, frozen=True)
+class SlotDelta:
+    """A migration fragment shipping only one slot's writes since the
+    last durable cut; the destination composes it with the slot's base
+    resolved from the snapshot store."""
+
+    slot: int
+    delta: StateDelta
+
+
+def compact_deltas(deltas: "list[StateDelta] | tuple[StateDelta, ...]",
+                   ) -> StateDelta:
+    """Collapse a delta chain into one equivalent delta:
+    ``apply(base, d1..dn) == apply(base, compact(d1..dn))`` for every
+    base.  Tombstones are preserved (a delete must still shadow an older
+    base entry after compaction)."""
+    merged: dict[Key, Any] = {}
+    for delta in deltas:
+        for layer in delta.layers:
+            merged.update(layer)
+    return StateDelta(layers=(merged,) if merged else ())
+
+
+def duplicate_delta(payload: Any) -> Any:
+    """Model a duplicated in-flight delta fragment (fault injection):
+    the same layers delivered twice.  Replay is idempotent — entries are
+    absolute states — so resolution of the duplicated payload must equal
+    the original (the torn-snapshot chaos tests assert exactly that)."""
+    if isinstance(payload, StateDelta):
+        return StateDelta(layers=payload.layers + payload.layers)
+    if isinstance(payload, PartitionedDelta):
+        return PartitionedDelta(parts=tuple(
+            duplicate_delta(part) if isinstance(part, StateDelta) else part
+            for part in payload.parts))
+    return payload
+
+
+def resolve_payload(base: Any, deltas: "list[Any]") -> Any:
+    """Replay a chain of deltas (oldest first) over a base payload,
+    producing a payload of the base's own kind (a plain mapping, a
+    :class:`CowSnapshot`, or a :class:`PartitionedSnapshot`).  The
+    result shares entries with its inputs; callers hand it to
+    ``restore`` (which copies where the backend requires it)."""
+    for delta in deltas:
+        base = _apply_one_delta(base, delta)
+    return base
+
+
+def _apply_one_delta(base: Any, delta: Any) -> Any:
+    if delta is None:
+        return base
+    if isinstance(delta, FullFragment):
+        return delta.payload
+    if isinstance(delta, PartitionedDelta):
+        if not isinstance(base, PartitionedSnapshot) \
+                or len(base.parts) != len(delta.parts):
+            raise ValueError(
+                "partitioned delta does not align with its base payload")
+        return PartitionedSnapshot(parts=tuple(
+            _apply_one_delta(part, part_delta)
+            for part, part_delta in zip(base.parts, delta.parts)))
+    if not isinstance(delta, StateDelta):
+        raise ValueError(f"not a delta payload: {type(delta).__name__}")
+    if isinstance(base, CowSnapshot):
+        # O(layers): the delta's frozen layers chain directly onto the
+        # base's — no entries are touched.
+        return CowSnapshot(layers=base.layers + delta.layers)
+    merged = dict(base)
+    for layer in delta.layers:
+        for key, state in layer.items():
+            if state is TOMBSTONE:
+                merged.pop(key, None)
+            else:
+                merged[key] = state
+    return merged
+
+
+def apply_flat_writes(payload: Any, writes: dict[Key, State]) -> Any:
+    """Replay one changelog record (a flat ``{key: post-state}`` write
+    set) over a payload — the repair path when a cut's delta fragment
+    was torn in flight.  Idempotent: records carry absolute states."""
+    if not writes:
+        return payload
+    if isinstance(payload, PartitionedSnapshot):
+        slots = len(payload.parts)
+        buckets: dict[int, dict[Key, State]] = {}
+        for (entity, key), state in writes.items():
+            index = stable_hash(f"{entity}|{key}") % slots
+            buckets.setdefault(index, {})[(entity, key)] = state
+        return PartitionedSnapshot(parts=tuple(
+            apply_flat_writes(part, buckets[index])
+            if index in buckets else part
+            for index, part in enumerate(payload.parts)))
+    if isinstance(payload, CowSnapshot):
+        return CowSnapshot(layers=payload.layers + (dict(writes),))
+    merged = dict(payload)
+    merged.update(writes)
+    return merged
+
+
+def payload_keys(payload: Any) -> int:
+    """Cheap entry count of any snapshot/delta payload (recovery cost
+    modelling — no values are serialized)."""
+    if payload is None:
+        return 0
+    if isinstance(payload, FullFragment):
+        return payload_keys(payload.payload)
+    if isinstance(payload, (PartitionedSnapshot, PartitionedDelta)):
+        return sum(payload_keys(part) for part in payload.parts)
+    if isinstance(payload, StateDelta):
+        return payload.key_count()
+    if isinstance(payload, CowSnapshot):
+        return len(payload.merged())
+    return len(payload)
+
+
+def payload_footprint(payload: Any) -> tuple[int, int]:
+    """``(keys, bytes)`` a payload would cost to persist durably —
+    the metric the recovery bench gates on.  Bytes are estimated from
+    ``repr`` of every entry, which is deterministic across runs of the
+    same seed (no object addresses in committed state)."""
+    if payload is None:
+        return (0, 0)
+    if isinstance(payload, FullFragment):
+        return payload_footprint(payload.payload)
+    if isinstance(payload, (PartitionedSnapshot, PartitionedDelta)):
+        keys = total = 0
+        for part in payload.parts:
+            part_keys, part_bytes = payload_footprint(part)
+            keys += part_keys
+            total += part_bytes
+        return (keys, total)
+    if isinstance(payload, StateDelta):
+        keys = total = 0
+        for layer in payload.layers:
+            for key, state in layer.items():
+                keys += 1
+                total += len(repr(key)) + (len(repr(state))
+                                           if state is not TOMBSTONE else 1)
+        return (keys, total)
+    mapping = payload.merged() if isinstance(payload, CowSnapshot) \
+        else payload
+    keys = len(mapping)
+    total = sum(len(repr(key)) + len(repr(state))
+                for key, state in mapping.items())
+    return (keys, total)
+
+
+def _apply_delta_entries(backend: Any, delta: "StateDelta") -> None:
+    """Install a delta into a live backend: put entries, delete
+    tombstoned keys (layer order preserved — newer layers win)."""
+    for layer in delta.layers:
+        for (entity, key), state in layer.items():
+            if state is TOMBSTONE:
+                backend.delete(entity, key)
+            else:
+                backend.put(entity, key, state)
+
+
 @runtime_checkable
 class StateBackend(Protocol):
     """Contract for committed operator state.
@@ -70,11 +320,19 @@ class StateBackend(Protocol):
 
     def exists(self, entity: str, key: Any) -> bool: ...
 
+    def delete(self, entity: str, key: Any) -> None: ...
+
     def apply_writes(self, writes: dict[Key, State]) -> None: ...
 
     def snapshot(self) -> Any: ...
 
     def restore(self, snapshot: Any) -> None: ...
+
+    def capture_base(self) -> Any: ...
+
+    def capture_delta(self) -> Any: ...
+
+    def apply_delta(self, delta: Any) -> None: ...
 
     def keys(self) -> list[Key]: ...
 
@@ -135,6 +393,11 @@ class DictStateBackend:
         self.store: dict[Key, State] = store if store is not None else {}
         #: Active version-pinned read views (see :class:`DictReadView`).
         self._views: dict[int, DictReadView] = {}
+        #: Keys written/deleted since the last incremental capture;
+        #: ``None`` = tracking invalidated (a restore rewound the store,
+        #: so "since the last capture" no longer describes a delta over
+        #: any durable base) — the next capture must be full.
+        self._dirty: set[Key] | None = set()
 
     # -- StateAccess protocol -------------------------------------------
     def get(self, entity: str, key: Any) -> State | None:
@@ -152,12 +415,25 @@ class DictStateBackend:
                 if composite not in view.overlay:
                     view.overlay[composite] = previous
         self.store[composite] = copy.deepcopy(state)
+        if self._dirty is not None:
+            self._dirty.add(composite)
 
     def create(self, entity: str, key: Any, state: State) -> None:
         self.put(entity, key, state)
 
     def exists(self, entity: str, key: Any) -> bool:
         return (entity, key) in self.store
+
+    def delete(self, entity: str, key: Any) -> None:
+        composite = (entity, key)
+        if self._views and composite in self.store:
+            previous = self.store[composite]
+            for view in self._views.values():
+                if composite not in view.overlay:
+                    view.overlay[composite] = previous
+        self.store.pop(composite, None)
+        if self._dirty is not None:
+            self._dirty.add(composite)
 
     # -- commit / snapshot support --------------------------------------
     def apply_writes(self, writes: dict[Key, State]) -> None:
@@ -171,8 +447,42 @@ class DictStateBackend:
 
     def restore(self, snapshot: dict[Key, State]) -> None:
         self.store = copy.deepcopy(snapshot)
-        # A restore is a rewind: any pinned view predates it and is dead.
+        # A restore is a rewind: any pinned view predates it and is dead,
+        # and the dirty set no longer diffs against any durable capture.
         self._views.clear()
+        self._dirty = None
+
+    # -- incremental capture ---------------------------------------------
+    def capture_base(self) -> dict[Key, State]:
+        """Full payload that (re)establishes the delta baseline."""
+        payload = self.snapshot()
+        self._dirty = set()
+        return payload
+
+    def capture_delta(self) -> StateDelta | None:
+        """Writes since the last capture (``None`` if tracking was
+        invalidated and the caller must take a full fragment)."""
+        delta = self.peek_delta()
+        if delta is not None:
+            self._dirty = set()
+        return delta
+
+    def peek_delta(self) -> StateDelta | None:
+        """Like :meth:`capture_delta` but non-destructive — the baseline
+        stays where it was (slot migration ships the peek while the
+        durable cut cadence keeps owning the baseline)."""
+        if self._dirty is None:
+            return None
+        layer: dict[Key, Any] = {}
+        for composite in self._dirty:
+            if composite in self.store:
+                layer[composite] = copy.deepcopy(self.store[composite])
+            else:
+                layer[composite] = TOMBSTONE
+        return StateDelta(layers=(layer,) if layer else ())
+
+    def apply_delta(self, delta: StateDelta) -> None:
+        _apply_delta_entries(self, delta)
 
     # -- version-pinned read views --------------------------------------
     def pin_view(self, version: int) -> None:
@@ -205,6 +515,13 @@ def _merge_layers(layers: tuple[dict[Key, State], ...],
     return merged
 
 
+def _strip_tombstones(mapping: dict[Key, Any]) -> dict[Key, State]:
+    """Resident entries only (deleted keys carried as tombstones in the
+    layer chain are not content)."""
+    return {key: state for key, state in mapping.items()
+            if state is not TOMBSTONE}
+
+
 @dataclass(slots=True, frozen=True)
 class CowSnapshot:
     """A consistent cut of a :class:`CowStateBackend`: a chain of frozen
@@ -214,10 +531,11 @@ class CowSnapshot:
     layers: tuple[dict[Key, State], ...]
 
     def merged(self) -> dict[Key, State]:
-        """Flatten the chain (newer layers win) WITHOUT copying states:
-        the result aliases the frozen layers and must not be mutated or
-        handed to consumers — use :meth:`materialize` for that."""
-        return _merge_layers(self.layers)
+        """Flatten the chain (newer layers win, tombstoned keys gone)
+        WITHOUT copying states: the result aliases the frozen layers and
+        must not be mutated or handed to consumers — use
+        :meth:`materialize` for that."""
+        return _strip_tombstones(_merge_layers(self.layers))
 
     def materialize(self) -> dict[Key, State]:
         """Flatten the chain into one mapping (queries/inspection).
@@ -247,14 +565,18 @@ class CowReadView:
     def get(self, entity: str, key: Any) -> State | None:
         composite = (entity, key)
         for layer in reversed(self._layers):
-            state = layer.get(composite)
-            if state is not None:
-                return copy.deepcopy(state)
+            if composite in layer:
+                state = layer[composite]
+                return (copy.deepcopy(state)
+                        if state is not TOMBSTONE else None)
         return None
 
     def exists(self, entity: str, key: Any) -> bool:
         composite = (entity, key)
-        return any(composite in layer for layer in self._layers)
+        for layer in reversed(self._layers):
+            if composite in layer:
+                return layer[composite] is not TOMBSTONE
+        return False
 
 
 class CowStateBackend:
@@ -273,6 +595,11 @@ class CowStateBackend:
     past ``compact_after`` layers to bound read amplification.
     """
 
+    #: Frozen-layer references kept for delta tracking are dropped (and
+    #: tracking invalidated) past this bound: a run that never captures
+    #: deltas (full snapshot mode) must not pin every layer forever.
+    MAX_TRACKED_LAYERS = 256
+
     def __init__(self, *, compact_after: int = 8):
         self._head: dict[Key, State] = {}
         self._layers: tuple[dict[Key, State], ...] = ()
@@ -281,17 +608,25 @@ class CowStateBackend:
         self.layers_compacted = 0
         #: Active version-pinned read views (see :class:`CowReadView`).
         self._views: dict[int, CowReadView] = {}
+        #: Layers frozen since the last incremental capture (aliases of
+        #: the chain's dicts — O(1) per freeze).  ``None`` = tracking
+        #: invalidated by a restore; the next capture must be full.
+        self._since_capture: list[dict[Key, Any]] | None = []
 
     # -- StateAccess protocol -------------------------------------------
     def get(self, entity: str, key: Any) -> State | None:
         composite = (entity, key)
-        state = self._head.get(composite)
-        if state is None:
+        if composite in self._head:
+            state = self._head[composite]
+        else:
+            state = None
             for layer in reversed(self._layers):
-                state = layer.get(composite)
-                if state is not None:
+                if composite in layer:
+                    state = layer[composite]
                     break
-        return copy.deepcopy(state) if state is not None else None
+        if state is None or state is TOMBSTONE:
+            return None
+        return copy.deepcopy(state)
 
     def put(self, entity: str, key: Any, state: State) -> None:
         self._head[(entity, key)] = copy.deepcopy(state)
@@ -301,19 +636,38 @@ class CowStateBackend:
 
     def exists(self, entity: str, key: Any) -> bool:
         composite = (entity, key)
-        return (composite in self._head
-                or any(composite in layer for layer in self._layers))
+        if composite in self._head:
+            return self._head[composite] is not TOMBSTONE
+        for layer in reversed(self._layers):
+            if composite in layer:
+                return layer[composite] is not TOMBSTONE
+        return False
+
+    def delete(self, entity: str, key: Any) -> None:
+        """Delete by tombstone: the marker lands in the head and shadows
+        every older layer, so frozen chains stay immutable."""
+        self._head[(entity, key)] = TOMBSTONE
 
     # -- commit / snapshot support --------------------------------------
     def apply_writes(self, writes: dict[Key, State]) -> None:
         for (entity, key), state in writes.items():
             self.put(entity, key, state)
 
+    def _freeze_head(self) -> None:
+        """Freeze the mutable head onto the chain (O(1), no copying) and
+        remember it for delta tracking."""
+        if not self._head:
+            return
+        if self._since_capture is not None:
+            self._since_capture.append(self._head)
+            if len(self._since_capture) > self.MAX_TRACKED_LAYERS:
+                self._since_capture = None
+        self._layers = self._layers + (self._head,)
+        self._head = {}
+        self._maybe_compact()
+
     def snapshot(self) -> CowSnapshot:
-        if self._head:
-            self._layers = self._layers + (self._head,)
-            self._head = {}
-            self._maybe_compact()
+        self._freeze_head()
         self.snapshots_taken += 1
         return CowSnapshot(layers=self._layers)
 
@@ -321,6 +675,40 @@ class CowStateBackend:
         self._layers = tuple(snapshot.layers)
         self._head = {}
         self._views.clear()
+        self._since_capture = None
+
+    # -- incremental capture ---------------------------------------------
+    def capture_base(self) -> CowSnapshot:
+        """Full payload that (re)establishes the delta baseline."""
+        payload = self.snapshot()
+        self._since_capture = []
+        return payload
+
+    def capture_delta(self) -> StateDelta | None:
+        """Layers frozen since the last capture — the O(1) head-freeze
+        reused as an incremental cut (layers are shared, not copied).
+        ``None`` if tracking was invalidated by a restore."""
+        if self._since_capture is None:
+            return None
+        self._freeze_head()
+        if self._since_capture is None:
+            return None  # the freeze overflowed the tracking bound
+        delta = StateDelta(layers=tuple(self._since_capture))
+        self._since_capture = []
+        return delta
+
+    def peek_delta(self) -> StateDelta | None:
+        """Non-destructive :meth:`capture_delta` (slot migration): the
+        head is frozen (semantically neutral) but the baseline stays."""
+        if self._since_capture is None:
+            return None
+        self._freeze_head()
+        if self._since_capture is None:
+            return None
+        return StateDelta(layers=tuple(self._since_capture))
+
+    def apply_delta(self, delta: StateDelta) -> None:
+        _apply_delta_entries(self, delta)
 
     # -- version-pinned read views --------------------------------------
     def pin_view(self, version: int) -> None:
@@ -338,10 +726,7 @@ class CowStateBackend:
         commit is already mutating the head."""
         if version in self._views:
             return
-        if self._head:
-            self._layers = self._layers + (self._head,)
-            self._head = {}
-            self._maybe_compact()
+        self._freeze_head()
         self._views[version] = CowReadView(self._layers)
 
     def view(self, version: int) -> CowReadView | None:
@@ -353,7 +738,10 @@ class CowStateBackend:
     def _maybe_compact(self) -> None:
         if len(self._layers) <= self._compact_after:
             return
-        self._layers = (_merge_layers(self._layers),)
+        # Tombstones can drop here: nothing older remains beneath the
+        # merged layer for them to shadow.  (Frozen chains shared with
+        # snapshots/views keep their own tuples — untouched.)
+        self._layers = (_strip_tombstones(_merge_layers(self._layers)),)
         self.layers_compacted += 1
 
     @property
@@ -361,10 +749,12 @@ class CowStateBackend:
         return len(self._layers)
 
     def keys(self) -> list[Key]:
-        return list(_merge_layers(self._layers, self._head))
+        return list(_strip_tombstones(
+            _merge_layers(self._layers, self._head)))
 
     def __len__(self) -> int:
-        return len(_merge_layers(self._layers, self._head))
+        return len(_strip_tombstones(
+            _merge_layers(self._layers, self._head)))
 
 
 @dataclass(slots=True, frozen=True)
@@ -530,12 +920,15 @@ class WorkerSlice:
     def exists(self, entity: str, key: Any) -> bool:
         return self._owned(entity, key) and self._store.exists(entity, key)
 
+    def delete(self, entity: str, key: Any) -> None:
+        self._store.delete(entity, key)
+
     def apply_writes(self, writes: dict[Key, State]) -> None:
         self._store.apply_writes(writes)
 
     # -- migration hand-off ---------------------------------------------
-    def capture_slot(self, slot: int) -> Any:
-        return self._store.snapshot_slot(slot)
+    def capture_slot(self, slot: int, mode: str = "full") -> Any:
+        return self._store.snapshot_slot(slot, mode)
 
     def install_slot(self, slot: int, fragment: Any) -> None:
         self._store.install_slot(slot, fragment)
@@ -650,6 +1043,9 @@ class PartitionedStore:
     def exists(self, entity: str, key: Any) -> bool:
         return self._backend(entity, key).exists(entity, key)
 
+    def delete(self, entity: str, key: Any) -> None:
+        self._backend(entity, key).delete(entity, key)
+
     def apply_writes(self, writes: dict[Key, State]) -> None:
         """Route a write set to its owning slots (callers that already
         bucket per worker use ``partition(i).apply_writes``)."""
@@ -692,6 +1088,47 @@ class PartitionedStore:
             backend.restore(part)
         self._views.clear()
 
+    # -- incremental capture ---------------------------------------------
+    def capture_base(self) -> PartitionedSnapshot:
+        """Full per-slot payload that (re)establishes every slot's delta
+        baseline."""
+        return PartitionedSnapshot(
+            parts=tuple(backend.capture_base() for backend in self._slots))
+
+    def capture_delta(self) -> PartitionedDelta:
+        """One incremental cut: per-slot fragments — ``None`` for clean
+        slots (the dirty-set diff), a :class:`StateDelta` for dirtied
+        ones, a :class:`FullFragment` for slots whose tracking a restore
+        or migration invalidated.  Never fails as a whole: invalid slots
+        degrade to full fragments inside the same cut."""
+        parts: list[Any] = []
+        for backend in self._slots:
+            delta = backend.capture_delta()
+            if delta is None:
+                parts.append(FullFragment(backend.capture_base()))
+            elif delta.is_empty:
+                parts.append(None)
+            else:
+                parts.append(delta)
+        return PartitionedDelta(parts=tuple(parts))
+
+    def apply_delta(self, delta: PartitionedDelta | StateDelta) -> None:
+        if isinstance(delta, StateDelta):
+            _apply_delta_entries(self, delta)
+            return
+        for backend, part in zip(self._slots, delta.parts):
+            if part is None:
+                continue
+            if isinstance(part, FullFragment):
+                backend.restore(part.payload)
+            else:
+                backend.apply_delta(part)
+
+    def peek_slot_delta(self, slot: int) -> StateDelta | None:
+        """One slot's writes since the last durable cut, baseline left
+        in place (slot migration's base+delta shipping)."""
+        return self._slots[slot].peek_delta()
+
     def snapshot_partition(self, index: int) -> Any:
         return self._slots[index].snapshot()
 
@@ -705,8 +1142,17 @@ class PartitionedStore:
     def slot_size(self, slot: int) -> int:
         return len(self._slots[slot])
 
-    def snapshot_slot(self, slot: int) -> Any:
-        """Capture one slot for migration (O(1) on the cow backend)."""
+    def snapshot_slot(self, slot: int, mode: str = "full") -> Any:
+        """Capture one slot for migration (O(1) on the cow backend).
+
+        ``mode="delta"`` ships only the slot's writes since the last
+        durable cut as a :class:`SlotDelta` (the destination composes
+        them with the base it resolves from the snapshot store); falls
+        back to a full capture when tracking was invalidated."""
+        if mode == "delta":
+            delta = self._slots[slot].peek_delta()
+            if delta is not None:
+                return SlotDelta(slot=slot, delta=delta)
         return self._slots[slot].snapshot()
 
     def install_slot(self, slot: int, fragment: Any) -> None:
@@ -716,7 +1162,7 @@ class PartitionedStore:
         cannot change between capture and install), so an aborted
         migration can simply be retried."""
         backend = self._factory()
-        backend.restore(fragment)
+        backend.restore(_normalize_payload_for(backend, fragment))
         self._slots[slot] = backend
 
     # -- rescaling --------------------------------------------------------
@@ -760,6 +1206,19 @@ class PartitionedStore:
 
     def __len__(self) -> int:
         return sum(len(backend) for backend in self._slots)
+
+
+def _normalize_payload_for(backend: Any, payload: Any) -> Any:
+    """Coerce a restore payload into the shape *backend* expects.  Slot
+    migration can hand a plain mapping (a base+delta composition) to a
+    cow factory, or a cow chain to a dict factory — the two cases the
+    symmetric snapshot()/restore() pairing never produces."""
+    if isinstance(backend, CowStateBackend) and isinstance(payload, dict):
+        return CowSnapshot(layers=(dict(payload),) if payload else ())
+    if isinstance(backend, DictStateBackend) \
+            and isinstance(payload, CowSnapshot):
+        return payload.merged()
+    return payload
 
 
 def materialize_snapshot(payload: Any,

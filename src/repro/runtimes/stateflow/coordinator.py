@@ -72,9 +72,9 @@ from typing import Any, Callable
 from ...core.refs import EntityRef
 from ...ir.events import Event, EventKind, TxnContext
 from ...substrates.simulation import CpuPool, Simulation
-from ..state import StateBackend
+from ..state import StateBackend, payload_keys
 from .aria import AriaStats, BatchMember, decide
-from .snapshots import SnapshotStore
+from .snapshots import ChangelogStore, SnapshotStore
 
 
 @dataclass(slots=True)
@@ -217,6 +217,28 @@ class CoordinatorConfig:
     #: waiting a full ``batch_interval_ms`` tick.  The fraction keeps
     #: near-simultaneous arrivals coalescing into one batch.
     idle_seal_fraction: float = 0.25
+    #: "full" = every cut carries the whole committed state (classic).
+    #: "incremental" = cuts capture only the slots dirtied since the
+    #: previous cut, chained to a periodic full base (see
+    #: :mod:`.snapshots`); recovery resolves base + delta chain, with
+    #: the commit changelog repairing torn chains.
+    snapshot_mode: str = "full"
+    #: Incremental mode: a full base cut every N cuts (bounds the delta
+    #: chain recovery must replay).
+    snapshot_base_every: int = 4
+    #: Incremental mode: append each committed batch's write footprint
+    #: to the durable changelog (enables torn-chain repair; off = torn
+    #: cuts always fall back to the last complete chain).
+    changelog_enabled: bool = True
+    #: Measure every cut's (keys, bytes) into the snapshot store's
+    #: ledger — O(payload) per cut, so ``None`` defaults to "only in
+    #: incremental mode" and the recovery bench enables it explicitly
+    #: for its full-mode baseline.
+    snapshot_footprints: bool | None = None
+    #: Simulated CPU cost of installing restored state, per key (models
+    #: recovery time growing with state size; 0 keeps the legacy fixed
+    #: recovery pause).
+    restore_cost_ms_per_key: float = 0.0
 
 
 class Coordinator:
@@ -230,7 +252,14 @@ class Coordinator:
         self.hooks = hooks
         self.config = config or CoordinatorConfig()
         self.cpu = CpuPool(sim, 1, name="coordinator")
-        self.snapshots = SnapshotStore()
+        self.snapshots = SnapshotStore(
+            mode=self.config.snapshot_mode,
+            base_every=self.config.snapshot_base_every,
+            track_footprints=self.config.snapshot_footprints)
+        #: Durable commit changelog (incremental mode): one record per
+        #: committed batch.  Like the snapshot store it survives crashes;
+        #: recovery rewinds it to the restored cut's position.
+        self.changelog = ChangelogStore()
         self.stats = AriaStats()
         self.pending: list[TxnRecord] = []
         #: The epoch pipeline: every sealed-but-not-closed batch, by id.
@@ -691,6 +720,7 @@ class Coordinator:
         if batch is not None:
             self.inflight.pop(batch.batch_id, None)
             self._last_closed = batch.batch_id
+            self._append_changelog(batch)
             if self.config.pipeline_depth > 1:
                 self._footprints[batch.batch_id] = frozenset(batch.footprint)
             self._prune_pipeline_metadata()
@@ -707,6 +737,25 @@ class Coordinator:
         self._maybe_promote()
         if self._can_seal():
             self._start_batch()
+
+    def _append_changelog(self, batch: _Batch) -> None:
+        """Record the batch's commit delta durably: the post-commit
+        state of every footprint key.  Runs at batch close, after every
+        write (multi-key, fallback, single-key) is installed, so the
+        read-back values are exactly what the batch left behind.  Keys a
+        footprint names but that never materialized (an errored
+        single-key transaction on an absent key) are skipped — the
+        runtime has no deletes, so absence means "was never written"."""
+        if (self.config.snapshot_mode != "incremental"
+                or not self.config.changelog_enabled or not batch.footprint):
+            return
+        writes = {}
+        for entity, key in batch.footprint:
+            state = self.committed.get(entity, key)
+            if state is not None:
+                writes[(entity, key)] = state
+        if writes:
+            self.changelog.append(batch.batch_id, writes)
 
     def _prune_pipeline_metadata(self) -> None:
         """Release pinned views and footprints no in-flight batch can
@@ -916,16 +965,43 @@ class Coordinator:
         pending_copy = [txn.fresh_copy() for txn in
                         sorted(uncommitted, key=lambda t: t.arrival_seq)]
         freeze = getattr(self.committed, "freeze_assignment", None)
+        kind, state = self._capture_state()
         self.snapshots.take(
             taken_at_ms=self.sim.now,
-            state=self.committed.snapshot(),
+            state=state,
             source_offsets=self.hooks.source_positions(),
             replied=self.replied,
             batch_seq=self._batch_seq,
             arrival_seq=self._arrival_seq,
             pending=pending_copy,
             admitted=self.admitted,
-            assignment=freeze() if freeze is not None else None)
+            assignment=freeze() if freeze is not None else None,
+            kind=kind,
+            changelog_seq=self.changelog.head_seq,
+            epoch_buffer=self._epoch_buffer)
+        # Changelog compaction rides the cut cadence: records below
+        # every retained cut's position can never anchor a repair.
+        self.changelog.truncate_through(self.snapshots.floor_changelog_seq())
+
+    def _capture_state(self) -> tuple[str, Any]:
+        """Capture the committed store for a cut, honoring the snapshot
+        mode: a full payload, a chain-anchoring base (full payload that
+        resets every backend's delta baseline), or the delta of slots
+        dirtied since the previous cut.  Backends without incremental
+        capture (plain unit-test stores) degrade to full cuts."""
+        kind = self.snapshots.next_kind()
+        if kind == "delta":
+            capture = getattr(self.committed, "capture_delta", None)
+            delta = capture() if capture is not None else None
+            if delta is not None:
+                return kind, delta
+            kind = "base"  # tracking invalidated: anchor a fresh chain
+        if kind == "base":
+            capture = getattr(self.committed, "capture_base", None)
+            if capture is not None:
+                return kind, capture()
+            kind = "full"
+        return kind, self.committed.snapshot()
 
     def _tick_watchdog(self) -> None:
         if self.recovering:
@@ -948,10 +1024,21 @@ class Coordinator:
             self.recover()
 
     def recover(self) -> None:
-        """Restore the latest snapshot and replay the source.  The whole
-        epoch pipeline is abandoned — every in-flight batch, pinned
-        view and footprint — not just the committing batch."""
-        snapshot = self.snapshots.latest()
+        """Restore the latest recoverable snapshot and replay the
+        source.  The whole epoch pipeline is abandoned — every in-flight
+        batch, pinned view and footprint — not just the committing
+        batch.
+
+        In incremental mode "restore" means resolving the cut's delta
+        chain over its base; a torn chain is repaired by replaying the
+        commit changelog over the nearest intact ancestor, and failing
+        that recovery falls back to the last complete chain (an older
+        cut — the rewound source replays the difference)."""
+        changelog = (self.changelog
+                     if self.config.snapshot_mode == "incremental"
+                     and self.config.changelog_enabled else None)
+        snapshot, state_payload = \
+            self.snapshots.latest_recoverable(changelog)
         assert snapshot is not None  # start() always takes one
         started_at = self.sim.now
         self.recovering = True
@@ -974,10 +1061,23 @@ class Coordinator:
             self.committed.restore_assignment(snapshot.assignment)
             self.hooks.set_worker_count(snapshot.assignment[0])
         self.hooks.restore_workers()
-        self.committed.restore(snapshot.state)
+        self.committed.restore(state_payload)
+        # Records past the restored cut describe the rolled-back
+        # timeline; replay re-creates their effects under new batch ids.
+        self.changelog.rewind_to(snapshot.changelog_seq)
+        # The next cut must re-anchor: chaining it to a pre-crash
+        # (possibly torn) parent would leave it unresolvable.
+        self.snapshots.reset_chain()
         self.replied = set(snapshot.replied)
         self.admitted = set(snapshot.admitted)
         self.pending = [txn.fresh_copy() for txn in snapshot.pending]
+        # Committed-but-unflushed replies are channel state: their
+        # requests are admitted (replay drops them at the ingress) and
+        # their effects are in the restored store, so losing the buffer
+        # would lose the replies forever.  Re-buffer them; the epoch
+        # flush re-emits and the egress dedup absorbs any the client
+        # already saw before the crash.
+        self._epoch_buffer = list(snapshot.epoch_buffer)
         # Batch ids stay monotonic across recoveries (never restored):
         # a stale in-flight report can therefore never collide with a
         # post-recovery batch.  The committed-store version label tracks
@@ -991,4 +1091,12 @@ class Coordinator:
             self.recovering = False
             self.recovery_log.append((started_at, self.sim.now))
 
-        self.sim.schedule(self.config.recovery_pause_ms, resume)
+        pause = self.config.recovery_pause_ms
+        if self.config.restore_cost_ms_per_key:
+            # Model restore work growing with the restored state: the
+            # resolved payload carries the same keys in either snapshot
+            # mode, so the cost — like everything else on the recovery
+            # path — is mode-independent and traces stay byte-identical.
+            pause += (self.config.restore_cost_ms_per_key
+                      * payload_keys(state_payload))
+        self.sim.schedule(pause, resume)

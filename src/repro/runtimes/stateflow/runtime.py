@@ -28,7 +28,7 @@ from ...substrates.network import LatencyModel, Network, NetworkConfig
 from ...substrates.simulation import MetricRecorder, Simulation
 from ..base import InvocationResult, Runtime
 from ..executor import OperatorExecutor, run_constructor
-from ..state import PartitionedStore
+from ..state import PartitionedStore, SlotDelta, resolve_payload
 from .coordinator import Coordinator, CoordinatorConfig, CoordinatorHooks
 from .worker import Worker
 
@@ -69,6 +69,16 @@ class StateflowConfig:
     #: ``None`` keeps whatever ``coordinator.pipeline_depth`` says; a
     #: value overrides it.
     pipeline_depth: int | None = None
+    #: Snapshot mode (``--snapshot-mode``): "full" = every cut carries
+    #: the whole committed state; "incremental" = cuts capture only the
+    #: slots dirtied since the previous cut, chained to periodic full
+    #: bases, with a per-commit changelog backing recovery (see
+    #: :mod:`repro.runtimes.stateflow.snapshots`).  ``None`` keeps
+    #: whatever ``coordinator.snapshot_mode`` says.
+    snapshot_mode: str | None = None
+    #: Commit changelog toggle (``--changelog``): ``None`` keeps
+    #: ``coordinator.changelog_enabled``.
+    changelog: bool | None = None
     check_state_serializable: bool = False
     ingress_partitions: int = 4
     egress_partitions: int = 4
@@ -94,15 +104,22 @@ class StateflowRuntime(Runtime):
                  config: StateflowConfig | None = None):
         super().__init__(program)
         self.config = config or StateflowConfig()
+        coordinator_overrides: dict[str, Any] = {}
         if self.config.pipeline_depth is not None:
+            coordinator_overrides["pipeline_depth"] = max(
+                1, self.config.pipeline_depth)
+        if self.config.snapshot_mode is not None:
+            coordinator_overrides["snapshot_mode"] = self.config.snapshot_mode
+        if self.config.changelog is not None:
+            coordinator_overrides["changelog_enabled"] = self.config.changelog
+        if coordinator_overrides:
             # Fresh config objects, not in-place writes: the caller may
             # share a StateflowConfig or CoordinatorConfig across
             # runtimes.
             self.config = replace(
                 self.config,
-                coordinator=replace(
-                    self.config.coordinator,
-                    pipeline_depth=max(1, self.config.pipeline_depth)))
+                coordinator=replace(self.config.coordinator,
+                                    **coordinator_overrides))
         self.sim = sim or Simulation()
         self.network = Network(self.sim, self.config.network)
         self.broker = KafkaBroker(self.sim, self.config.kafka)
@@ -162,6 +179,11 @@ class StateflowRuntime(Runtime):
         self.duplicate_client_replies = 0
         self._reply_callbacks: dict[int, Callable[[Event], None]] = {}
         self._started = False
+        #: Slot-migration shipping ledger: how many slots travelled as
+        #: base+delta fragments vs full copies, and the delta volume.
+        self.migration_delta_slots = 0
+        self.migration_full_slots = 0
+        self.migration_delta_keys = 0
         #: Observer called with every deduplicated client reply (chaos
         #: harness trace capture); ``None`` = no tap.
         self.reply_tap: Callable[[Event], None] | None = None
@@ -214,28 +236,62 @@ class StateflowRuntime(Runtime):
                 worker.retire()
 
     def _migrate_slot(self, slot: int, src: int, dst: int,
-                      on_done: Callable[[], None]) -> None:
+                      on_done: Callable[[], None],
+                      *, allow_delta: bool = True) -> None:
         """Ship one slot over the network: coordinator asks the old
         owner to capture, the fragment travels worker-to-worker on the
         direct channels, the new owner installs and acks.  Every hop is
         subject to fault injection; incarnation tokens fence deliveries
-        that outlive a recovery."""
+        that outlive a recovery.
+
+        Under ``snapshot_mode="incremental"`` the source captures only
+        the slot's writes since the last durable cut (a ``SlotDelta``)
+        and the destination composes them with the slot's base resolved
+        from the snapshot store — only the delta crosses the
+        worker-to-worker channel.  Composition is idempotent (absolute
+        states), so a cut landing mid-flight is harmless; if the chain
+        became unresolvable mid-flight (a torn cut), the migration
+        restarts as a full-fragment ship."""
         src_worker, dst_worker = self.workers[src], self.workers[dst]
         src_token = src_worker.incarnation
         dst_token = dst_worker.incarnation
+        incremental = (allow_delta
+                       and self.config.coordinator.snapshot_mode
+                       == "incremental"
+                       and self.coordinator.snapshots.resolve_slot(slot)
+                       is not None)
+        mode = "delta" if incremental else "full"
 
         def ship(fragment: Any) -> None:
-            self.network.send(
-                lambda: dst_worker.install_slot(
-                    slot, fragment,
+            def install() -> None:
+                payload = fragment
+                if isinstance(payload, SlotDelta):
+                    # Destination side: fetch the slot's base from the
+                    # durable snapshot store and replay the shipped
+                    # delta over it.
+                    base = self.coordinator.snapshots.resolve_slot(slot)
+                    if base is None:
+                        self._migrate_slot(slot, src, dst, on_done,
+                                           allow_delta=False)
+                        return
+                    self.migration_delta_slots += 1
+                    self.migration_delta_keys += payload.delta.key_count()
+                    payload = resolve_payload(base, [payload.delta])
+                else:
+                    self.migration_full_slots += 1
+                dst_worker.install_slot(
+                    slot, payload,
                     lambda: self.network.send(
                         on_done, src=f"worker-{dst}", dst="coordinator"),
-                    incarnation=dst_token),
-                src=f"worker-{src}", dst=f"worker-{dst}")
+                    incarnation=dst_token)
+
+            self.network.send(install,
+                              src=f"worker-{src}", dst=f"worker-{dst}")
 
         self.network.send(
             lambda: src_worker.capture_slot(slot, ship,
-                                            incarnation=src_token),
+                                            incarnation=src_token,
+                                            mode=mode),
             src="coordinator", dst=f"worker-{src}")
 
     # -- lifecycle ------------------------------------------------------

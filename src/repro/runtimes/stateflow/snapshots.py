@@ -37,12 +37,55 @@ fragments by slot rather than by worker makes snapshots independent of
 the cluster size, so recovery composes with elastic rescaling; the
 frozen :class:`~repro.runtimes.state.SlotAssignment` rides along in the
 snapshot so replay routes exactly as the original execution did.
+
+Incremental snapshots & the commit changelog
+--------------------------------------------
+
+With ``mode="incremental"`` the store no longer expects every cut to
+carry the whole committed state.  Cuts alternate between
+
+- **base** cuts (``kind="base"``): a full payload, taken for the first
+  cut and then every ``base_every`` cuts — the bounded-depth compaction
+  that keeps recovery from replaying unbounded delta chains; and
+- **delta** cuts (``kind="delta"``): only the slots dirtied since the
+  previous cut (the backend's ``capture_delta``), chained to their
+  predecessor through ``parent_id``.
+
+Recovery resolves a cut by walking its chain back to the base and
+replaying the deltas forward (:func:`~repro.runtimes.state
+.resolve_payload`).  A second durable structure backs this up: the
+:class:`ChangelogStore`, an append-only log of every committed batch's
+write footprint (key → post-commit state).  When a delta fragment was
+torn in flight (the ``torn_snapshot`` chaos event), the chain cannot
+resolve — the recovery path then *repairs* the cut by resolving the
+nearest intact ancestor and replaying the changelog suffix between the
+two cuts' log positions, and only if that suffix is incomplete too does
+it fall back to the last complete chain (an older cut, replayed from
+the source as usual).  Changelog replay is idempotent: records carry
+absolute post-states, so duplicated delivery cannot diverge.
+
+Pruning is chain-aware: a base (or intermediate delta) that still
+anchors a retained cut's resolution chain is never pruned, even when it
+falls outside the ``keep`` window — pruning it would turn every
+dependent delta cut into garbage.  :meth:`SnapshotStore.prune` refuses
+explicitly; the automatic window trim simply stops at the anchor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any
+
+from ..state import (apply_flat_writes, duplicate_delta, payload_footprint,
+                     resolve_payload)
+
+
+class SnapshotChainError(RuntimeError):
+    """A cut's delta chain cannot be resolved (torn or pruned link)."""
+
+
+class SnapshotPruneError(RuntimeError):
+    """Refused: the snapshot still anchors a live delta chain."""
 
 
 @dataclass(slots=True)
@@ -66,6 +109,13 @@ class Snapshot:
     #: Requests consumed from the source but not yet committed at the
     #: snapshot boundary (restored into the coordinator's queue).
     pending: list[Any] = field(default_factory=list)
+    #: Committed transactional replies still buffered for the next
+    #: epoch flush at the cut.  They are channel state exactly like
+    #: ``pending``: their requests are already admitted (so replay drops
+    #: them at the ingress) and their effects are in ``state``, so a
+    #: crash that loses the buffer would lose the replies forever —
+    #: the recovery-equivalence battery caught precisely that.
+    epoch_buffer: list[Any] = field(default_factory=list)
     #: Request ids ever admitted from the source (ingress dedup: an
     #: at-least-once producer can append the same request twice; replayed
     #: requests after recovery must re-admit, so the set is snapshotted
@@ -77,36 +127,370 @@ class Snapshot:
     #: not whatever table is current.  ``None`` when the committed store
     #: is not partitioned.
     assignment: Any = None
+    #: ``"full"`` (classic whole-state cut), ``"base"`` (full cut that
+    #: anchors an incremental chain) or ``"delta"`` (dirtied slots only,
+    #: chained to ``parent_id``).
+    kind: str = "full"
+    #: The cut this delta chains from (its immediate predecessor);
+    #: ``None`` for full/base cuts.
+    parent_id: int | None = None
+    #: Position of the commit changelog at the cut (seq of the last
+    #: record the cut's state includes; -1 = none).
+    changelog_seq: int = -1
+    #: Fault injection: the cut's delta fragment was dropped in flight —
+    #: the payload is unusable and resolution must repair or fall back.
+    torn: bool = False
+
+
+@dataclass(slots=True)
+class CutRecord:
+    """Bench-facing ledger entry: what one cut actually captured."""
+
+    snapshot_id: int
+    kind: str
+    keys: int
+    bytes: int
+    taken_at_ms: float
+
+
+@dataclass(slots=True)
+class ChangelogRecord:
+    """One committed batch's write footprint: key → post-commit state.
+    Absolute states make replay idempotent under duplicate delivery."""
+
+    seq: int
+    batch_id: int
+    writes: dict[tuple[str, Any], dict[str, Any]]
+
+
+class ChangelogStore:
+    """Durable (simulated) append-only log of per-batch commit deltas.
+
+    The coordinator appends one record per committed batch (incremental
+    mode); recovery replays a suffix of it to repair cuts whose delta
+    fragments were torn in flight.  ``rewind_to`` drops the suffix a
+    recovery rolled back (those records describe a timeline replay is
+    about to re-create under new batch ids); ``truncate_through``
+    compacts the prefix no retained cut can ever need again."""
+
+    def __init__(self):
+        self._records: list[ChangelogRecord] = []
+        self._by_batch: set[int] = set()
+        self._next_seq = 0
+        self.appended = 0
+        self.duplicate_appends = 0
+        self.truncated = 0
+        self.bytes_appended = 0
+
+    @property
+    def head_seq(self) -> int:
+        """Seq of the newest record (-1 when the log is empty/rewound)."""
+        return self._next_seq - 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, batch_id: int,
+               writes: dict[tuple[str, Any], dict[str, Any]]) -> int:
+        """Append one batch's commit delta; duplicate appends of the
+        same batch (a redelivered close) are dropped, not re-sequenced."""
+        if batch_id in self._by_batch:
+            self.duplicate_appends += 1
+            return self.head_seq
+        record = ChangelogRecord(seq=self._next_seq, batch_id=batch_id,
+                                 writes=dict(writes))
+        self._next_seq += 1
+        self._records.append(record)
+        self._by_batch.add(batch_id)
+        self.appended += 1
+        self.bytes_appended += sum(
+            len(repr(key)) + len(repr(state))
+            for key, state in record.writes.items())
+        return record.seq
+
+    def records_between(self, after_seq: int,
+                        up_to_seq: int) -> list[ChangelogRecord] | None:
+        """The contiguous suffix ``(after_seq, up_to_seq]`` — ``None``
+        when any record in the span is missing (truncated or never
+        appended), in which case repair must fall back."""
+        span = [record for record in self._records
+                if after_seq < record.seq <= up_to_seq]
+        if len(span) != max(up_to_seq - after_seq, 0):
+            return None
+        return span
+
+    def rewind_to(self, seq: int) -> None:
+        """Recovery rolled the run back to a cut at position *seq*:
+        drop the now-orphaned suffix and resume sequencing from there."""
+        if seq >= self.head_seq:
+            return
+        kept = [record for record in self._records if record.seq <= seq]
+        self._records = kept
+        self._by_batch = {record.batch_id for record in kept}
+        self._next_seq = seq + 1
+
+    def truncate_through(self, seq: int) -> None:
+        """Compaction: drop records no retained cut can need (their seq
+        is at or below every retained cut's floor position)."""
+        before = len(self._records)
+        self._records = [record for record in self._records
+                         if record.seq > seq]
+        self.truncated += before - len(self._records)
 
 
 class SnapshotStore:
-    """Durable (simulated) home of completed snapshots."""
+    """Durable (simulated) home of completed snapshots.
 
-    def __init__(self, *, keep: int = 4):
+    ``mode="full"`` is the classic behaviour: every cut carries the
+    whole state.  ``mode="incremental"`` alternates base and delta cuts
+    (see the module docstring); :meth:`next_kind` tells the coordinator
+    what to capture, :meth:`resolve` replays a chain, and
+    :meth:`latest_recoverable` picks the newest cut that can actually be
+    restored (repairing torn chains through the changelog when one is
+    supplied)."""
+
+    def __init__(self, *, keep: int = 4, mode: str = "full",
+                 base_every: int = 4,
+                 track_footprints: bool | None = None):
+        if mode not in ("full", "incremental"):
+            raise ValueError(f"unknown snapshot mode {mode!r}")
         self._snapshots: list[Snapshot] = []
         self._keep = keep
         self._next_id = 0
+        self.mode = mode
+        self.base_every = max(base_every, 1)
+        self._cuts_since_base = 0
+        #: Measure each cut's (keys, bytes) into the ledger.  Costs
+        #: O(payload) repr work per cut, so full-mode runs skip it by
+        #: default (their ledger rows would all read "everything"
+        #: anyway); the recovery bench turns it on explicitly for both
+        #: sides of its sweep.
+        self.track_footprints = (mode == "incremental"
+                                 if track_footprints is None
+                                 else track_footprints)
+        #: Fault injection: the next delta cut's payload is torn
+        #: ("drop") or duplicated in flight ("duplicate").
+        self._torn_armed: str | None = None
+        #: Ledger of what each cut captured (bench metrics); survives
+        #: pruning like any other durable metadata.
+        self.cut_log: list[CutRecord] = []
+        self.snapshots_torn = 0
+        self.changelog_repairs = 0
+        self.chain_fallbacks = 0
+
+    # -- cut planning ---------------------------------------------------
+    def next_kind(self) -> str:
+        """What the next cut must capture: ``full`` outside incremental
+        mode; a ``base`` for the first cut and then every
+        ``base_every`` cuts (bounded chain depth); ``delta`` otherwise."""
+        if self.mode != "incremental":
+            return "full"
+        if not self._snapshots or self._cuts_since_base >= self.base_every:
+            return "base"
+        return "delta"
+
+    def reset_chain(self) -> None:
+        """Force the next cut to re-anchor as a base.  Recovery calls
+        this: the restored backends' delta tracking is invalidated
+        anyway, and chaining a post-restore cut to a possibly-torn
+        pre-crash parent would leave every later delta cut unresolvable
+        until the natural next base — each further crash would keep
+        rewinding to the old pre-torn cut."""
+        self._cuts_since_base = self.base_every
+
+    def arm_torn(self, variant: str = "drop") -> None:
+        """Chaos hook: tear (or duplicate) the next delta cut's payload
+        in flight.  Base/full cuts are never torn — the fault models a
+        lost *delta fragment*, the new failure surface this mode adds."""
+        if variant not in ("drop", "duplicate"):
+            raise ValueError(f"unknown torn variant {variant!r}")
+        self._torn_armed = variant
 
     def take(self, *, taken_at_ms: float, state: Any,
              source_offsets: dict, replied: set[int],
              batch_seq: int, arrival_seq: int,
              pending: list[Any] | None = None,
              admitted: set[int] | None = None,
-             assignment: Any = None) -> Snapshot:
+             assignment: Any = None, kind: str = "full",
+             changelog_seq: int = -1,
+             epoch_buffer: list[Any] | None = None) -> Snapshot:
+        parent_id = (self._snapshots[-1].snapshot_id
+                     if kind == "delta" and self._snapshots else None)
+        torn = False
+        if kind == "delta" and self._torn_armed is not None:
+            variant, self._torn_armed = self._torn_armed, None
+            self.snapshots_torn += 1
+            if variant == "drop":
+                state, torn = None, True
+            else:
+                state = duplicate_delta(state)
         snapshot = Snapshot(
             snapshot_id=self._next_id, taken_at_ms=taken_at_ms,
             state=state, source_offsets=dict(source_offsets),
             replied=set(replied), batch_seq=batch_seq,
             arrival_seq=arrival_seq, pending=list(pending or []),
-            admitted=set(admitted or ()), assignment=assignment)
+            admitted=set(admitted or ()), assignment=assignment,
+            kind=kind, parent_id=parent_id, changelog_seq=changelog_seq,
+            torn=torn, epoch_buffer=list(epoch_buffer or []))
         self._next_id += 1
         self._snapshots.append(snapshot)
-        if len(self._snapshots) > self._keep:
-            self._snapshots.pop(0)
+        self._cuts_since_base = (self._cuts_since_base + 1
+                                 if kind == "delta" else 1)
+        keys, size = (payload_footprint(state)
+                      if self.track_footprints else (0, 0))
+        self.cut_log.append(CutRecord(
+            snapshot_id=snapshot.snapshot_id, kind=kind, keys=keys,
+            bytes=size, taken_at_ms=taken_at_ms))
+        self._auto_prune()
         return snapshot
 
+    # -- pruning --------------------------------------------------------
+    def _dependents(self, snapshot_id: int) -> list[int]:
+        """Retained cuts whose resolution chain passes through
+        *snapshot_id* (the anchors that forbid pruning it)."""
+        by_id = {s.snapshot_id: s for s in self._snapshots}
+        dependents = []
+        for snapshot in self._snapshots:
+            cursor = snapshot
+            while cursor.kind == "delta" and cursor.parent_id is not None:
+                if cursor.parent_id == snapshot_id:
+                    dependents.append(snapshot.snapshot_id)
+                    break
+                cursor = by_id.get(cursor.parent_id)
+                if cursor is None:
+                    break
+        return dependents
+
+    def _auto_prune(self) -> None:
+        """Trim the retention window: keep the newest ``keep`` cuts plus
+        every ancestor their resolution chains pass through (the latent
+        full-mode pruning policy would have freed a base out from under
+        its deltas).  An old chain no retained cut references is
+        reclaimed whole; the window overshoot while a chain is live is
+        bounded by ``base_every``."""
+        if len(self._snapshots) <= self._keep:
+            return
+        by_id = {s.snapshot_id: s for s in self._snapshots}
+        needed = set()
+        for snapshot in self._snapshots[-self._keep:]:
+            cursor = snapshot
+            needed.add(cursor.snapshot_id)
+            while cursor.kind == "delta" and cursor.parent_id in by_id:
+                cursor = by_id[cursor.parent_id]
+                needed.add(cursor.snapshot_id)
+        self._snapshots = [s for s in self._snapshots
+                           if s.snapshot_id in needed]
+
+    def prune(self, snapshot_id: int) -> None:
+        """Explicitly drop one snapshot; refused while any retained cut
+        resolves through it."""
+        dependents = self._dependents(snapshot_id)
+        if dependents:
+            raise SnapshotPruneError(
+                f"snapshot {snapshot_id} still anchors the delta chain "
+                f"of {dependents}; pruning it would break recovery")
+        self._snapshots = [s for s in self._snapshots
+                           if s.snapshot_id != snapshot_id]
+
+    # -- resolution & recovery ------------------------------------------
     def latest(self) -> Snapshot | None:
         return self._snapshots[-1] if self._snapshots else None
+
+    def resolve(self, snapshot: Snapshot) -> Any:
+        """Replay *snapshot*'s delta chain over its base: the full state
+        payload a ``restore`` accepts.  Raises
+        :class:`SnapshotChainError` on a torn or broken chain."""
+        by_id = {s.snapshot_id: s for s in self._snapshots}
+        chain: list[Snapshot] = []
+        cursor = snapshot
+        while cursor.kind == "delta":
+            if cursor.torn:
+                raise SnapshotChainError(
+                    f"snapshot {cursor.snapshot_id}'s delta fragment was "
+                    f"torn in flight")
+            chain.append(cursor)
+            if cursor.parent_id is None or cursor.parent_id not in by_id:
+                raise SnapshotChainError(
+                    f"snapshot {cursor.snapshot_id}'s parent "
+                    f"{cursor.parent_id} is gone")
+            cursor = by_id[cursor.parent_id]
+        return resolve_payload(cursor.state,
+                               [link.state for link in reversed(chain)])
+
+    def resolve_slot(self, slot: int) -> Any | None:
+        """The latest cut's content of one slot (slot-migration base),
+        or ``None`` when no resolvable chain covers it."""
+        latest = self.latest()
+        if latest is None:
+            return None
+        by_id = {s.snapshot_id: s for s in self._snapshots}
+        chain: list[Any] = []
+        cursor = latest
+        while cursor.kind == "delta":
+            if cursor.torn or cursor.state is None:
+                return None
+            parts = getattr(cursor.state, "parts", None)
+            if parts is None or slot >= len(parts):
+                return None
+            chain.append(parts[slot])
+            if cursor.parent_id is None or cursor.parent_id not in by_id:
+                return None
+            cursor = by_id[cursor.parent_id]
+        parts = getattr(cursor.state, "parts", None)
+        if parts is None or slot >= len(parts):
+            return None
+        return resolve_payload(parts[slot], list(reversed(chain)))
+
+    def latest_recoverable(
+            self, changelog: ChangelogStore | None = None,
+    ) -> tuple[Snapshot, Any]:
+        """The newest cut recovery can actually restore, with its
+        resolved state payload.  A torn chain is first repaired through
+        the changelog (nearest intact ancestor + replayed commit
+        records); failing that, recovery falls back to the next older
+        cut — the "last complete chain" the watchdog guarantee names."""
+        for snapshot in reversed(self._snapshots):
+            try:
+                return snapshot, self.resolve(snapshot)
+            except SnapshotChainError:
+                if changelog is not None:
+                    repaired = self._repair(snapshot, changelog)
+                    if repaired is not None:
+                        self.changelog_repairs += 1
+                        return snapshot, repaired
+                self.chain_fallbacks += 1
+        raise SnapshotChainError("no recoverable snapshot retained")
+
+    def _repair(self, snapshot: Snapshot,
+                changelog: ChangelogStore) -> Any | None:
+        """Rebuild a torn cut's state: resolve the nearest intact
+        ancestor, then replay the changelog records between the two
+        cuts' log positions.  ``None`` when no ancestor resolves or the
+        record suffix is incomplete."""
+        by_id = {s.snapshot_id: s for s in self._snapshots}
+        cursor = snapshot
+        while cursor.kind == "delta" and cursor.parent_id in by_id:
+            cursor = by_id[cursor.parent_id]
+            try:
+                payload = self.resolve(cursor)
+            except SnapshotChainError:
+                continue
+            records = changelog.records_between(cursor.changelog_seq,
+                                                snapshot.changelog_seq)
+            if records is None:
+                return None
+            for record in records:
+                payload = apply_flat_writes(payload, record.writes)
+            return payload
+        return None
+
+    # -- compaction support ---------------------------------------------
+    def floor_changelog_seq(self) -> int:
+        """The lowest changelog position any retained cut could anchor a
+        repair from — records at or below it are dead weight."""
+        if not self._snapshots:
+            return -1
+        return min(s.changelog_seq for s in self._snapshots)
 
     def __len__(self) -> int:
         return len(self._snapshots)

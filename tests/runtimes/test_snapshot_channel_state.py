@@ -65,6 +65,35 @@ def test_restored_pending_not_double_replayed(account_program):
     assert runtime.entity_state(ref)["balance"] == 3
 
 
+def test_snapshot_records_buffered_epoch_replies(account_program):
+    """Regression (found by the recovery-equivalence battery): a
+    transactional reply committed but still buffered for the next epoch
+    flush is channel state.  A snapshot cut in that window records
+    source offsets *past* the request and ``admitted`` containing it, so
+    a crash that loses the buffer loses the reply forever — replay drops
+    the request at the ingress and the client never hears back."""
+    runtime = _runtime(account_program, batch_interval_ms=5.0,
+                       epoch_interval_ms=10_000.0)  # flush far away
+    other = runtime.preload(Account, [("cold", 100)])[0]
+    runtime.start()
+    ref = runtime._ref
+    replies = []
+    runtime.submit(ref, "transfer", (5, other),
+                   on_reply=lambda r: replies.append(r.request_id))
+    # Let the transactional request commit; its reply now sits in the
+    # epoch buffer awaiting the (deliberately distant) flush.
+    runtime.sim.run_until(
+        lambda: bool(runtime.coordinator._epoch_buffer), max_time=5_000)
+    assert not replies, "the reply must still be buffered"
+    runtime.coordinator._take_snapshot()
+    snapshot = runtime.coordinator.snapshots.latest()
+    assert len(snapshot.epoch_buffer) == 1
+    # Crash + failover: the restored buffer must re-emit at the flush.
+    runtime.fail_coordinator(failover_after_ms=20.0)
+    runtime.sim.run(until=runtime.sim.now + 30_000)
+    assert replies, "the buffered reply was lost across recovery"
+
+
 def test_snapshot_pending_copies_are_isolated(account_program):
     runtime = _runtime(account_program, batch_interval_ms=50.0)
     runtime.start()

@@ -1,12 +1,16 @@
 """SnapshotStore pruning: the store keeps a bounded window of
 snapshots, recovery still works long after the first snapshots were
-pruned, and snapshot cuts stay consistent while a pipeline is in
-flight."""
+pruned, snapshot cuts stay consistent while a pipeline is in flight,
+and — with incremental chains — pruning never frees a base (or an
+intermediate delta) that a retained cut still resolves through."""
+
+import pytest
 
 from repro.runtimes.state import materialize_snapshot
 from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
 from repro.runtimes.stateflow.coordinator import CoordinatorConfig
-from repro.runtimes.stateflow.snapshots import SnapshotStore
+from repro.runtimes.stateflow.snapshots import (SnapshotPruneError,
+                                                SnapshotStore)
 from repro.workloads import Account, DriverConfig, WorkloadDriver, YcsbWorkload
 
 
@@ -31,6 +35,68 @@ class TestPruning:
         assert latest.state == {"v": 4}
         assert latest.source_offsets == {("t", 0): 4}
         assert latest.replied == {4}
+
+
+def _incremental_store(keep=2, base_every=4):
+    """A store holding one base and a chain of delta cuts over it."""
+    store = SnapshotStore(keep=keep, mode="incremental",
+                          base_every=base_every)
+    store.take(taken_at_ms=0.0, state={("E", "a"): {"v": 0}},
+               source_offsets={}, replied=set(), batch_seq=0,
+               arrival_seq=0, kind="base")
+    for i in range(1, base_every):
+        from repro.runtimes.state import StateDelta
+        store.take(taken_at_ms=float(i),
+                   state=StateDelta(layers=({("E", "a"): {"v": i}},)),
+                   source_offsets={}, replied=set(), batch_seq=i,
+                   arrival_seq=i, kind="delta")
+    return store
+
+
+class TestChainAwarePruning:
+    """Regression for the latent full-mode pruning policy: a base that
+    still anchors a live delta chain must never be dropped — by the
+    automatic window trim or by an explicit prune."""
+
+    def test_window_trim_stops_at_the_anchoring_base(self):
+        store = _incremental_store(keep=2, base_every=4)
+        # keep=2 would have evicted the base (id 0) under the old
+        # unconditional pop; the retained deltas resolve through it.
+        assert len(store) == 4
+        retained = [s.snapshot_id for s in store._snapshots]
+        assert 0 in retained, "the anchoring base was pruned"
+        resolved = store.resolve(store.latest())
+        assert resolved == {("E", "a"): {"v": 3}}
+
+    def test_explicit_prune_of_an_anchored_base_is_refused(self):
+        store = _incremental_store()
+        with pytest.raises(SnapshotPruneError):
+            store.prune(0)
+        # Intermediate deltas anchor their successors just the same.
+        with pytest.raises(SnapshotPruneError):
+            store.prune(1)
+
+    def test_unanchored_snapshots_still_prune(self):
+        store = _incremental_store(keep=2, base_every=4)
+        # A new base cuts the old chain loose...
+        store.take(taken_at_ms=9.0, state={("E", "a"): {"v": 9}},
+                   source_offsets={}, replied=set(), batch_seq=9,
+                   arrival_seq=9, kind="base")
+        store.take(taken_at_ms=10.0, state={("E", "a"): {"v": 10}},
+                   source_offsets={}, replied=set(), batch_seq=10,
+                   arrival_seq=10, kind="base")
+        # ...so the trim reclaims the whole old chain down to the window.
+        assert len(store) == 2
+        assert [s.snapshot_id for s in store._snapshots] == [4, 5]
+
+    def test_full_mode_pruning_unchanged(self):
+        store = SnapshotStore(keep=3)
+        for i in range(8):
+            store.take(taken_at_ms=float(i), state={}, source_offsets={},
+                       replied=set(), batch_seq=i, arrival_seq=i)
+        assert [s.snapshot_id for s in store._snapshots] == [5, 6, 7]
+        store.prune(6)  # full cuts anchor nothing: prunable
+        assert [s.snapshot_id for s in store._snapshots] == [5, 7]
 
 
 class TestRecoveryAfterPruning:
