@@ -15,9 +15,16 @@ from pathlib import Path
 from typing import Any
 
 from ..compiler.pipeline import CompiledProgram, compile_program
-from ..runtimes.stateflow import StateflowConfig, StateflowRuntime
+from ..runtimes.stateflow import (
+    CoordinatorConfig,
+    StateflowConfig,
+    StateflowRuntime,
+)
 from ..runtimes.statefun import StatefunConfig, StatefunRuntime
+from ..substrates.kafka import KafkaConfig
+from ..substrates.network import LatencyModel, NetworkConfig
 from ..substrates.simulation import Simulation
+from ..substrates.spawner import make_spawner
 from ..workloads.generator import DriverConfig, WorkloadDriver
 from ..workloads.ycsb import Account, YcsbWorkload
 
@@ -40,16 +47,72 @@ def ycsb_program() -> CompiledProgram:
 
 def build_runtime(system: str, program: CompiledProgram, seed: int = 42,
                   **overrides: Any):
-    """Instantiate a simulated runtime: ``"statefun"`` or ``"stateflow"``."""
-    sim = Simulation(seed=seed)
+    """Instantiate a runtime: ``"statefun"`` or ``"stateflow"``.
+
+    StateFlow honours ``spawner=`` in *overrides*: the kernel comes from
+    the chosen spawner (virtual-time :class:`Simulation` for
+    ``"simulator"``, a real-time :class:`~repro.substrates.wallclock.
+    WallClock` for ``"process"``)."""
     if system == "statefun":
         config = StatefunConfig(**overrides) if overrides else StatefunConfig()
-        return StatefunRuntime(program, sim=sim, config=config)
+        return StatefunRuntime(program, sim=Simulation(seed=seed),
+                               config=config)
     if system == "stateflow":
         config = (StateflowConfig(**overrides) if overrides
                   else StateflowConfig())
-        return StateflowRuntime(program, sim=sim, config=config)
+        kernel = make_spawner(config.spawner).make_kernel(seed)
+        return StateflowRuntime(program, sim=kernel, config=config)
     raise ValueError(f"unknown system {system!r}")
+
+
+#: A modelled hop with no modelled cost: the physical floor is whatever
+#: the real transport (pipes, syscalls, scheduling) actually takes.
+_ZERO_LATENCY = LatencyModel(median_ms=0.0, sigma=0.0, floor_ms=0.0)
+
+
+def process_stateflow_overrides(**extra: Any) -> dict[str, Any]:
+    """StateflowConfig overrides tuned for the real-process substrate.
+
+    Every *modelled* cost is zeroed — CPU service times, network hop
+    latencies, Kafka produce/fetch latencies and broker CPU.  On real
+    processes the work and the transport take real time (pipe writes,
+    pickling, context switches), and charging modelled milliseconds on
+    top would double-count; worse, on the wall-clock kernel each
+    modelled sub-millisecond hop becomes a real timer and the ~15-hop
+    request path turns fiction into tens of real milliseconds.  Replies
+    are released at commit rather than held for the epoch flush: the
+    epoch hold is an output-commit cadence policy, and letting it
+    dominate measured latency would mask the substrate behaviour the
+    wall-clock bench exists to measure.  The failure detector is
+    relaxed so the initial replica seeding (a real pickle of the whole
+    store) cannot trip the watchdog, and snapshot cuts are spaced out
+    because each one is a real deep copy."""
+    overrides: dict[str, Any] = {
+        "spawner": "process",
+        "exec_service_ms": 0.0,
+        "state_op_ms": 0.0,
+        "kafka": KafkaConfig(
+            produce_latency=_ZERO_LATENCY,
+            fetch_latency=_ZERO_LATENCY,
+            broker_cpu_ms=0.0),
+        "network": NetworkConfig(
+            intra_cluster=_ZERO_LATENCY,
+            rpc_hop=_ZERO_LATENCY),
+        "coordinator": CoordinatorConfig(
+            conflict_check_ms_per_txn=0.0,
+            dispatch_ms_per_txn=0.0,
+            failure_detect_ms=5_000.0,
+            snapshot_interval_ms=2_000.0,
+            release_txn_outputs_at_epoch=False,
+            # Real round trips make giant batches toxic: more intra-batch
+            # conflicts mean more sequential-fallback executions, each a
+            # real worker round trip, so an overloaded depth-1 pipeline
+            # snowballs (bigger batch -> slower commit -> bigger next
+            # batch).  A tight cap keeps overload degradation graceful.
+            max_batch_size=64),
+    }
+    overrides.update(extra)
+    return overrides
 
 
 @dataclass(slots=True)
@@ -111,11 +174,26 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
                   state_backend: str | None = None,
                   fault_plan: Any | None = None,
                   runtime_overrides: dict[str, Any] | None = None,
+                  spawner: str = "simulator",
                   ) -> ExperimentRow:
     """Run one (system, workload, distribution, rate) cell, optionally
-    under a :class:`~repro.faults.FaultPlan` (``--faults`` on the CLI)."""
+    under a :class:`~repro.faults.FaultPlan` (``--faults`` on the CLI).
+
+    ``spawner="process"`` runs the cell on real worker processes
+    (StateFlow only); the duration is then wall-clock seconds, so
+    callers should pick a far smaller cell than the simulator defaults.
+    """
     from ..ir.dataflow import stable_hash
 
+    wallclock = spawner != "simulator"
+    if wallclock and system != "stateflow":
+        raise ValueError(
+            f"spawner {spawner!r} requires system='stateflow'; "
+            f"{system!r} has no process substrate")
+    if wallclock and fault_plan is not None:
+        raise ValueError(
+            "fault plans drive simulator internals and are not "
+            "supported on the process spawner")
     # Derive a per-cell seed so cells are independent samples (while
     # still reproducible for a given base seed).
     seed = seed + stable_hash(
@@ -126,6 +204,8 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
                          state_backend or default_state_backend())
     if fault_plan is not None:
         overrides.setdefault("fault_plan", fault_plan)
+    if wallclock:
+        overrides = process_stateflow_overrides(**overrides)
     runtime = build_runtime(system, program, seed=seed, **overrides)
     workload = YcsbWorkload(workload_name, record_count=record_count,
                             distribution=distribution, seed=seed + 1)
@@ -135,9 +215,14 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
     driver = WorkloadDriver(runtime, workload, DriverConfig(
         rps=rps, duration_ms=duration_ms,
         warmup_ms=min(2_000.0, duration_ms / 5),
-        drain_ms=drain_ms, seed=seed + 2))
+        drain_ms=drain_ms, seed=seed + 2,
+        stop_when_drained=wallclock))
     result = driver.run()
     extra: dict[str, Any] = {"state_backend": overrides["state_backend"]}
+    if wallclock:
+        extra["mode"] = "wallclock"
+        extra["spawner"] = spawner
+        extra["cpu_count"] = os.cpu_count() or 1
     if hasattr(runtime, "coordinator"):
         stats = runtime.coordinator.stats
         extra["txn_aborts"] = stats.aborts_waw + stats.aborts_raw
@@ -146,6 +231,8 @@ def run_ycsb_cell(system: str, workload_name: str, distribution: str,
         if fault_plan is not None:
             extra["recoveries"] = runtime.coordinator.recoveries
             extra["msg_dropped"] = runtime.faults.stats.dropped
+    if wallclock:
+        runtime.close()
     return ExperimentRow(
         system=system, workload=workload_name, distribution=distribution,
         rps=rps, p50_ms=result.percentile(50), p99_ms=result.percentile(99),

@@ -156,6 +156,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("note: the Local runtime has no epoch pipeline; "
               "--pipeline-depth applies to `repro bench` / `repro chaos "
               "run` / `repro rescale run` (stateflow)", file=sys.stderr)
+    if args.spawner != "simulator":
+        print("note: the Local runtime is in-process by definition; "
+              "--spawner applies to `repro bench` (stateflow)",
+              file=sys.stderr)
     runtime = LocalRuntime(program, state_backend=args.state_backend,
                            fault_plan=_load_fault_plan(args.faults))
     call_args = [_parse_literal(a) for a in args.args]
@@ -184,6 +188,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"repro bench: error: unknown state backend {backend!r}; "
             f"choose from {sorted(BACKENDS)}")
+    if args.spawner != "simulator":
+        if args.system != "stateflow":
+            raise SystemExit("repro bench: error: --spawner process "
+                             "requires --system stateflow (the runtime "
+                             "with a process substrate)")
+        if args.faults is not None or args.rescale is not None:
+            raise SystemExit("repro bench: error: --spawner process does "
+                             "not compose with --faults/--rescale (fault "
+                             "plans drive simulator internals)")
     if args.cell == "pipeline":
         # The sweep owns the depth axis and the saturating deployment;
         # flags it cannot honour are rejected, not silently dropped.
@@ -245,6 +258,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                       if args.records is not None else 100),
                         seed=args.seed,
                         state_backend=backend, fault_plan=plan,
+                        spawner=args.spawner,
                         runtime_overrides=overrides or None)
     columns = ["system", "workload", "distribution", "state_backend",
                "rps", "p50_ms", "p99_ms", "mean_ms", "completed", "errors"]
@@ -259,10 +273,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_pipeline_rows(report) -> None:
+    lines = ["mode       depth  txn/s     mean_ms  p99_ms   batches  "
+             "stall_ms"]
+    for row in report.rows:
+        lines.append(f"{row.mode:<9}  {row.depth:<5}  "
+                     f"{row.throughput_txn_s:<8.0f}  "
+                     f"{row.mean_ms:<7.1f}  {row.p99_ms:<7.1f}  "
+                     f"{row.batches:<7}  {row.stall_ms:.1f}")
+    print("\n".join(lines))
+
+
 def _run_pipeline_cell(args: argparse.Namespace, backend: str) -> int:
-    """``repro bench --cell pipeline``: sweep the epoch-pipeline depth
-    over a saturating YCSB cell and persist ``BENCH_pipeline.json``."""
-    from .bench import run_pipeline_cell, write_bench_artifact
+    """``repro bench --cell pipeline``: sweep the epoch-pipeline depth.
+
+    ``--spawner simulator`` (default) runs the virtual-time sweep and
+    gates on byte-identical replies across depths; ``--spawner
+    process`` additionally re-runs the sweep on real worker processes
+    and records the wall-clock speedup rows in the same
+    ``BENCH_pipeline.json``."""
+    from .bench import run_pipeline_bench, run_pipeline_cell, \
+        write_bench_artifact
 
     sweep_args: dict = {}
     if args.rps is not None:
@@ -271,26 +302,40 @@ def _run_pipeline_cell(args: argparse.Namespace, backend: str) -> int:
         sweep_args["duration_ms"] = args.duration_ms
     if args.records is not None:
         sweep_args["record_count"] = args.records
-    report = run_pipeline_cell(state_backend=backend, seed=args.seed,
-                               workload_name=args.workload,
-                               distribution=args.distribution,
-                               **sweep_args)
-    lines = ["depth  txn/s     mean_ms  p99_ms   batches  stall_ms"]
-    for row in report.rows:
-        lines.append(f"{row.depth:<5}  {row.throughput_txn_s:<8.0f}  "
-                     f"{row.mean_ms:<7.1f}  {row.p99_ms:<7.1f}  "
-                     f"{row.batches:<7}  {row.stall_ms:.1f}")
-    title = (f"pipeline sweep: YCSB {report.workload}/"
-             f"{report.distribution}, {report.workers} workers, "
-             f"{backend} backend")
-    print(title)
-    print("-" * len(title))
-    print("\n".join(lines))
-    print()
-    print(report.summary())
-    path = write_bench_artifact("pipeline", report.as_artifact())
+    sweep_args["workload_name"] = args.workload
+    sweep_args["distribution"] = args.distribution
+    if args.spawner == "process":
+        artifact, sim_report, wall_report = run_pipeline_bench(
+            state_backend=backend, seed=args.seed,
+            simulator_kwargs=dict(sweep_args))
+        title = (f"pipeline sweep: YCSB {sim_report.workload}/"
+                 f"{sim_report.distribution}, {backend} backend, "
+                 f"simulator + process substrates")
+        print(title)
+        print("-" * len(title))
+        _print_pipeline_rows(sim_report)
+        _print_pipeline_rows(wall_report)
+        print()
+        print(sim_report.summary())
+        print(wall_report.summary())
+        ok = (sim_report.replies_identical
+              and artifact["wallclock"]["meets_speedup_target"] is not False)
+    else:
+        report = run_pipeline_cell(state_backend=backend, seed=args.seed,
+                                   **sweep_args)
+        artifact = report.as_artifact()
+        title = (f"pipeline sweep: YCSB {report.workload}/"
+                 f"{report.distribution}, {report.workers} workers, "
+                 f"{backend} backend")
+        print(title)
+        print("-" * len(title))
+        _print_pipeline_rows(report)
+        print()
+        print(report.summary())
+        ok = report.replies_identical
+    path = write_bench_artifact("pipeline", artifact)
     print(f"wrote {path}")
-    return 0
+    return 0 if ok else 1
 
 
 def _run_recovery_cell(args: argparse.Namespace, backend: str) -> int:
@@ -462,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="epoch-pipeline depth (ignored by the "
                               "Local runtime; see `repro bench`)")
+    run_cmd.add_argument("--spawner", default="simulator",
+                         choices=["simulator", "process"],
+                         help="execution substrate (ignored by the "
+                              "Local runtime; see `repro bench`)")
     run_cmd.set_defaults(handler=_cmd_run)
 
     bench_cmd = commands.add_parser(
@@ -500,6 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["on", "off"],
                            help="commit changelog toggle (stateflow "
                                 "only; default on in incremental mode)")
+    bench_cmd.add_argument("--spawner", default="simulator",
+                           choices=["simulator", "process"],
+                           help="execution substrate (stateflow only): "
+                                "'simulator' = deterministic virtual "
+                                "time; 'process' = real worker "
+                                "processes on the wall clock")
     bench_cmd.add_argument("--cell", default="ycsb",
                            choices=["ycsb", "pipeline", "recovery"],
                            help="'pipeline' sweeps depth 1/2/4 on a "

@@ -85,12 +85,51 @@ class _Tombstone:
     def __deepcopy__(self, memo):
         return self
 
+    def __reduce__(self):
+        # Pickling must preserve identity across process boundaries: the
+        # wire format ships deltas whose tombstones are identity-compared
+        # on the receiving side (``state is TOMBSTONE``), and
+        # ``_Tombstone()`` always returns the one instance.
+        return (_Tombstone, ())
+
     def __repr__(self):  # pragma: no cover - debugging aid
         return "<deleted>"
 
 
 #: The one tombstone instance (deletes inside deltas / cow heads).
 TOMBSTONE = _Tombstone()
+
+
+#: Types a state value can contain and still skip ``copy.deepcopy``:
+#: immutable scalars, checked by exact type (subclasses may carry
+#: mutable extras, so ``type(v) in`` — not ``isinstance``).
+_SCALAR_TYPES = (str, int, float, bool, bytes, type(None))
+
+
+def _flat_scalar(value: Any) -> bool:
+    """True for values a shallow copy isolates fully: exact scalars and
+    tuples of them (tuples are immutable, so sharing one is safe)."""
+    if type(value) in _SCALAR_TYPES:
+        return True
+    return (type(value) is tuple
+            and all(type(item) in _SCALAR_TYPES for item in value))
+
+
+def fast_deepcopy(value: Any) -> Any:
+    """``copy.deepcopy`` with a fast path for the shapes committed
+    entity states overwhelmingly take: immutable scalars pass through,
+    and a flat ``dict`` of scalars (or tuples of scalars) is isolated by
+    a plain ``dict()`` copy — an order of magnitude cheaper than the
+    generic deepcopy machinery.  Anything nested or exotic falls back to
+    ``copy.deepcopy``, so isolation semantics are identical."""
+    if type(value) is dict:
+        for item in value.values():
+            if not _flat_scalar(item):
+                return copy.deepcopy(value)
+        return dict(value)
+    if _flat_scalar(value) or value is TOMBSTONE:
+        return value
+    return copy.deepcopy(value)
 
 
 @dataclass(slots=True, frozen=True)
@@ -367,7 +406,7 @@ class DictReadView:
         composite = (entity, key)
         if composite in self.overlay:
             state = self.overlay[composite]
-            return copy.deepcopy(state) if state is not None else None
+            return fast_deepcopy(state) if state is not None else None
         return self._backend.get(entity, key)
 
     def exists(self, entity: str, key: Any) -> bool:
@@ -402,7 +441,7 @@ class DictStateBackend:
     # -- StateAccess protocol -------------------------------------------
     def get(self, entity: str, key: Any) -> State | None:
         state = self.store.get((entity, key))
-        return copy.deepcopy(state) if state is not None else None
+        return fast_deepcopy(state) if state is not None else None
 
     def put(self, entity: str, key: Any, state: State) -> None:
         composite = (entity, key)
@@ -414,7 +453,7 @@ class DictStateBackend:
             for view in self._views.values():
                 if composite not in view.overlay:
                     view.overlay[composite] = previous
-        self.store[composite] = copy.deepcopy(state)
+        self.store[composite] = fast_deepcopy(state)
         if self._dirty is not None:
             self._dirty.add(composite)
 
@@ -443,10 +482,12 @@ class DictStateBackend:
 
     def snapshot(self) -> dict[Key, State]:
         """Deep copy of all state (the snapshot payload)."""
-        return copy.deepcopy(self.store)
+        return {key: fast_deepcopy(state)
+                for key, state in self.store.items()}
 
     def restore(self, snapshot: dict[Key, State]) -> None:
-        self.store = copy.deepcopy(snapshot)
+        self.store = {key: fast_deepcopy(state)
+                      for key, state in snapshot.items()}
         # A restore is a rewind: any pinned view predates it and is dead,
         # and the dirty set no longer diffs against any durable capture.
         self._views.clear()
@@ -476,7 +517,7 @@ class DictStateBackend:
         layer: dict[Key, Any] = {}
         for composite in self._dirty:
             if composite in self.store:
-                layer[composite] = copy.deepcopy(self.store[composite])
+                layer[composite] = fast_deepcopy(self.store[composite])
             else:
                 layer[composite] = TOMBSTONE
         return StateDelta(layers=(layer,) if layer else ())
@@ -544,7 +585,7 @@ class CowSnapshot:
         backend, so handing out aliases would let a consumer corrupt
         committed state and the recovery snapshot through them.
         """
-        return {key: copy.deepcopy(state)
+        return {key: fast_deepcopy(state)
                 for key, state in self.merged().items()}
 
     def __len__(self) -> int:
@@ -567,7 +608,7 @@ class CowReadView:
         for layer in reversed(self._layers):
             if composite in layer:
                 state = layer[composite]
-                return (copy.deepcopy(state)
+                return (fast_deepcopy(state)
                         if state is not TOMBSTONE else None)
         return None
 
@@ -626,10 +667,10 @@ class CowStateBackend:
                     break
         if state is None or state is TOMBSTONE:
             return None
-        return copy.deepcopy(state)
+        return fast_deepcopy(state)
 
     def put(self, entity: str, key: Any, state: State) -> None:
-        self._head[(entity, key)] = copy.deepcopy(state)
+        self._head[(entity, key)] = fast_deepcopy(state)
 
     def create(self, entity: str, key: Any, state: State) -> None:
         self.put(entity, key, state)
@@ -1242,7 +1283,7 @@ def materialize_snapshot(payload: Any,
         aliased = payload.merged()
     else:
         aliased = payload
-    return {key: copy.deepcopy(state) for key, state in aliased.items()
+    return {key: fast_deepcopy(state) for key, state in aliased.items()
             if entity is None or key[0] == entity}
 
 

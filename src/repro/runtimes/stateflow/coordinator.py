@@ -545,6 +545,13 @@ class Coordinator:
         txn = batch.txns.get(ctx.tid)
         if txn is None or txn.done:
             return
+        if txn.ctx is not ctx:
+            # Cross-process execution: the report's context is a wire
+            # copy carrying the read/write sets the worker accumulated —
+            # graft it over the coordinator's original so conflict
+            # detection and the commit phase see the footprints.  A
+            # no-op on the simulator substrate (same object).
+            txn.ctx = ctx
         txn.done = True
         txn.result = event.payload
         txn.error = event.error
@@ -796,8 +803,16 @@ class Coordinator:
     def _on_fallback_report(self, event: Event, ctx: TxnContext) -> None:
         batch = self._commit_batch
         txn = self._fallback_current
-        if batch is None or txn is None or txn.ctx is not ctx:
+        if batch is None or txn is None or txn.ctx is None:
             return
+        # Match by identity *fields*, not object identity: on the
+        # process substrate the report's context is a wire copy of the
+        # one dispatched (fallback tids are unique per coordinator
+        # lifetime, so the triple is as precise as the identity check).
+        if (txn.ctx.tid, txn.ctx.batch_id, txn.ctx.attempt) != (
+                ctx.tid, ctx.batch_id, ctx.attempt):
+            return
+        txn.ctx = ctx
         txn.result = event.payload
         txn.error = event.error
         txn.done = True

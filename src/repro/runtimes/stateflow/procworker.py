@@ -1,0 +1,457 @@
+"""Real-process StateFlow workers (the ``process`` spawner).
+
+Each worker runs in its own forked OS process and talks to the
+coordinator's process over a duplex ``multiprocessing`` pipe carrying
+the batched binary frames of :mod:`repro.substrates.wire`.  On the
+coordinator side, :class:`ProcessWorkerProxy` mirrors the full
+:class:`~repro.runtimes.stateflow.worker.Worker` API, so the runtime's
+dispatch/commit/migration hooks and the coordinator protocol are
+identical across substrates — only what sits behind the method calls
+changes.
+
+State model
+-----------
+
+The child holds a **full-store replica**: a flat ``(entity, key) ->
+state`` dict seeded from a committed-store snapshot and kept current by
+broadcasting every committed write bucket to every live child.  The
+parent's :class:`~repro.runtimes.state.PartitionedStore` stays the
+single authority — snapshots, recovery restores and slot migration all
+happen against it in the parent, exactly as in the simulator — so a
+child crash loses nothing but in-flight work.
+
+Replica reads can be stale relative to an in-flight older batch (the
+child has no version-pinned views), which is exactly the hazard Aria's
+deterministic conflict check already handles: any transaction whose
+read set overlaps an in-flight older batch's writes is aborted as stale
+and re-run in the fallback, so stale replica reads never commit.
+
+Incarnation fencing carries over unchanged: every frame is stamped with
+the worker incarnation it was addressed to, a recovery tears the child
+down and respawns it under a bumped incarnation, and responses from the
+old incarnation are dropped by the proxy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from typing import Any, Callable
+
+from ...compiler.codegen import CompiledEntity
+from ...ir.events import Event
+from ...substrates.wire import (
+    Ack,
+    ApplyWrites,
+    Deliver,
+    ExecuteSingleKey,
+    Out,
+    Seed,
+    Shutdown,
+    SingleKeyDone,
+    decode_frame,
+    encode_frame,
+)
+from ..executor import OperatorExecutor
+from ..state import StateBackend, fast_deepcopy, materialize_snapshot
+from .state_backend import AriaStateView
+
+#: Fork, not spawn: the child inherits the compiled program (closures
+#: and generated classes are not picklable) and starts in milliseconds.
+_MP_CONTEXT = multiprocessing.get_context("fork")
+
+
+class ReplicaStore:
+    """The child's flat committed-state replica.
+
+    Same read/write isolation convention as the parent backends: values
+    are isolated with :func:`~repro.runtimes.state.fast_deepcopy` on the
+    way in and out, so executor-side mutation of a returned dict can
+    never corrupt the replica.
+    """
+
+    def __init__(self) -> None:
+        self.store: dict[tuple[str, Any], dict] = {}
+
+    def replace(self, payload: dict) -> None:
+        self.store = {key: fast_deepcopy(state)
+                      for key, state in payload.items()}
+
+    def get(self, entity: str, key: Any) -> dict | None:
+        state = self.store.get((entity, key))
+        return fast_deepcopy(state) if state is not None else None
+
+    def put(self, entity: str, key: Any, state: dict) -> None:
+        self.store[(entity, key)] = fast_deepcopy(state)
+
+    def create(self, entity: str, key: Any, state: dict) -> None:
+        self.put(entity, key, state)
+
+    def exists(self, entity: str, key: Any) -> bool:
+        return (entity, key) in self.store
+
+    def delete(self, entity: str, key: Any) -> None:
+        self.store.pop((entity, key), None)
+
+    def apply_writes(self, writes: dict) -> None:
+        for (entity, key), state in writes.items():
+            self.put(entity, key, state)
+
+
+class RecordingStore:
+    """Write-capture overlay for the single-key phase: reads hit the
+    replica (through this store's own writes first), writes land in the
+    replica *and* in :attr:`writes` so the parent can install them into
+    the authoritative store."""
+
+    def __init__(self, replica: ReplicaStore) -> None:
+        self._replica = replica
+        self.writes: dict[tuple[str, Any], dict] = {}
+
+    def get(self, entity: str, key: Any) -> dict | None:
+        return self._replica.get(entity, key)
+
+    def put(self, entity: str, key: Any, state: dict) -> None:
+        self._replica.put(entity, key, state)
+        self.writes[(entity, key)] = fast_deepcopy(state)
+
+    def create(self, entity: str, key: Any, state: dict) -> None:
+        self.put(entity, key, state)
+
+    def exists(self, entity: str, key: Any) -> bool:
+        return self._replica.exists(entity, key)
+
+
+def _worker_main(conn: Any, index: int,
+                 entities: dict[str, CompiledEntity],
+                 check_state_serializable: bool) -> None:  # pragma: no cover
+    """Child-process main loop: decode one frame, act, reply.
+
+    Untraced by coverage (it runs in a forked process); its behaviour is
+    exercised end-to-end by the process-spawner smoke and parity tests.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns shutdown
+    executor = OperatorExecutor(
+        entities, check_state_serializable=check_state_serializable)
+    replica = ReplicaStore()
+    while True:
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            return  # parent died or tore us down
+        message = decode_frame(frame)
+        if isinstance(message, Shutdown):
+            return
+        if isinstance(message, Seed):
+            replica.replace(message.payload)
+        elif isinstance(message, Deliver):
+            out: list[Event] = []
+            for event in message.events:
+                view = AriaStateView(replica, event.txn)
+                out.extend(executor.handle(event, view))
+            if out:
+                try:
+                    conn.send_bytes(encode_frame(
+                        Out(out, incarnation=message.incarnation)))
+                except (BrokenPipeError, OSError):
+                    return
+        elif isinstance(message, ApplyWrites):
+            replica.apply_writes(message.writes)
+            if message.ack:
+                try:
+                    conn.send_bytes(encode_frame(
+                        Ack(message.seq, incarnation=message.incarnation)))
+                except (BrokenPipeError, OSError):
+                    return
+        elif isinstance(message, ExecuteSingleKey):
+            recording = RecordingStore(replica)
+            replies: list[Event] = []
+            for event in message.events:
+                replies.extend(executor.handle(event, recording))
+            try:
+                conn.send_bytes(encode_frame(SingleKeyDone(
+                    message.seq, replies=replies, writes=recording.writes,
+                    incarnation=message.incarnation)))
+            except (BrokenPipeError, OSError):
+                return
+        # CaptureSlot/InstallSlot never reach the child: slot migration
+        # runs against the parent's authoritative store (see proxy).
+
+
+class ProcessWorkerProxy:
+    """Parent-side stand-in for a worker process.
+
+    Mirrors the :class:`~repro.runtimes.stateflow.worker.Worker` surface
+    (``deliver``/``apply_writes``/``execute_single_key``/slot migration/
+    failure model) so the StateFlow runtime's hooks work unchanged.
+
+    Messaging is **coalesced**: ``deliver`` calls buffer into an outbox
+    that a zero-delay flush turns into a single :class:`Deliver` frame —
+    an epoch's worth of execution events crosses the pipe as one frame,
+    one pickle, instead of one Python object copy per message.
+    """
+
+    def __init__(self, index: int, kernel: Any,
+                 committed: Any,
+                 entities: dict[str, CompiledEntity],
+                 emit: Callable[[Event], None],
+                 *, check_state_serializable: bool = False,
+                 peers: Callable[[], list["ProcessWorkerProxy"]]
+                 = lambda: []):
+        self.index = index
+        self.sim = kernel
+        self.alive = True
+        self.retired = False
+        self.incarnation = 0
+        self.events_processed = 0
+        self.writes_applied = 0
+        self.slots_captured = 0
+        self.slots_installed = 0
+        self.stale_executions_dropped = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self._committed = committed
+        #: This worker's slice of the authoritative store — the object
+        #: commit-phase writes and slot migration mutate, same as the
+        #: simulator Worker's ``store``.
+        self.store: StateBackend = committed.partition(index)
+        self._entities = entities
+        self._emit = emit
+        self._check_serializable = check_state_serializable
+        self._peers = peers
+        self._seq = 0
+        self._pending: dict[int, Callable[[Any], None]] = {}
+        self._outbox: list[Event] = []
+        self._flush_scheduled = False
+        self._process: Any = None
+        self._conn: Any = None
+        self._spawn()
+
+    # -- child lifecycle -------------------------------------------------
+    def _spawn(self) -> None:
+        parent_conn, child_conn = _MP_CONTEXT.Pipe(duplex=True)
+        process = _MP_CONTEXT.Process(
+            target=_worker_main,
+            args=(child_conn, self.index, self._entities,
+                  self._check_serializable),
+            name=f"stateflow-worker-{self.index}", daemon=True)
+        process.start()
+        child_conn.close()
+        self._process = process
+        self._conn = parent_conn
+        self.sim.register_connection(parent_conn, self._on_raw)
+        # Seed on the next kernel turn, not inline: at construction time
+        # the committed store may still be empty (preload runs after the
+        # runtime builds its workers), and during recovery the restore
+        # that must precede the seed happens later in the same
+        # synchronous recover() call.
+        self.sim.schedule(0, self._reseed)
+
+    def _teardown(self) -> None:
+        if self._conn is not None:
+            self.sim.unregister_connection(self._conn)
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+        if self._process is not None:
+            process = self._process
+            self._process = None
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                os.kill(process.pid, signal.SIGKILL)
+                process.join(timeout=5.0)
+        self._pending.clear()
+        self._outbox.clear()
+        self._flush_scheduled = False
+
+    def _reseed(self) -> None:
+        if not self.alive or self._conn is None:
+            return
+        payload = materialize_snapshot(self._committed.snapshot())
+        self._send(Seed(payload, incarnation=self.incarnation))
+
+    # -- wire plumbing ---------------------------------------------------
+    def _send(self, message: Any) -> None:
+        if self._conn is None:
+            return
+        frame = encode_frame(message)
+        try:
+            self._conn.send_bytes(frame)
+        except (BrokenPipeError, OSError):
+            # Child died: the coordinator's failure detector will notice
+            # the missing acks and drive recovery; nothing to do here.
+            return
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+
+    def _on_raw(self, payload: bytes) -> None:
+        message = decode_frame(payload)
+        self.frames_received += 1
+        if getattr(message, "incarnation", self.incarnation) \
+                != self.incarnation:
+            return  # response from a pre-recovery incarnation
+        if not self.alive:
+            return
+        if isinstance(message, Out):
+            self.events_processed += len(message.events)
+            for event in message.events:
+                self._emit(event)
+        elif isinstance(message, (Ack, SingleKeyDone)):
+            handler = self._pending.pop(message.seq, None)
+            if handler is not None:
+                handler(message)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- Worker API: execution phase ------------------------------------
+    def deliver(self, event: Event) -> None:
+        if not self.alive or self._conn is None:
+            return
+        self._outbox.append(event)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.sim.schedule(0, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self.alive or not self._outbox:
+            self._outbox.clear()
+            return
+        events, self._outbox = self._outbox, []
+        self._send(Deliver(events, incarnation=self.incarnation))
+
+    # -- Worker API: single-key phase -----------------------------------
+    def execute_single_key(self, events: list[Event],
+                           on_done: Callable[[list[Event]], None],
+                           *, incarnation: int | None = None) -> None:
+        if not self.alive:
+            return
+        if incarnation is not None and incarnation != self.incarnation:
+            return
+        seq = self._next_seq()
+
+        def finish(message: SingleKeyDone) -> None:
+            self.events_processed += len(events)
+            # The child executed against its replica; the write-backs
+            # must land in the parent's authoritative store too.
+            if message.writes:
+                self.store.apply_writes(message.writes)
+            on_done(message.replies)
+
+        self._pending[seq] = finish
+        self._send(ExecuteSingleKey(events, seq=seq,
+                                    incarnation=self.incarnation))
+
+    # -- Worker API: commit phase ---------------------------------------
+    def apply_writes(self, writes: dict, on_done: Callable[[], None],
+                     *, incarnation: int | None = None) -> None:
+        if not self.alive:
+            return
+        if incarnation is not None and incarnation != self.incarnation:
+            return
+        # Authoritative store first (parent-side, synchronous): snapshot
+        # cuts and recovery read this store, exactly as in the simulator.
+        self.store.apply_writes(writes)
+        self.writes_applied += len(writes)
+        # Replicate the bucket to every live child so all replicas track
+        # the full committed store; only the owner's copy carries an ack.
+        for peer in self._peers():
+            if peer is not self and peer.alive:
+                peer.replicate_writes(writes)
+        seq = self._next_seq()
+        self._pending[seq] = lambda message: on_done()
+        self._send(ApplyWrites(writes, seq=seq,
+                               incarnation=self.incarnation, ack=True))
+
+    def replicate_writes(self, writes: dict) -> None:
+        """Install another owner's committed bucket into this worker's
+        child replica (no ack, no authoritative-store touch)."""
+        if not self.alive:
+            return
+        self._send(ApplyWrites(writes, seq=0,
+                               incarnation=self.incarnation, ack=False))
+
+    # -- Worker API: slot migration (parent-side) -----------------------
+    def capture_slot(self, slot: int, on_done: Callable[[Any], None],
+                     *, incarnation: int | None = None,
+                     mode: str = "full") -> None:
+        """Children replicate the *full* store, so migration never has
+        to move data between processes: capture reads the authoritative
+        slice in the parent and acks on the next kernel turn (preserving
+        the hooks' asynchronous shape)."""
+        if not self.alive:
+            return
+        if incarnation is not None and incarnation != self.incarnation:
+            return
+        token = self.incarnation
+
+        def capture() -> None:
+            if not self.alive or token != self.incarnation:
+                return
+            self.slots_captured += 1
+            on_done(self.store.capture_slot(slot, mode))
+
+        self.sim.schedule(0, capture)
+
+    def install_slot(self, slot: int, fragment: Any,
+                     on_done: Callable[[], None],
+                     *, incarnation: int | None = None) -> None:
+        if not self.alive:
+            return
+        if incarnation is not None and incarnation != self.incarnation:
+            return
+        token = self.incarnation
+
+        def install() -> None:
+            if not self.alive or token != self.incarnation:
+                return
+            self.store.install_slot(slot, fragment)
+            self.slots_installed += 1
+            on_done()
+
+        self.sim.schedule(0, install)
+
+    # -- failure model ---------------------------------------------------
+    def kill(self) -> None:
+        """Real crash: the OS process dies, in-flight work and the
+        replica die with it."""
+        self.alive = False
+        self._teardown()
+
+    def restart(self) -> None:
+        self._teardown()
+        self.alive = not self.retired
+        self.incarnation += 1
+        if self.alive:
+            self._spawn()
+
+    # -- elasticity ------------------------------------------------------
+    def retire(self) -> None:
+        self.retired = True
+        self.alive = False
+        self._teardown()
+
+    def revive(self) -> None:
+        if not self.retired:
+            return
+        self.retired = False
+        self.alive = True
+        self.incarnation += 1
+        self._spawn()
+
+    # -- shutdown --------------------------------------------------------
+    def shutdown(self) -> None:
+        """Orderly close (runtime.close()): ask the child to exit, then
+        reap it."""
+        if self._conn is not None:
+            self._send(Shutdown())
+        self.alive = False
+        self._teardown()

@@ -26,6 +26,7 @@ from ...rescale import RescalePlan
 from ...substrates.kafka import KafkaBroker, KafkaConfig, KafkaRecord
 from ...substrates.network import LatencyModel, Network, NetworkConfig
 from ...substrates.simulation import MetricRecorder, Simulation
+from ...substrates.spawner import Spawner, make_spawner
 from ..base import InvocationResult, Runtime
 from ..executor import OperatorExecutor, run_constructor
 from ..state import PartitionedStore, SlotDelta, resolve_payload
@@ -49,6 +50,13 @@ class StateflowConfig:
     """Tunables of the simulated StateFlow deployment."""
 
     workers: int = 5
+    #: Execution substrate (``--spawner``): "simulator" = deterministic
+    #: virtual-time in-process workers (the default — every chaos,
+    #: replay and equivalence test runs here); "process" = real OS
+    #: processes on the wall clock, talking batched binary frames over
+    #: pipes (the substrate whose bench numbers measure hardware).  A
+    #: :class:`~repro.substrates.spawner.Spawner` instance also works.
+    spawner: str | Spawner = "simulator"
     #: Worker CPU per event (block execution + messaging bundling).
     exec_service_ms: float = 0.3
     #: Worker CPU per committed key write.
@@ -120,7 +128,14 @@ class StateflowRuntime(Runtime):
                 self.config,
                 coordinator=replace(self.config.coordinator,
                                     **coordinator_overrides))
-        self.sim = sim or Simulation()
+        self.spawner = make_spawner(self.config.spawner)
+        if self.config.fault_plan is not None and self.spawner.wallclock:
+            raise RuntimeExecutionError(
+                "fault plans drive simulator internals (virtual-time "
+                "schedules, message hooks) and are not supported on the "
+                "process spawner; crash real workers directly via "
+                "fail_worker() instead")
+        self.sim = sim or self.spawner.make_kernel()
         self.network = Network(self.sim, self.config.network)
         self.broker = KafkaBroker(self.sim, self.config.kafka)
         #: Committed state sharded into hash slots dealt round-robin over
@@ -197,13 +212,7 @@ class StateflowRuntime(Runtime):
                 duplicable_topics=(INGRESS_TOPIC, EGRESS_TOPIC)).install()
 
     def _make_worker(self, index: int) -> Worker:
-        return Worker(index, self.sim, self._executor,
-                      self.committed.partition(index),
-                      (lambda event, sender=index:
-                       self._on_worker_out(event, sender)),
-                      exec_service_ms=self.config.exec_service_ms,
-                      state_op_ms=self.config.state_op_ms,
-                      committed_reader=self.committed)
+        return self.spawner.make_worker(self, index)
 
     # -- partitioning ------------------------------------------------------
     def worker_of(self, entity: str, key: Any) -> int:
@@ -300,6 +309,7 @@ class StateflowRuntime(Runtime):
         initial snapshot covers the loaded data)."""
         if not self._started:
             self._started = True
+            self.spawner.on_start(self)
             self.coordinator.start()
 
     def preload(self, entity: str | type, rows: list[tuple]) -> list[EntityRef]:
@@ -488,3 +498,4 @@ class StateflowRuntime(Runtime):
 
     def close(self) -> None:
         self.coordinator.stop()
+        self.spawner.on_close(self)

@@ -10,11 +10,22 @@ from .simulation import (
     Simulation,
     SimulationError,
 )
+from .spawner import (
+    SPAWNERS,
+    ProcessSpawner,
+    SimulatorSpawner,
+    Spawner,
+    make_spawner,
+)
+from .wallclock import WallClock
+from .wire import FrameDecoder, FrameError, decode_frame, encode_frame
 
 __all__ = [
     "Cluster",
     "ClusterLayout",
     "CpuPool",
+    "FrameDecoder",
+    "FrameError",
     "KafkaBroker",
     "KafkaConfig",
     "KafkaError",
@@ -24,7 +35,15 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "Node",
+    "ProcessSpawner",
+    "SPAWNERS",
     "ScheduledEvent",
+    "SimulatorSpawner",
     "Simulation",
     "SimulationError",
+    "Spawner",
+    "WallClock",
+    "decode_frame",
+    "encode_frame",
+    "make_spawner",
 ]

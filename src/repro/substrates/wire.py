@@ -1,0 +1,255 @@
+"""Binary wire format of the process execution substrate.
+
+The simulator substrate moves messages between the coordinator and its
+workers as Python objects (isolated by ``copy.deepcopy``).  The process
+substrate (:mod:`repro.substrates.spawner`) crosses real OS-process
+boundaries, so it needs a real wire format: **length-prefixed binary
+frames** carrying pickle-protocol-5 bodies with out-of-band buffer
+support.  One frame carries one typed message; a message may batch many
+logical deliveries (an epoch's worth of execution events or a whole
+commit bucket), so the per-message overhead is paid per *frame*, not per
+Python object.
+
+Frame layout (all integers big-endian)::
+
+    magic(2) | length(4) | nbuffers(2) | [buf_len(4) buf_bytes]* | body
+
+``length`` counts everything after itself.  ``nbuffers`` out-of-band
+pickle-5 buffers precede the body; the decoder rehydrates them in order.
+Truncated or corrupt input raises :class:`FrameError` — never a partial
+message.
+
+This is trusted intra-host IPC between a parent and the worker processes
+it forked; frames are not authenticated.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Frame preamble: catches stream desync and non-frame garbage early.
+MAGIC = b"SF"
+_LEN = struct.Struct(">I")
+_NBUF = struct.Struct(">H")
+#: Upper bound on a single frame (1 GiB): a corrupt length prefix must
+#: not make the decoder try to buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameError(Exception):
+    """Raised on truncated, oversized, or corrupt frames."""
+
+
+# ---------------------------------------------------------------------------
+# Message types: coordinator/runtime -> worker process
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Seed:
+    """Replace the worker's replica with a full committed-store image
+    (initial launch, and re-seeding after a recovery restore)."""
+
+    payload: dict
+    incarnation: int = 0
+
+
+@dataclass(slots=True)
+class Deliver:
+    """A batched frame of execution-phase events: everything the proxy
+    coalesced since its last flush travels as one frame."""
+
+    events: list
+    incarnation: int = 0
+
+
+@dataclass(slots=True)
+class ApplyWrites:
+    """Install a committed write set into the replica.  ``ack`` is true
+    only on the owner's copy; replication fan-out rides the same message
+    with ``ack=False``."""
+
+    writes: dict
+    seq: int = 0
+    incarnation: int = 0
+    ack: bool = True
+
+
+@dataclass(slots=True)
+class ExecuteSingleKey:
+    """Run a batch's single-key events serially against the replica and
+    report replies plus the resulting write-backs."""
+
+    events: list
+    seq: int = 0
+    incarnation: int = 0
+
+
+@dataclass(slots=True)
+class CaptureSlot:
+    """Capture one hash slot of the replica (migration source side)."""
+
+    slot: int
+    mode: str = "full"
+    seq: int = 0
+    incarnation: int = 0
+
+
+@dataclass(slots=True)
+class InstallSlot:
+    """Install a migrated slot fragment into the replica."""
+
+    slot: int
+    payload: Any = None
+    seq: int = 0
+    incarnation: int = 0
+
+
+@dataclass(slots=True)
+class Shutdown:
+    """Orderly worker-process exit."""
+
+
+# ---------------------------------------------------------------------------
+# Message types: worker process -> coordinator/runtime
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Out:
+    """Outbound events a Deliver produced: replies and inter-worker
+    hops, relayed through the coordinator-side hub."""
+
+    events: list
+    incarnation: int = 0
+
+
+@dataclass(slots=True)
+class Ack:
+    """Completion of a sequenced request (ApplyWrites/InstallSlot)."""
+
+    seq: int
+    incarnation: int = 0
+
+
+@dataclass(slots=True)
+class SingleKeyDone:
+    """Replies and write-backs of an ExecuteSingleKey request."""
+
+    seq: int
+    replies: list = field(default_factory=list)
+    writes: dict = field(default_factory=dict)
+    incarnation: int = 0
+
+
+@dataclass(slots=True)
+class SlotCaptured:
+    """The fragment a CaptureSlot produced."""
+
+    seq: int
+    slot: int = 0
+    fragment: Any = None
+    incarnation: int = 0
+
+
+#: Every frameable message type (the property tests sweep this).
+MESSAGE_TYPES: tuple[type, ...] = (
+    Seed, Deliver, ApplyWrites, ExecuteSingleKey, CaptureSlot, InstallSlot,
+    Shutdown, Out, Ack, SingleKeyDone, SlotCaptured)
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(message: Any) -> bytes:
+    """One message -> one self-contained frame."""
+    buffers: list[pickle.PickleBuffer] = []
+    body = pickle.dumps(message, protocol=5, buffer_callback=buffers.append)
+    chunks = [_NBUF.pack(len(buffers))]
+    for buffer in buffers:
+        raw = buffer.raw().tobytes()
+        chunks.append(_LEN.pack(len(raw)))
+        chunks.append(raw)
+    chunks.append(body)
+    payload = b"".join(chunks)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame too large ({len(payload)} bytes)")
+    return MAGIC + _LEN.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> Any:
+    offset = 0
+    if len(payload) < _NBUF.size:
+        raise FrameError("frame payload truncated (no buffer count)")
+    (nbuffers,) = _NBUF.unpack_from(payload, offset)
+    offset += _NBUF.size
+    buffers: list[bytes] = []
+    for _ in range(nbuffers):
+        if len(payload) - offset < _LEN.size:
+            raise FrameError("frame payload truncated (buffer length)")
+        (buf_len,) = _LEN.unpack_from(payload, offset)
+        offset += _LEN.size
+        if len(payload) - offset < buf_len:
+            raise FrameError("frame payload truncated (buffer body)")
+        buffers.append(payload[offset:offset + buf_len])
+        offset += buf_len
+    try:
+        return pickle.loads(payload[offset:], buffers=buffers)
+    except Exception as exc:
+        raise FrameError(f"corrupt frame body: {exc}") from exc
+
+
+def decode_frame(frame: bytes) -> Any:
+    """Decode exactly one complete frame; anything less (or more) is an
+    error — transports with message boundaries use this directly."""
+    header = len(MAGIC) + _LEN.size
+    if len(frame) < header:
+        raise FrameError(f"truncated frame header ({len(frame)} bytes)")
+    if frame[:len(MAGIC)] != MAGIC:
+        raise FrameError("bad frame magic")
+    (length,) = _LEN.unpack_from(frame, len(MAGIC))
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds cap")
+    if len(frame) != header + length:
+        raise FrameError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(frame) - header} payload bytes")
+    return _decode_payload(frame[header:])
+
+
+class FrameDecoder:
+    """Incremental decoder for byte-stream transports (sockets): feed
+    arbitrary chunks, collect complete messages.  A frame torn across
+    chunks is buffered until its remainder arrives; garbage raises
+    :class:`FrameError` immediately."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> list[Any]:
+        self._buffer.extend(chunk)
+        messages: list[Any] = []
+        header = len(MAGIC) + _LEN.size
+        while True:
+            if len(self._buffer) < header:
+                break
+            if bytes(self._buffer[:len(MAGIC)]) != MAGIC:
+                raise FrameError("bad frame magic in stream")
+            (length,) = _LEN.unpack_from(self._buffer, len(MAGIC))
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(f"frame length {length} exceeds cap")
+            if len(self._buffer) < header + length:
+                break  # torn frame: wait for the rest
+            payload = bytes(self._buffer[header:header + length])
+            del self._buffer[:header + length]
+            messages.append(_decode_payload(payload))
+        return messages
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)

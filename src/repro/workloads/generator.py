@@ -50,6 +50,11 @@ class DriverConfig:
     warmup_ms: float = 2_000.0
     #: Extra virtual time allowed for in-flight requests to finish.
     drain_ms: float = 5_000.0
+    #: Stop as soon as every sent request has completed instead of
+    #: sitting out the full drain window.  Essential on the wall-clock
+    #: substrate, where an idle drain is real seconds, not free virtual
+    #: time.
+    stop_when_drained: bool = False
     seed: int = 23
 
 
@@ -109,7 +114,12 @@ class WorkloadDriver:
             sim.schedule(self._interarrival_ms(), arrive)
 
         sim.schedule(self._interarrival_ms(), arrive)
-        sim.run(until=end_at + self.config.drain_ms)
+        if self.config.stop_when_drained:
+            sim.run_until(
+                lambda: sim.now >= end_at and self.completed >= self.sent,
+                max_time=end_at + self.config.drain_ms)
+        else:
+            sim.run(until=end_at + self.config.drain_ms)
         return LoadResult(
             recorder=self.recorder,
             sent=self.sent,

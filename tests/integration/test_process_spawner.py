@@ -1,0 +1,106 @@
+"""Process-substrate parity: the serializability oracles re-run on real
+worker processes.
+
+The deterministic battery stays on the simulator; this subset proves
+the wire format, the replica protocol, and crash/recovery on the wall
+clock.  Real seconds per test, so the module is marked ``slow`` and
+excluded from tier 1 (CI's process-smoke job runs it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtimes.stateflow import (
+    CoordinatorConfig,
+    StateflowConfig,
+    StateflowRuntime,
+)
+from repro.workloads import Account
+
+pytestmark = pytest.mark.slow
+
+#: Real-time deadline for a test's full history to commit (wall ms).
+DEADLINE_MS = 90_000.0
+
+
+def _process_config(**overrides) -> StateflowConfig:
+    defaults = dict(
+        spawner="process", workers=3, exec_service_ms=0.0,
+        state_op_ms=0.0,
+        coordinator=CoordinatorConfig(
+            conflict_check_ms_per_txn=0.0, dispatch_ms_per_txn=0.0,
+            failure_detect_ms=2_000.0, snapshot_interval_ms=500.0))
+    defaults.update(overrides)
+    return StateflowConfig(**defaults)
+
+
+def test_transfers_serial_oracle_on_process_substrate(account_program):
+    """A concurrent transfer mix across real processes must end in a
+    state reachable by some serial order: conservation of the total,
+    non-negative balances, and exactly one reply per request."""
+    runtime = StateflowRuntime(account_program, config=_process_config())
+    try:
+        refs = runtime.preload(Account,
+                               [(f"acct-{i}", 100) for i in range(6)])
+        runtime.start()
+        plan = [(i % 6, (i * 3 + 1) % 6, 7 + i % 11) for i in range(40)]
+        replies: list[int] = []
+        for source, target, amount in plan:
+            if source == target:
+                target = (target + 1) % 6
+            runtime.submit(refs[source], "transfer", (amount, refs[target]),
+                           on_reply=lambda r: replies.append(r.request_id))
+        deadline = runtime.sim.now + DEADLINE_MS
+        assert runtime.sim.run_until(lambda: len(replies) >= len(plan),
+                                     max_time=deadline), (
+            f"only {len(replies)}/{len(plan)} replies before the deadline")
+        balances = [runtime.entity_state(ref)["balance"] for ref in refs]
+        assert sum(balances) == 600, balances
+        assert all(balance >= 0 for balance in balances), balances
+        assert len(set(replies)) == len(plan), "duplicated reply"
+    finally:
+        runtime.close()
+
+
+def test_crash_recovery_on_process_substrate(account_program):
+    """Kill a real worker process mid-history: the watchdog must
+    restore from the last snapshot, respawn + re-seed the process, and
+    the hot-key increment sum must come out exact (no lost or
+    double-applied commits)."""
+    runtime = StateflowRuntime(account_program, config=_process_config())
+    try:
+        (ref,) = runtime.preload(Account, [("hot", 0)])
+        runtime.start()
+        increments = [1 + (i % 9) for i in range(30)]
+        expected = sum(increments)
+        replies: list[int] = []
+
+        def submit(amount: int) -> None:
+            runtime.submit(ref, "add", (amount,),
+                           on_reply=lambda r: replies.append(r.request_id))
+
+        # First half, then a real SIGKILL-grade crash, then the rest.
+        for amount in increments[:10]:
+            submit(amount)
+        runtime.sim.run_until(lambda: len(replies) >= 5,
+                              max_time=runtime.sim.now + DEADLINE_MS)
+        victim = runtime.workers[1]
+        incarnation_before = victim.incarnation
+        runtime.fail_worker(1)
+        assert not victim.alive
+        for amount in increments[10:]:
+            submit(amount)
+        deadline = runtime.sim.now + DEADLINE_MS
+        assert runtime.sim.run_until(
+            lambda: (runtime.entity_state(ref) or {}).get("balance")
+            == expected and len(replies) >= len(increments),
+            max_time=deadline), (
+            f"balance {(runtime.entity_state(ref) or {}).get('balance')} "
+            f"!= {expected} ({len(replies)} replies)")
+        assert runtime.entity_state(ref)["balance"] == expected
+        assert victim.alive, "recovery should have respawned the worker"
+        assert victim.incarnation > incarnation_before
+        assert runtime.coordinator.recoveries >= 1
+    finally:
+        runtime.close()

@@ -1,0 +1,71 @@
+"""``fast_deepcopy``: the commit-path copy must keep deepcopy's
+isolation semantics while shallow-copying the flat shapes entity states
+overwhelmingly take."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.runtimes.state import (
+    TOMBSTONE,
+    _flat_scalar,
+    fast_deepcopy,
+    materialize_snapshot,
+)
+
+
+def test_scalars_pass_through() -> None:
+    for value in (None, True, 3, 2.5, "s", b"b", (1, "a", None)):
+        assert fast_deepcopy(value) is value
+
+
+def test_flat_dict_is_isolated_by_shallow_copy() -> None:
+    state = {"balance": 100, "name": "alice", "tags": ("a", "b")}
+    copied = fast_deepcopy(state)
+    assert copied == state
+    assert copied is not state
+    copied["balance"] = 0
+    assert state["balance"] == 100
+    # The fast path shares the (immutable) values themselves.
+    assert copied["tags"] is state["tags"]
+
+
+def test_nested_dict_falls_back_to_real_deepcopy() -> None:
+    state = {"history": [1, 2], "meta": {"k": "v"}}
+    copied = fast_deepcopy(state)
+    copied["history"].append(3)
+    copied["meta"]["k"] = "changed"
+    assert state["history"] == [1, 2]
+    assert state["meta"] == {"k": "v"}
+
+
+def test_mutable_non_dict_values_are_deep_copied() -> None:
+    value = [1, [2, 3]]
+    copied = fast_deepcopy(value)
+    copied[1].append(4)
+    assert value == [1, [2, 3]]
+
+
+def test_scalar_subclasses_do_not_take_the_fast_path() -> None:
+    class Sneaky(str):
+        pass
+
+    assert not _flat_scalar(Sneaky("x"))
+    assert not _flat_scalar((Sneaky("x"),))
+
+
+def test_tombstone_keeps_identity_through_copy_and_pickle() -> None:
+    assert fast_deepcopy(TOMBSTONE) is TOMBSTONE
+    copied = fast_deepcopy({"gone": TOMBSTONE})
+    assert copied["gone"] is TOMBSTONE
+    # Cross-process: the wire format pickles tombstones inside deltas,
+    # and receivers compare by identity.
+    assert pickle.loads(pickle.dumps(TOMBSTONE)) is TOMBSTONE
+
+
+def test_materialize_snapshot_copies_states() -> None:
+    payload = {("Account", "a"): {"balance": 1}}
+    flat = materialize_snapshot(payload)
+    assert flat == payload
+    flat[("Account", "a")]["balance"] = 99
+    assert payload[("Account", "a")]["balance"] == 1

@@ -1,0 +1,83 @@
+"""Spawner wiring: substrate resolution and the tier-1 process smoke.
+
+The heavyweight process-substrate parity battery (serial oracle,
+crash/recovery) lives in ``tests/integration/test_process_spawner.py``
+and is marked ``slow``; this file keeps a fast end-to-end smoke in
+tier 1 so a broken process path fails the default suite, not just CI's
+process-smoke job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.pipeline import compile_program
+from repro.faults import FaultPlan
+from repro.ir.events import EntityRef
+from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
+from repro.runtimes.stateflow.runtime import RuntimeExecutionError
+from repro.substrates import (
+    ProcessSpawner,
+    Simulation,
+    SimulatorSpawner,
+    WallClock,
+    make_spawner,
+)
+from repro.workloads import Account
+
+
+def test_make_spawner_resolves_names() -> None:
+    assert isinstance(make_spawner("simulator"), SimulatorSpawner)
+    assert isinstance(make_spawner("process"), ProcessSpawner)
+    instance = SimulatorSpawner()
+    assert make_spawner(instance) is instance
+
+
+def test_make_spawner_rejects_unknown_names() -> None:
+    with pytest.raises(ValueError, match="process"):
+        make_spawner("threads")
+
+
+def test_spawner_kernels() -> None:
+    assert isinstance(SimulatorSpawner().make_kernel(7), Simulation)
+    kernel = ProcessSpawner().make_kernel(7)
+    assert isinstance(kernel, WallClock)
+    assert SimulatorSpawner().wallclock is False
+    assert ProcessSpawner().wallclock is True
+
+
+def test_default_config_stays_on_the_simulator() -> None:
+    program = compile_program([Account])
+    runtime = StateflowRuntime(program)
+    assert isinstance(runtime.sim, Simulation)
+    assert runtime.spawner.name == "simulator"
+
+
+def test_fault_plan_rejected_on_process_spawner() -> None:
+    program = compile_program([Account])
+    with pytest.raises(RuntimeExecutionError, match="fault plans"):
+        StateflowRuntime(program, config=StateflowConfig(
+            spawner="process", fault_plan=FaultPlan(seed=1)))
+
+
+def test_process_substrate_smoke() -> None:
+    """End-to-end on real worker processes: create, read, transfer,
+    and committed state lands in the parent's authoritative store."""
+    program = compile_program([Account])
+    runtime = StateflowRuntime(program, config=StateflowConfig(
+        spawner="process", workers=2, exec_service_ms=0.0,
+        state_op_ms=0.0))
+    try:
+        runtime.preload(Account, [("alice", 100), ("bob", 50)])
+        runtime.start()
+        alice = EntityRef("Account", "alice")
+        bob = EntityRef("Account", "bob")
+        assert runtime.invoke(alice, "read").unwrap() == 100
+        assert runtime.invoke(alice, "transfer", 30, bob).unwrap() is True
+        assert runtime.invoke(alice, "read").unwrap() == 70
+        assert runtime.invoke(bob, "read").unwrap() == 80
+        # The parent-side store is authoritative.
+        assert runtime.entity_state(alice)["balance"] == 70
+        assert runtime.entity_state(bob)["balance"] == 80
+    finally:
+        runtime.close()

@@ -1,0 +1,217 @@
+"""Property tests for the process substrate's binary wire format.
+
+Every message type must survive an encode/decode round trip unchanged —
+including identity-sensitive payloads (``TOMBSTONE``), structured
+migration fragments (``SlotDelta``), and frames torn at arbitrary byte
+boundaries across ``FrameDecoder.feed`` calls.  Truncated or corrupt
+input must raise :class:`FrameError`, never yield a partial message.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtimes.state import TOMBSTONE, SlotDelta, StateDelta
+from repro.substrates.wire import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    Ack,
+    ApplyWrites,
+    CaptureSlot,
+    Deliver,
+    ExecuteSingleKey,
+    FrameDecoder,
+    FrameError,
+    InstallSlot,
+    Out,
+    Seed,
+    Shutdown,
+    SingleKeyDone,
+    SlotCaptured,
+    decode_frame,
+    encode_frame,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies: state values as they actually appear on the wire
+# ---------------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(), st.text(max_size=20),
+    st.binary(max_size=20),
+    st.floats(allow_nan=False, allow_infinity=False))
+
+_states = st.one_of(
+    _scalars,
+    st.just(TOMBSTONE),
+    st.dictionaries(st.text(max_size=8), _scalars, max_size=4),
+    st.lists(_scalars, max_size=4),
+    st.tuples(_scalars, _scalars))
+
+_keys = st.tuples(st.sampled_from(["Account", "Cart"]),
+                  st.one_of(st.integers(), st.text(max_size=8)))
+
+_write_sets = st.dictionaries(_keys, _states, max_size=5)
+
+_slot_deltas = st.builds(
+    SlotDelta,
+    slot=st.integers(min_value=0, max_value=127),
+    delta=st.builds(
+        StateDelta,
+        layers=st.tuples(st.dictionaries(_keys, _states, max_size=3))))
+
+
+def _messages() -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(Seed, payload=_write_sets, incarnation=st.integers(0, 5)),
+        st.builds(Deliver, events=st.lists(_states, max_size=4),
+                  incarnation=st.integers(0, 5)),
+        st.builds(ApplyWrites, writes=_write_sets,
+                  seq=st.integers(0, 1000), incarnation=st.integers(0, 5),
+                  ack=st.booleans()),
+        st.builds(ExecuteSingleKey, events=st.lists(_states, max_size=4),
+                  seq=st.integers(0, 1000)),
+        st.builds(CaptureSlot, slot=st.integers(0, 127),
+                  mode=st.sampled_from(["full", "incremental"]),
+                  seq=st.integers(0, 1000)),
+        st.builds(InstallSlot, slot=st.integers(0, 127),
+                  payload=st.one_of(_states, _slot_deltas),
+                  seq=st.integers(0, 1000)),
+        st.builds(Shutdown),
+        st.builds(Out, events=st.lists(_states, max_size=4)),
+        st.builds(Ack, seq=st.integers(0, 1000),
+                  incarnation=st.integers(0, 5)),
+        st.builds(SingleKeyDone, seq=st.integers(0, 1000),
+                  replies=st.lists(_states, max_size=3),
+                  writes=_write_sets),
+        st.builds(SlotCaptured, seq=st.integers(0, 1000),
+                  slot=st.integers(0, 127),
+                  fragment=st.one_of(_states, _slot_deltas)))
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(_messages())
+def test_round_trip_every_message_type(message) -> None:
+    decoded = decode_frame(encode_frame(message))
+    assert type(decoded) is type(message)
+    assert decoded == message
+
+
+def test_message_types_registry_is_exhaustive() -> None:
+    swept = {Seed, Deliver, ApplyWrites, ExecuteSingleKey, CaptureSlot,
+             InstallSlot, Shutdown, Out, Ack, SingleKeyDone, SlotCaptured}
+    assert set(MESSAGE_TYPES) == swept
+
+
+def test_tombstone_survives_by_identity() -> None:
+    message = ApplyWrites(writes={("Account", 1): TOMBSTONE,
+                                  ("Account", 2): {"balance": 7}})
+    decoded = decode_frame(encode_frame(message))
+    assert decoded.writes[("Account", 1)] is TOMBSTONE
+    assert decoded.writes[("Account", 2)] == {"balance": 7}
+
+
+def test_slot_delta_round_trip() -> None:
+    delta = SlotDelta(slot=9, delta=StateDelta(layers=(
+        {("Account", 1): {"balance": 10}},
+        {("Account", 1): TOMBSTONE})))
+    decoded = decode_frame(encode_frame(InstallSlot(slot=9, payload=delta)))
+    assert decoded.payload.slot == 9
+    merged = decoded.payload.delta.merged()
+    assert merged[("Account", 1)] is TOMBSTONE
+
+
+def test_out_of_band_buffers_round_trip() -> None:
+    blob = b"x" * 4096
+    message = Deliver(events=[pickle.PickleBuffer(blob)])
+    frame = encode_frame(message)
+    decoded = decode_frame(frame)
+    assert bytes(decoded.events[0]) == blob
+
+
+# ---------------------------------------------------------------------------
+# Streaming: torn frames, batched chunks
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_messages(), min_size=1, max_size=5),
+       st.integers(min_value=1, max_value=13))
+def test_decoder_reassembles_torn_frames(messages, chunk_size) -> None:
+    stream = b"".join(encode_frame(m) for m in messages)
+    decoder = FrameDecoder()
+    collected = []
+    for start in range(0, len(stream), chunk_size):
+        collected.extend(decoder.feed(stream[start:start + chunk_size]))
+    assert collected == messages
+    assert decoder.buffered_bytes == 0
+
+
+def test_decoder_holds_partial_frame() -> None:
+    frame = encode_frame(Ack(seq=7))
+    decoder = FrameDecoder()
+    assert decoder.feed(frame[:-1]) == []
+    assert decoder.buffered_bytes == len(frame) - 1
+    assert decoder.feed(frame[-1:]) == [Ack(seq=7)]
+
+
+# ---------------------------------------------------------------------------
+# Rejection: garbage must never decode
+# ---------------------------------------------------------------------------
+
+
+def test_truncated_frame_raises() -> None:
+    frame = encode_frame(Seed(payload={("Account", 1): {"v": 1}}))
+    for cut in (1, len(MAGIC), len(MAGIC) + 2, len(frame) - 1):
+        with pytest.raises(FrameError):
+            decode_frame(frame[:cut])
+
+
+def test_trailing_garbage_raises() -> None:
+    with pytest.raises(FrameError):
+        decode_frame(encode_frame(Ack(seq=1)) + b"junk")
+
+
+def test_bad_magic_raises() -> None:
+    frame = bytearray(encode_frame(Ack(seq=1)))
+    frame[0] ^= 0xFF
+    with pytest.raises(FrameError):
+        decode_frame(bytes(frame))
+    with pytest.raises(FrameError):
+        FrameDecoder().feed(bytes(frame))
+
+
+def test_corrupt_body_raises() -> None:
+    frame = bytearray(encode_frame(Ack(seq=1)))
+    frame[-1] ^= 0xFF  # smash the pickle body, keep the length honest
+    with pytest.raises(FrameError):
+        decode_frame(bytes(frame))
+
+
+def test_oversize_length_prefix_raises() -> None:
+    bogus = MAGIC + (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"\0" * 8
+    with pytest.raises(FrameError):
+        decode_frame(bogus)
+    with pytest.raises(FrameError):
+        FrameDecoder().feed(bogus)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=0, max_size=64))
+def test_random_garbage_never_decodes_silently(garbage) -> None:
+    try:
+        decoded = decode_frame(garbage)
+    except FrameError:
+        return
+    # The only way random bytes decode is by being a genuine frame.
+    assert decode_frame(encode_frame(decoded)) == decoded
