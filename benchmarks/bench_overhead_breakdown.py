@@ -46,7 +46,12 @@ def test_overhead_breakdown(benchmark):
         kwargs={"state_kbs": [50, 100, 150, 200], "operations": 300},
         rounds=1, iterations=1)
     emit("overhead_breakdown", format_overhead_table(rows))
+    # The wall-clock <1% claim lives here, in the benchmark tier, where
+    # timing ratios belong; tier 1 asserts the counted-operation
+    # structure instead.  share() is None only for unmeasured
+    # components — a real run measures all of them.
     for row in rows:
+        assert row.split_share is not None
         assert row.split_share < 0.01, (
             f"split instrumentation should be <1% of total at "
             f"{row.state_kb} kB; got {row.split_share:.2%}")

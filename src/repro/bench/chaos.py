@@ -145,6 +145,7 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
                    pipeline_depth: int | None = None,
                    snapshot_mode: str | None = None,
                    changelog: bool | None = None,
+                   autoscale: bool = False,
                    drain_ms: float = 30_000.0,
                    bucket_ms: float = 250.0) -> ChaosReport:
     """Run one chaos cell; ``plan=None`` generates ``random_plan(seed)``.
@@ -180,6 +181,10 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
             overrides["snapshot_mode"] = snapshot_mode
         if changelog is not None:
             overrides["changelog"] = changelog
+        if autoscale:
+            # Chaos under a closed loop: the controller's decisions must
+            # compose with (and survive) the injected failures.
+            overrides["autoscale"] = True
     runtime = build_runtime(system, program, seed=seed, **overrides)
 
     trace: list[tuple] = []

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
+from typing import Callable
 
 from ..compiler.pipeline import compile_program
 from ..core.entity import entity
@@ -53,30 +55,44 @@ class Blob:
 
 @dataclass(slots=True)
 class OverheadRow:
-    """Breakdown for one state size."""
+    """Breakdown for one state size.
+
+    ``component_ms``/``component_counts`` hold *measured* components
+    only; a component the run never timed is absent, and ``share``
+    reports it as ``None`` rather than 0.0 — "we didn't measure it" is
+    not the same claim as "it was free".
+    """
 
     state_kb: int
     operations: int
     total_ms: float
     component_ms: dict[str, float]
+    component_counts: dict[str, int] = dataclass_field(default_factory=dict)
 
-    def share(self, component: str) -> float:
-        if self.total_ms == 0:
-            return 0.0
-        return self.component_ms.get(component, 0.0) / self.total_ms
+    def share(self, component: str) -> float | None:
+        if component not in self.component_ms or self.total_ms == 0:
+            return None
+        return self.component_ms[component] / self.total_ms
 
     @property
-    def split_share(self) -> float:
+    def split_share(self) -> float | None:
         return self.share("split_instrumentation")
 
 
 def run_overhead_breakdown(state_kbs: list[int] | None = None,
-                           operations: int = 300) -> list[OverheadRow]:
-    """Measure the runtime component breakdown for each state size."""
+                           operations: int = 300,
+                           *, clock: Callable[[], float] | None = None,
+                           ) -> list[OverheadRow]:
+    """Measure the runtime component breakdown for each state size.
+
+    ``clock`` overrides the instrumentation time source (default: wall
+    clock); tests inject a deterministic counter so assertions don't
+    ride on scheduler jitter."""
     program = compile_program([Blob])
     rows = []
     for state_kb in state_kbs or [50, 100, 150, 200]:
-        instrumentation = Instrumentation()
+        instrumentation = (Instrumentation(clock=clock) if clock is not None
+                           else Instrumentation())
         runtime = LocalRuntime(program, instrumentation=instrumentation)
         ref = runtime.create(Blob, f"blob-{state_kb}", state_kb * 1024)
         # Measure steady-state operations only: reset after the create.
@@ -89,8 +105,9 @@ def run_overhead_breakdown(state_kbs: list[int] | None = None,
             state_kb=state_kb,
             operations=operations,
             total_ms=total_s * 1000.0,
-            component_ms={c: instrumentation.components.get(c, 0.0) * 1000.0
-                          for c in COMPONENTS}))
+            component_ms={c: seconds * 1000.0 for c, seconds
+                          in instrumentation.components.items()},
+            component_counts=dict(instrumentation.counts)))
     return rows
 
 
@@ -190,6 +207,7 @@ def format_overhead_table(rows: list[OverheadRow]) -> str:
     for row in rows:
         cells = [str(row.state_kb).ljust(9), str(row.operations).ljust(9),
                  f"{row.total_ms:.1f}".ljust(9)]
-        cells += [f"{row.share(c) * 100:.2f}".ljust(22) for c in COMPONENTS]
+        cells += ["n/a".ljust(22) if (share := row.share(c)) is None
+                  else f"{share * 100:.2f}".ljust(22) for c in COMPONENTS]
         lines.append("  ".join(cells))
     return "\n".join(lines)

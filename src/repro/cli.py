@@ -16,6 +16,9 @@ Commands:
   ``--cell recovery`` sweeps snapshot mode (full/incremental) against
   state size, measuring snapshot bytes/cut and recovery time, and
   writes ``BENCH_recovery.json`` with the <= 0.25x capture-volume gate;
+  ``--cell autoscale`` drives a zipfian rate/skew ramp twice — once
+  with the closed-loop controller, once at fixed size — and writes
+  ``BENCH_autoscale.json`` with the post-scale p99-SLO gate;
 - ``chaos plan --seed N --out plan.json`` — generate a reproducible
   random fault plan;
 - ``chaos run [--plan plan.json] [--seed N] ...`` — execute a workload
@@ -33,7 +36,11 @@ Commands:
 committed-state backend (see :mod:`repro.runtimes.state`),
 ``--faults plan.json`` to run under a fault plan (see
 :mod:`repro.faults`), and ``--rescale plan.json`` to resize the cluster
-mid-run (StateFlow only; see :mod:`repro.rescale`).  ``bench``,
+mid-run (StateFlow only; see :mod:`repro.rescale`).  ``bench`` and
+``chaos run`` accept ``--autoscale`` to attach the closed-loop
+controller that sizes the cluster itself (see :mod:`repro.control`);
+it does not compose with ``--rescale`` (two scaling authorities would
+fight over the same barrier).  ``bench``,
 ``chaos run`` and ``rescale run`` accept ``--pipeline-depth N`` to set
 the StateFlow epoch pipeline's bound (1 = the strictly serial
 pre-pipeline batching), ``--snapshot-mode full|incremental`` to pick
@@ -160,6 +167,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("note: the Local runtime is in-process by definition; "
               "--spawner applies to `repro bench` (stateflow)",
               file=sys.stderr)
+    if args.autoscale:
+        print("note: the Local runtime is single-process; --autoscale "
+              "applies to `repro bench` / `repro chaos run` "
+              "(stateflow)", file=sys.stderr)
     runtime = LocalRuntime(program, state_backend=args.state_backend,
                            fault_plan=_load_fault_plan(args.faults))
     call_args = [_parse_literal(a) for a in args.args]
@@ -177,6 +188,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The supported cell/spawner matrix, spelled out in every rejection so
+#: an invalid invocation tells the user what *would* work.
+SPAWNER_MATRIX = (
+    "valid combinations: --spawner simulator (the default) runs every "
+    "cell (ycsb / pipeline / recovery / autoscale) and composes with "
+    "--faults, --rescale and --autoscale; --spawner process runs "
+    "--system stateflow with --cell ycsb (optionally --autoscale) or "
+    "--cell pipeline, and rejects --faults/--rescale and the "
+    "recovery/autoscale cells (they drive virtual-time simulator "
+    "internals)")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (default_state_backend, format_table, run_ycsb_cell,
                         write_bench_artifact)
@@ -188,15 +211,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"repro bench: error: unknown state backend {backend!r}; "
             f"choose from {sorted(BACKENDS)}")
+    if args.autoscale and args.rescale is not None:
+        raise SystemExit("repro bench: error: --autoscale does not "
+                         "compose with --rescale (the closed-loop "
+                         "controller and a declarative plan would fight "
+                         "over the same rescale barrier); pick one "
+                         "scaling authority")
+    if args.autoscale and args.system != "stateflow":
+        raise SystemExit("repro bench: error: --autoscale requires "
+                         "--system stateflow (the elastic runtime)")
     if args.spawner != "simulator":
         if args.system != "stateflow":
             raise SystemExit("repro bench: error: --spawner process "
                              "requires --system stateflow (the runtime "
-                             "with a process substrate)")
+                             "with a process substrate); "
+                             + SPAWNER_MATRIX)
         if args.faults is not None or args.rescale is not None:
             raise SystemExit("repro bench: error: --spawner process does "
                              "not compose with --faults/--rescale (fault "
-                             "plans drive simulator internals)")
+                             "plans drive simulator internals); "
+                             + SPAWNER_MATRIX)
+        if args.cell in ("recovery", "autoscale"):
+            raise SystemExit(f"repro bench: error: --cell {args.cell} "
+                             "is simulator-only (its sweep measures "
+                             "virtual-time behaviour deterministically); "
+                             + SPAWNER_MATRIX)
+    if args.cell == "autoscale":
+        if args.system != "stateflow":
+            raise SystemExit("repro bench: error: --cell autoscale runs "
+                             "on stateflow (the elastic runtime); "
+                             + SPAWNER_MATRIX)
+        if args.faults is not None or args.rescale is not None:
+            raise SystemExit("repro bench: error: --cell autoscale does "
+                             "not compose with --faults/--rescale (use "
+                             "`repro chaos run --autoscale` for "
+                             "controller-under-chaos; the cell owns its "
+                             "scaling authority)")
+        if args.pipeline_depth is not None or args.snapshot_mode is not None:
+            raise SystemExit("repro bench: error: --cell autoscale runs "
+                             "canonical configurations; drop "
+                             "--pipeline-depth/--snapshot-mode")
+        return _run_autoscale_cell(args, backend)
     if args.cell == "pipeline":
         # The sweep owns the depth axis and the saturating deployment;
         # flags it cannot honour are rejected, not silently dropped.
@@ -211,11 +266,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                              "not compose with --faults/--rescale (use "
                              "`repro chaos run --pipeline-depth` / "
                              "`repro rescale run --pipeline-depth`)")
+        if args.autoscale:
+            raise SystemExit("repro bench: error: --cell pipeline "
+                             "measures a fixed deployment per depth; "
+                             "drop --autoscale (the autoscale cell is "
+                             "`repro bench --cell autoscale`)")
         return _run_pipeline_cell(args, backend)
     if args.cell == "recovery":
         if args.system != "stateflow":
             raise SystemExit("repro bench: error: --cell recovery runs "
                              "on stateflow (the snapshotting runtime)")
+        if args.autoscale:
+            raise SystemExit("repro bench: error: --cell recovery "
+                             "measures fixed-size recovery; drop "
+                             "--autoscale")
         if args.snapshot_mode is not None:
             raise SystemExit("repro bench: error: --cell recovery sweeps "
                              "full and incremental itself; drop "
@@ -249,6 +313,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["snapshot_mode"] = args.snapshot_mode
     if args.changelog is not None:
         overrides["changelog"] = args.changelog == "on"
+    if args.autoscale:
+        overrides["autoscale"] = True
     row = run_ycsb_cell(args.system, args.workload, args.distribution,
                         rps=args.rps if args.rps is not None else 100.0,
                         duration_ms=(args.duration_ms
@@ -370,6 +436,34 @@ def _run_recovery_cell(args: argparse.Namespace, backend: str) -> int:
     return 0 if report.ok else 1
 
 
+def _run_autoscale_cell(args: argparse.Namespace, backend: str) -> int:
+    """``repro bench --cell autoscale``: the zipfian ramp, autoscaled
+    vs fixed, persisted as ``BENCH_autoscale.json``."""
+    from .bench import (format_autoscale_summary, run_autoscale_bench,
+                        write_bench_artifact)
+
+    artifact, scaled, _fixed = run_autoscale_bench(
+        state_backend=backend, seed=args.seed)
+    title = (f"autoscale ramp: YCSB A/zipfian "
+             f"(theta {artifact['ramp'][0]['theta']} -> "
+             f"{artifact['ramp'][-1]['theta']}), {backend} backend")
+    print(title)
+    print("-" * len(title))
+    lines = ["mode       phase  rps    theta  p99_ms   workers  rescales"]
+    for mode in ("autoscale", "fixed"):
+        for row in artifact["runs"][mode]["rows"]:
+            lines.append(
+                f"{mode:<9}  {row['phase']:<5}  {row['rps']:<5.0f}  "
+                f"{row['theta']:<5}  {row['p99_ms']:<7.1f}  "
+                f"{row['workers_at_end']:<7}  {row['rescales_so_far']}")
+    print("\n".join(lines))
+    print()
+    print(format_autoscale_summary(artifact))
+    path = write_bench_artifact("autoscale", artifact)
+    print(f"wrote {path}")
+    return 0 if artifact["gates"]["closed_loop_proven"] else 1
+
+
 def _cmd_chaos_plan(args: argparse.Namespace) -> int:
     plan = random_plan(args.seed, duration_ms=args.duration_ms,
                        workers=args.workers, intensity=args.intensity,
@@ -396,6 +490,9 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     if args.snapshot_mode is not None and args.system != "stateflow":
         raise SystemExit("repro chaos run: error: --snapshot-mode "
                          "requires --system stateflow")
+    if args.autoscale and args.system != "stateflow":
+        raise SystemExit("repro chaos run: error: --autoscale requires "
+                         "--system stateflow (the elastic runtime)")
     report = run_chaos_cell(
         args.system, args.workload, args.distribution, rps=args.rps,
         duration_ms=args.duration_ms, record_count=args.records,
@@ -403,7 +500,8 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         pipeline_depth=args.pipeline_depth,
         snapshot_mode=args.snapshot_mode,
         changelog=(None if args.changelog is None
-                   else args.changelog == "on"))
+                   else args.changelog == "on"),
+        autoscale=args.autoscale)
     columns = ["system", "workload", "state_backend", "rps", "p50_ms",
                "p99_ms", "completed", "errors", "recoveries",
                "recovery_time_ms", "availability"]
@@ -511,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["simulator", "process"],
                          help="execution substrate (ignored by the "
                               "Local runtime; see `repro bench`)")
+    run_cmd.add_argument("--autoscale", action="store_true",
+                         help="closed-loop autoscaling (ignored by the "
+                              "Local runtime; see `repro bench` / "
+                              "`repro chaos run`)")
     run_cmd.set_defaults(handler=_cmd_run)
 
     bench_cmd = commands.add_parser(
@@ -555,14 +657,22 @@ def build_parser() -> argparse.ArgumentParser:
                                 "'simulator' = deterministic virtual "
                                 "time; 'process' = real worker "
                                 "processes on the wall clock")
+    bench_cmd.add_argument("--autoscale", action="store_true",
+                           help="attach the closed-loop autoscaling "
+                                "controller (stateflow only; does not "
+                                "compose with --rescale)")
     bench_cmd.add_argument("--cell", default="ycsb",
-                           choices=["ycsb", "pipeline", "recovery"],
+                           choices=["ycsb", "pipeline", "recovery",
+                                    "autoscale"],
                            help="'pipeline' sweeps depth 1/2/4 on a "
                                 "saturating YCSB-A/zipfian cell and "
                                 "writes BENCH_pipeline.json; 'recovery' "
                                 "sweeps full-vs-incremental snapshots "
                                 "against state size and writes "
-                                "BENCH_recovery.json")
+                                "BENCH_recovery.json; 'autoscale' "
+                                "drives a zipfian rate/skew ramp with "
+                                "and without the closed-loop controller "
+                                "and writes BENCH_autoscale.json")
     bench_cmd.set_defaults(handler=_cmd_bench)
 
     chaos_cmd = commands.add_parser(
@@ -620,6 +730,11 @@ def build_parser() -> argparse.ArgumentParser:
                                choices=["on", "off"],
                                help="commit changelog toggle (stateflow "
                                     "only)")
+    chaos_run_cmd.add_argument("--autoscale", action="store_true",
+                               help="attach the closed-loop autoscaling "
+                                    "controller (stateflow only): its "
+                                    "decisions must survive the plan's "
+                                    "failures")
     chaos_run_cmd.set_defaults(handler=_cmd_chaos_run)
 
     rescale_cmd = commands.add_parser(

@@ -1,0 +1,19 @@
+"""Closed-loop capacity control for the StateFlow runtime.
+
+``repro.control`` watches the cluster (windowed commit-rate / queue /
+batch-latency metrics differenced out of ``AriaStats``) and drives it
+(``request_rescale`` through the coordinator's existing rescale
+barrier).  The paper promises a runtime that "scales to the cloud";
+this package is the part that actually pulls the lever.
+"""
+
+from .metrics import MetricsSampler, WindowSample
+from .policy import AutoscaleController, AutoscaleDecision, AutoscalePolicy
+
+__all__ = [
+    "AutoscaleController",
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "MetricsSampler",
+    "WindowSample",
+]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Protocol
+from typing import Any, Callable, Protocol
 
 from ..compiler.blocks import (
     BranchTerminator,
@@ -53,11 +53,18 @@ MapStateAccess = DictStateBackend
 
 @dataclass(slots=True)
 class Instrumentation:
-    """Wall-clock accumulator for the overhead-breakdown experiment
-    (paper Section 4, "System overhead")."""
+    """Duration accumulator for the overhead-breakdown experiment
+    (paper Section 4, "System overhead").
+
+    ``clock`` is the time source the executor reads around each measured
+    region; it defaults to the wall clock but is injectable, so tests
+    can drive the breakdown with a deterministic counter instead of
+    asserting on load-sensitive ``perf_counter`` ratios.
+    """
 
     components: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    clock: Callable[[], float] = time.perf_counter
 
     def add(self, component: str, seconds: float) -> None:
         self.components[component] = self.components.get(component, 0.0) + seconds
@@ -66,11 +73,15 @@ class Instrumentation:
     def total(self) -> float:
         return sum(self.components.values())
 
-    def share(self, component: str) -> float:
+    def share(self, component: str) -> float | None:
+        """Measured share of the total, or ``None`` when the component
+        was never measured (or nothing was) — an absent measurement is
+        unknown, not free, and conflating the two let a breakdown
+        claim 0 % for work it simply never timed."""
         total = self.total()
-        if total == 0:
-            return 0.0
-        return self.components.get(component, 0.0) / total
+        if component not in self.components or total == 0:
+            return None
+        return self.components[component] / total
 
 
 class OperatorExecutor:
@@ -170,7 +181,7 @@ class OperatorExecutor:
         method = compiled.method(frame.method)
         is_constructor = frame.method == "__init__"
 
-        started = time.perf_counter() if self._instr else 0.0
+        started = self._instr.clock() if self._instr else 0.0
         if is_constructor:
             entity_state: dict[str, Any] | None = {}
             instance = compiled.blank_instance()
@@ -182,7 +193,7 @@ class OperatorExecutor:
             instance = compiled.make_instance(entity_state)
         if self._instr:
             self._instr.add("object_construction",
-                            time.perf_counter() - started)
+                            self._instr.clock() - started)
 
         while True:
             outcome = self._execute_block(method, frame, instance)
@@ -221,17 +232,17 @@ class OperatorExecutor:
 
     def _execute_block(self, method: CompiledMethod, frame: Frame,
                        instance: Any):
-        started = time.perf_counter() if self._instr else 0.0
+        started = self._instr.clock() if self._instr else 0.0
         outcome = method.execute_block(frame.node, instance, frame.store)
         if self._instr:
             self._instr.add("function_execution",
-                            time.perf_counter() - started)
+                            self._instr.clock() - started)
         return outcome
 
     def _flush_state(self, compiled: CompiledEntity, instance: Any,
                      frame: Frame, state: StateAccess,
                      *, create: bool = False) -> None:
-        started = time.perf_counter() if self._instr else 0.0
+        started = self._instr.clock() if self._instr else 0.0
         new_state = compiled.extract_state(instance)
         if self._check_serializable:
             check_serializable(new_state)
@@ -239,9 +250,9 @@ class OperatorExecutor:
         if self._instr:
             # The overhead experiment attributes the wire/storage codec
             # cost separately; it grows with the entity's state size.
-            serde_started = time.perf_counter()
+            serde_started = self._instr.clock()
             dumps(new_state)
-            serde_duration = time.perf_counter() - serde_started
+            serde_duration = self._instr.clock() - serde_started
             self._instr.add("state_serde", serde_duration)
         if create:
             state.create(frame.entity, compiled.key_of_state(new_state),
@@ -250,7 +261,7 @@ class OperatorExecutor:
             state.put(frame.entity, frame.key, new_state)
         if self._instr:
             self._instr.add("state_storage",
-                            time.perf_counter() - started - serde_duration)
+                            self._instr.clock() - started - serde_duration)
 
     # -- terminator handlers -------------------------------------------------
     def _finish_return(self, event: Event, execution: ExecutionState,
@@ -272,11 +283,11 @@ class OperatorExecutor:
         # the overhead experiment) is just the frame pop; reply/resume
         # event assembly happens for unsplit functions too and counts as
         # runtime messaging.
-        started = time.perf_counter() if self._instr else 0.0
+        started = self._instr.clock() if self._instr else 0.0
         execution.pop()
         if self._instr:
             self._instr.add("split_instrumentation",
-                            time.perf_counter() - started)
+                            self._instr.clock() - started)
         if execution.depth == 0:
             return [Event(kind=EventKind.REPLY,
                           target=EntityRef("__client__", event.request_id),
@@ -294,7 +305,7 @@ class OperatorExecutor:
                         instance: Any, frame: Frame, outcome,
                         terminator: InvokeTerminator) -> list[Event]:
         self._flush_state(compiled, instance, frame, state)
-        started = time.perf_counter() if self._instr else 0.0
+        started = self._instr.clock() if self._instr else 0.0
         frame.store = outcome.store
         frame.node = terminator.continuation
         frame.result_var = terminator.result_var
@@ -313,7 +324,7 @@ class OperatorExecutor:
                        txn=event.txn, ingress_time=event.ingress_time)
         if self._instr:
             self._instr.add("split_instrumentation",
-                            time.perf_counter() - started)
+                            self._instr.clock() - started)
         return [invoke]
 
     def _suspend_construct(self, event: Event, execution: ExecutionState,

@@ -197,12 +197,25 @@ class AriaStats:
     fallback_runs: int = 0
     #: Transactions that took the single-key path (no reservations).
     single_key: int = 0
+    #: Single-key transactions whose key the autoscaler currently
+    #: classifies as *hot* — the zipfian head served by the fast path.
+    single_key_hot: int = 0
     #: Pipelined-epoch telemetry: how many batches were in flight at
     #: each seal ({depth: seals observed at that depth}) ...
     depth_hist: dict[int, int] = field(default_factory=dict)
     #: ... and how long execution-complete batches sat waiting for the
     #: ordered commit region (the pipeline's structural stall).
     stall_ms: float = 0.0
+    #: Batch-latency telemetry for the autoscaler: cumulative
+    #: open->close latency over ``closed_batches`` closed batches.
+    closed_batches: int = 0
+    batch_latency_ms: float = 0.0
+    #: Commit-locus telemetry: committed transactions per state slot and
+    #: per key (cumulative; the autoscaler windows these by deltas).
+    #: Populated only while an autoscaler is attached — the commit path
+    #: stays allocation-free otherwise.
+    slot_commits: dict[int, int] = field(default_factory=dict)
+    key_commits: dict[Key, int] = field(default_factory=dict)
 
     def observe(self, report: ConflictReport) -> None:
         self.batches += 1
@@ -220,6 +233,16 @@ class AriaStats:
         """Record the pipeline depth (batches in flight) at a seal."""
         self.depth_hist[inflight_depth] = (
             self.depth_hist.get(inflight_depth, 0) + 1)
+
+    def observe_close(self, latency_ms: float) -> None:
+        """Record one batch's open->close latency."""
+        self.closed_batches += 1
+        self.batch_latency_ms += latency_ms
+
+    def observe_locus(self, slot: int, key: Key) -> None:
+        """Record the state locus of one committed transaction."""
+        self.slot_commits[slot] = self.slot_commits.get(slot, 0) + 1
+        self.key_commits[key] = self.key_commits.get(key, 0) + 1
 
     @property
     def abort_rate(self) -> float:

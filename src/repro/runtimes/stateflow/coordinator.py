@@ -246,11 +246,20 @@ class Coordinator:
 
     def __init__(self, sim: Simulation, committed: StateBackend,
                  hooks: CoordinatorHooks,
-                 config: CoordinatorConfig | None = None):
+                 config: CoordinatorConfig | None = None,
+                 autoscaler: Any = None):
         self.sim = sim
         self.committed = committed
         self.hooks = hooks
         self.config = config or CoordinatorConfig()
+        #: Closed-loop capacity controller (an
+        #: :class:`~repro.control.AutoscaleController`), or ``None`` for
+        #: operator-driven clusters.  When attached, the commit path
+        #: feeds per-slot/per-key loci into ``stats`` and a control tick
+        #: turns the windowed load into autonomous ``request_rescale``
+        #: calls.
+        self.autoscaler = autoscaler
+        self._slot_of = getattr(committed, "slot_of", None)
         self.cpu = CpuPool(sim, 1, name="coordinator")
         self.snapshots = SnapshotStore(
             mode=self.config.snapshot_mode,
@@ -353,6 +362,12 @@ class Coordinator:
                             self._tick_snapshot)
         self._schedule_tick(self.config.failure_detect_ms / 2,
                             self._tick_watchdog)
+        if self.autoscaler is not None:
+            # Registered here, not in __init__, so the control loop is
+            # re-armed by failover() exactly like every other tick — an
+            # autoscaler survives the coordinator it advises.
+            self._schedule_tick(self.autoscaler.policy.sample_interval_ms,
+                                self._tick_autoscale)
 
     def stop(self) -> None:
         self._running = False
@@ -504,6 +519,10 @@ class Coordinator:
             if self.hooks.is_single_key(txn.target.entity, txn.method):
                 batch.single.append(txn)
                 self.stats.single_key += 1
+                if (self.autoscaler is not None
+                        and self.autoscaler.is_hot_key(
+                            txn.target.entity, txn.target.key)):
+                    self.stats.single_key_hot += 1
             else:
                 batch.txns[tid] = txn
                 batch.outstanding.add(tid)
@@ -665,6 +684,7 @@ class Coordinator:
                         # sort, so retried work still goes first.
                         self.pending.append(txn)
             else:
+                self._observe_commit(txn.target.entity, txn.target.key)
                 self._enqueue_reply(txn, error=txn.error)
         # Aria's fallback: re-execute the conflict-aborted transactions
         # serially, in TID order, against live state — after the
@@ -702,6 +722,7 @@ class Coordinator:
                 txn.done = True
                 txn.result = reply.payload
                 txn.error = reply.error
+                self._observe_commit(txn.target.entity, txn.target.key)
                 self._enqueue_reply(txn, error=txn.error)
             remaining["count"] -= 1
             if remaining["count"] == 0:
@@ -727,6 +748,7 @@ class Coordinator:
         if batch is not None:
             self.inflight.pop(batch.batch_id, None)
             self._last_closed = batch.batch_id
+            self.stats.observe_close(self.sim.now - batch.started_at)
             self._append_changelog(batch)
             if self.config.pipeline_depth > 1:
                 self._footprints[batch.batch_id] = frozenset(batch.footprint)
@@ -823,6 +845,7 @@ class Coordinator:
                 buckets.setdefault(worker, {})[(entity, key)] = value
                 batch.footprint.add((entity, key))
         if not buckets:
+            self._observe_commit(txn.target.entity, txn.target.key)
             self._enqueue_reply(txn, error=txn.error)
             self._fallback_next(batch)
             return
@@ -831,11 +854,52 @@ class Coordinator:
         def one_ack() -> None:
             remaining["count"] -= 1
             if remaining["count"] == 0 and self._commit_batch is batch:
+                self._observe_commit(txn.target.entity, txn.target.key)
                 self._enqueue_reply(txn, error=txn.error)
                 self._fallback_next(batch)
 
         for worker, writes in buckets.items():
             self.hooks.apply_writes(worker, writes, one_ack)
+
+    # -- closed-loop autoscaling -------------------------------------------
+    def _observe_commit(self, entity: str, key: Any) -> None:
+        """Feed one committed transaction's locus to the autoscaler's
+        windowed stats.  No-op (and allocation-free) without one."""
+        if self.autoscaler is None:
+            return
+        slot = self._slot_of(entity, key) if self._slot_of is not None else 0
+        self.stats.observe_locus(slot, (entity, key))
+
+    def _queue_depth(self) -> int:
+        """Coordinator backlog: pending txns plus txns inside in-flight
+        batches (multi-key and single-key alike)."""
+        return len(self.pending) + sum(
+            len(batch.txns) + len(batch.single)
+            for batch in self.inflight.values())
+
+    def _tick_autoscale(self) -> None:
+        """One control tick: window the cumulative stats, let the policy
+        judge, and turn any decision into a ``request_rescale``.
+
+        Skipped while recovering (a paused pipeline is not idleness);
+        the next window simply stretches across the pause — the sampler
+        differences cumulative counters, so rates stay correct.  While a
+        rescale is queued or migrating the controller still samples (its
+        hysteresis streaks keep accumulating) but is barred from
+        deciding, so intents never pile up behind the barrier."""
+        if self.crashed or self.recovering or self.autoscaler is None:
+            return
+        assignment = getattr(self.committed, "assignment", None)
+        workers = assignment.workers if assignment is not None else 1
+        slot_owner = (dict(enumerate(assignment.owners))
+                      if assignment is not None else None)
+        decision = self.autoscaler.observe(
+            now_ms=self.sim.now, stats=self.stats,
+            queue_depth=self._queue_depth(), workers=workers,
+            busy=self.rescaling or bool(self._rescale_requests),
+            slot_owner=slot_owner)
+        if decision is not None:
+            self.request_rescale(decision.to_workers)
 
     # -- elastic rescaling -------------------------------------------------
     def request_rescale(self, workers: int) -> None:

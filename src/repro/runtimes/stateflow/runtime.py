@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from ...compiler.pipeline import CompiledProgram
+from ...control import AutoscaleController, AutoscalePolicy
 from ...core.errors import RuntimeExecutionError
 from ...core.refs import EntityRef
 from ...faults import FaultInjector, FaultPlan
@@ -99,6 +100,14 @@ class StateflowConfig:
     #: Declarative elastic-rescale schedule; ``None`` = a fixed-size
     #: cluster.  See :mod:`repro.rescale`.
     rescale_plan: RescalePlan | None = None
+    #: Closed-loop autoscaling (``--autoscale``): attach an
+    #: :class:`~repro.control.AutoscaleController` that samples windowed
+    #: load off the coordinator's commit path and issues its own
+    #: ``request_rescale`` calls.  See :mod:`repro.control`.
+    autoscale: bool = False
+    #: Policy knobs for the controller; supplying a policy implies
+    #: ``autoscale`` (``None`` = the defaults when enabled).
+    autoscale_policy: "AutoscalePolicy | None" = None
     sync_wait_ms: float = 120_000.0
 
 
@@ -166,8 +175,18 @@ class StateflowRuntime(Runtime):
             execute_single_key=self._execute_single_key,
             set_worker_count=self._set_worker_count,
             migrate_slot=self._migrate_slot)
+        #: The closed-loop capacity controller, when enabled (a supplied
+        #: policy implies enablement).  One controller per runtime: its
+        #: windowed sampler state and decision log live outside the
+        #: coordinator, so they survive coordinator crash/failover and
+        #: the re-armed control tick resumes with its streak history.
+        self.autoscaler: AutoscaleController | None = None
+        if self.config.autoscale or self.config.autoscale_policy is not None:
+            self.autoscaler = AutoscaleController(
+                self.config.autoscale_policy)
         self.coordinator = Coordinator(self.sim, self.committed, hooks,
-                                       self.config.coordinator)
+                                       self.config.coordinator,
+                                       autoscaler=self.autoscaler)
         if self.config.rescale_plan is not None:
             for step in self.config.rescale_plan.validate().steps:
                 self.sim.schedule_at(

@@ -8,6 +8,7 @@ usual skew parameter theta = 0.99.
 
 from __future__ import annotations
 
+import bisect
 import math
 import random
 
@@ -44,6 +45,12 @@ class ZipfianDistribution(KeyDistribution):
     key space by a multiplicative hash (YCSB's "scrambled" flavour is
     optional via ``scramble=True``) so hot keys do not cluster in one
     partition.
+
+    Gray's rejection-free formula only covers ``theta`` in (0, 1); for
+    ``theta >= 1`` (the heavy-skew end of the autoscale ramp, where the
+    hot key carries tens of percent of traffic) sampling falls back to
+    exact inversion of the precomputed CDF — one ``random()`` plus a
+    bisect per draw, equally deterministic under a seeded RNG.
     """
 
     name = "zipfian"
@@ -51,20 +58,33 @@ class ZipfianDistribution(KeyDistribution):
     def __init__(self, item_count: int, seed: int = 7,
                  theta: float = 0.99, scramble: bool = False):
         super().__init__(item_count, seed)
-        if not 0 < theta < 1:
-            raise ValueError("theta must be in (0, 1)")
+        if theta <= 0:
+            raise ValueError("theta must be > 0")
         self.theta = theta
         self.scramble = scramble
-        self._alpha = 1.0 / (1.0 - theta)
         self._zetan = self._zeta(item_count, theta)
-        self._zeta2 = self._zeta(2, theta)
-        if item_count <= 2:
-            # Gray's eta formula degenerates for tiny key spaces; the
-            # two-branch fast path below already covers ranks 0 and 1.
-            self._eta = 1.0
+        self._cdf: list[float] | None = None
+        if theta < 1:
+            self._alpha = 1.0 / (1.0 - theta)
+            self._zeta2 = self._zeta(2, theta)
+            if item_count <= 2:
+                # Gray's eta formula degenerates for tiny key spaces; the
+                # two-branch fast path below already covers ranks 0 and 1.
+                self._eta = 1.0
+            else:
+                self._eta = ((1 - (2.0 / item_count) ** (1 - theta))
+                             / (1 - self._zeta2 / self._zetan))
         else:
-            self._eta = ((1 - (2.0 / item_count) ** (1 - theta))
-                         / (1 - self._zeta2 / self._zetan))
+            self._alpha = 0.0
+            self._zeta2 = 0.0
+            self._eta = 0.0
+            total = 0.0
+            cdf = []
+            for rank in range(1, item_count + 1):
+                total += 1.0 / (rank ** theta) / self._zetan
+                cdf.append(total)
+            cdf[-1] = 1.0  # seal float drift so u=0.999... always lands
+            self._cdf = cdf
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
@@ -72,14 +92,17 @@ class ZipfianDistribution(KeyDistribution):
 
     def next_index(self) -> int:
         u = self.rng.random()
-        uz = u * self._zetan
-        if uz < 1.0:
-            rank = 0
-        elif uz < 1.0 + 0.5 ** self.theta:
-            rank = 1
+        if self._cdf is not None:
+            rank = bisect.bisect_right(self._cdf, u)
         else:
-            rank = int(self.item_count
-                       * (self._eta * u - self._eta + 1) ** self._alpha)
+            uz = u * self._zetan
+            if uz < 1.0:
+                rank = 0
+            elif uz < 1.0 + 0.5 ** self.theta:
+                rank = 1
+            else:
+                rank = int(self.item_count
+                           * (self._eta * u - self._eta + 1) ** self._alpha)
         rank = min(rank, self.item_count - 1)
         if not self.scramble:
             return rank

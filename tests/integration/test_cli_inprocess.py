@@ -155,6 +155,60 @@ def test_bench_pipeline_cell_rejects_unsupported_flags(tmp_path):
         main(["bench", "--cell", "pipeline", "--faults", plan_path])
 
 
+def test_bench_spawner_matrix_named_in_rejections(tmp_path):
+    """Every process-spawner rejection spells out the valid
+    cell/spawner matrix instead of just naming the offending flag."""
+    with pytest.raises(SystemExit, match="valid combinations"):
+        main(["bench", "--spawner", "process", "--system", "statefun"])
+    # The simulator-only cells are rejected explicitly (recovery used
+    # to silently ignore the spawner).
+    with pytest.raises(SystemExit, match="simulator-only"):
+        main(["bench", "--spawner", "process", "--cell", "recovery"])
+    with pytest.raises(SystemExit, match="simulator-only"):
+        main(["bench", "--spawner", "process", "--cell", "autoscale"])
+    plan_path = str(tmp_path / "plan.json")
+    assert main(["chaos", "plan", "--seed", "3", "--out", plan_path]) == 0
+    with pytest.raises(SystemExit, match="valid combinations"):
+        main(["bench", "--spawner", "process", "--faults", plan_path])
+
+
+def test_bench_autoscale_flag_rejections(tmp_path):
+    rescale_path = str(tmp_path / "rescale.json")
+    assert main(["rescale", "plan", "--targets", "3",
+                 "--out", rescale_path]) == 0
+    with pytest.raises(SystemExit, match="scaling authority"):
+        main(["bench", "--autoscale", "--rescale", rescale_path])
+    with pytest.raises(SystemExit, match="stateflow"):
+        main(["bench", "--system", "statefun", "--autoscale"])
+    with pytest.raises(SystemExit, match="autoscale"):
+        main(["bench", "--cell", "pipeline", "--autoscale"])
+    with pytest.raises(SystemExit, match="autoscale"):
+        main(["bench", "--cell", "recovery", "--autoscale"])
+    with pytest.raises(SystemExit, match="stateflow"):
+        main(["bench", "--cell", "autoscale", "--system", "statefun"])
+    with pytest.raises(SystemExit, match="pipeline-depth"):
+        main(["bench", "--cell", "autoscale", "--pipeline-depth", "2"])
+
+
+def test_chaos_run_autoscale_requires_stateflow():
+    with pytest.raises(SystemExit, match="autoscale"):
+        main(["chaos", "run", "--system", "statefun", "--autoscale"])
+
+
+def test_bench_ycsb_autoscale_flag(capsys):
+    assert main(["bench", "--autoscale", "--duration-ms", "800",
+                 "--rps", "120", "--records", "30"]) == 0
+    assert "YCSB" in capsys.readouterr().out
+
+
+def test_run_autoscale_flag_is_noted_and_ignored(module_path, capsys):
+    assert main(["run", module_path, "Gadget", "__init__", "-", '"g4"',
+                 "--autoscale"]) == 0
+    captured = capsys.readouterr()
+    assert "--autoscale applies to" in captured.err
+    assert "Gadget/g4" in captured.out
+
+
 def test_bench_pipeline_cell_honours_load_flags(capsys):
     assert main(["bench", "--cell", "pipeline", "--rps", "2000",
                  "--duration-ms", "250", "--records", "200",

@@ -56,7 +56,29 @@ class TestZipfian:
 
     def test_theta_bounds(self):
         with pytest.raises(ValueError):
-            ZipfianDistribution(10, theta=1.5)
+            ZipfianDistribution(10, theta=0.0)
+        with pytest.raises(ValueError):
+            ZipfianDistribution(10, theta=-0.5)
+
+    def test_heavy_skew_theta_uses_exact_inversion(self):
+        # theta >= 1 (outside Gray's formula) samples from the exact
+        # CDF: the empirical top-rank share must track 1/zeta_n.
+        heavy = ZipfianDistribution(500, seed=11, theta=1.3)
+        tally = TallyCounter(heavy.next_index() for _ in range(20_000))
+        top_share = tally[0] / 20_000
+        assert abs(top_share - heavy.expected_top_share()) < 0.02
+        # Skew is monotone in theta: rank 0 gets hotter, and every draw
+        # stays in range.
+        mild = ZipfianDistribution(500, seed=11, theta=0.99)
+        mild_tally = TallyCounter(mild.next_index() for _ in range(20_000))
+        assert top_share > mild_tally[0] / 20_000
+        assert all(0 <= rank < 500 for rank in tally)
+
+    def test_heavy_skew_is_deterministic(self):
+        a = ZipfianDistribution(200, seed=3, theta=1.1)
+        b = ZipfianDistribution(200, seed=3, theta=1.1)
+        assert [a.next_index() for _ in range(500)] == \
+            [b.next_index() for _ in range(500)]
 
     def test_scramble_spreads_hot_key(self):
         plain = ZipfianDistribution(100, seed=6)
