@@ -146,6 +146,7 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
                    snapshot_mode: str | None = None,
                    changelog: bool | None = None,
                    autoscale: bool = False,
+                   durability_dir: str | None = None,
                    drain_ms: float = 30_000.0,
                    bucket_ms: float = 250.0) -> ChaosReport:
     """Run one chaos cell; ``plan=None`` generates ``random_plan(seed)``.
@@ -185,6 +186,8 @@ def run_chaos_cell(system: str = "stateflow", workload_name: str = "T",
             # Chaos under a closed loop: the controller's decisions must
             # compose with (and survive) the injected failures.
             overrides["autoscale"] = True
+        if durability_dir is not None:
+            overrides["durability_dir"] = durability_dir
     runtime = build_runtime(system, program, seed=seed, **overrides)
 
     trace: list[tuple] = []

@@ -9,13 +9,26 @@ StateFlow runtime and returns a :class:`RecoveryReport`:
 - ``recovery_ms`` — the coordinator's pause for one injected fail-over
   at each state size (restore work is modelled per restored key, so the
   curve grows with state);
-- changelog volume (records and bytes appended);
+- changelog volume (records and bytes), reported *net of rewinds*: a
+  recovery drops the rolled-back suffix, and those records are moved to
+  the ``rewound`` side of the ledger instead of being double-counted as
+  retained volume;
 - the full-vs-incremental sweep: ``bytes_ratio`` per state size
   (incremental mean bytes/cut over full mean bytes/cut) with the
   acceptance gate *incremental <= 0.25x full at >= 10k keys*;
 - ``digests_match`` — both modes must produce byte-identical reply
   traces and final state for the same (seed, fail-over) run: the
-  durability path must be observationally invisible.
+  durability path must be observationally invisible;
+- a **disk leg** (``disk`` in the artifact): the incremental run at the
+  largest state size repeated with ``durability_dir`` set, measuring
+  what real files cost — bytes on disk, fsync count and wall time, and
+  the cold-start time to reopen the stores from disk and resolve the
+  latest recoverable cut, against the in-memory resolve time.  The
+  disk run's trace digest must equal the in-memory incremental run's
+  (persistence is a pure side effect), and the cold-reopened stores
+  must resolve the exact state the dying process would have restored.
+  Wall-clock fields in the disk leg vary between machines; everything
+  else in the artifact stays deterministic.
 
 The matched runs share one seed and one injected coordinator fail-over,
 so any divergence is a correctness bug, not noise.
@@ -23,7 +36,10 @@ so any divergence is a correctness bug, not noise.
 
 from __future__ import annotations
 
+import tempfile
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from ..runtimes.state import materialize_snapshot
@@ -99,6 +115,8 @@ class RecoveryReport:
     #: records -> both modes produced identical trace+state digests.
     digests_match: dict[int, bool]
     problems: list[str] = field(default_factory=list)
+    #: The disk leg (module docstring), or None when it was skipped.
+    disk: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -127,6 +145,7 @@ class RecoveryReport:
                            if self.gate_ratio is not None else None),
             "gate_ok": (self.gate_ratio is not None
                         and self.gate_ratio <= GATE_MAX_RATIO),
+            "disk": self.disk,
             "problems": list(self.problems),
         }
 
@@ -144,6 +163,18 @@ class RecoveryReport:
             verdict = "PASS" if gate <= GATE_MAX_RATIO else "FAIL"
             lines.append(f"gate ({verdict}): {gate:.3f} <= "
                          f"{GATE_MAX_RATIO} at >= {GATE_RECORDS} keys")
+        if self.disk is not None:
+            disk = self.disk
+            lines.append(
+                f"disk leg ({disk['records']} keys): "
+                f"{disk['disk_bytes']} bytes on disk across "
+                f"{disk['segment_files']} segment + {disk['cut_files']} "
+                f"cut files; {disk['fsyncs']} fsyncs "
+                f"({disk['fsync_wall_ms']:.1f}ms); cold start "
+                f"{disk['cold_start_ms']:.1f}ms vs in-memory resolve "
+                f"{disk['memory_resolve_ms']:.1f}ms; durable trace "
+                f"{'matches' if disk['digest_matches_memory'] else 'DIVERGES from'} "
+                f"the in-memory run")
         if self.problems:
             lines.append("PROBLEMS:")
             lines.extend(f"  - {problem}" for problem in self.problems)
@@ -151,12 +182,14 @@ class RecoveryReport:
 
 
 def _run_one(mode: str, records: int, *, backend: str, seed: int,
-             rps: float, duration_ms: float,
-             drain_ms: float) -> RecoveryRow:
+             rps: float, duration_ms: float, drain_ms: float,
+             durability_dir: str | None = None
+             ) -> tuple[RecoveryRow, Any]:
+    config = recovery_coordinator_config(mode)
+    config.durability_dir = durability_dir
     runtime = build_runtime(
         "stateflow", ycsb_program(), seed=seed,
-        state_backend=backend,
-        coordinator=recovery_coordinator_config(mode))
+        state_backend=backend, coordinator=config)
     trace: list[tuple] = []
     runtime.reply_tap = lambda reply: trace.append(
         (reply.request_id, repr(reply.payload), reply.error))
@@ -182,38 +215,122 @@ def _run_one(mode: str, records: int, *, backend: str, seed: int,
     recovery_times = [resumed - started
                       for started, resumed in coordinator.recovery_log]
     state = materialize_snapshot(runtime.committed.snapshot())
-    return RecoveryRow(
+    changelog = coordinator.changelog
+    row = RecoveryRow(
         mode=mode, records=records, cuts=len(cuts),
         base_cuts=sum(1 for cut in cuts if cut.kind in ("base", "full")),
         delta_cuts=sum(1 for cut in cuts if cut.kind == "delta"),
         mean_keys_per_cut=sum(cut.keys for cut in cuts) / count,
         mean_bytes_per_cut=sum(cut.bytes for cut in cuts) / count,
         total_bytes=sum(cut.bytes for cut in cuts),
-        changelog_records=coordinator.changelog.appended,
-        changelog_bytes=coordinator.changelog.bytes_appended,
+        # Net of rewinds: the injected recovery rolls back the orphaned
+        # suffix, which must not be double-counted as retained volume.
+        changelog_records=changelog.appended - changelog.rewound,
+        changelog_bytes=changelog.bytes_appended - changelog.bytes_rewound,
         recoveries=coordinator.recoveries,
         recovery_ms=(sum(recovery_times) / len(recovery_times)
                      if recovery_times else 0.0),
         completed=driver.completed, sent=result.sent,
         trace_digest=trace_state_digest(trace, state))
+    return row, runtime
+
+
+def _disk_leg(memory_row: RecoveryRow, *, backend: str, seed: int,
+              rps: float, duration_ms: float,
+              drain_ms: float) -> tuple[dict[str, Any], list[str]]:
+    """Repeat *memory_row*'s incremental run with a real durability
+    directory, then measure what the files cost (module docstring,
+    "disk leg")."""
+    from ..storage import FileChangelogStore, FileSnapshotStore
+    problems: list[str] = []
+    records = memory_row.records
+    with tempfile.TemporaryDirectory(prefix="repro-recovery-") as tmp:
+        row, runtime = _run_one(
+            "incremental", records, backend=backend, seed=seed, rps=rps,
+            duration_ms=duration_ms, drain_ms=drain_ms, durability_dir=tmp)
+        coordinator = runtime.coordinator
+        changelog = coordinator.changelog
+        snapshots = coordinator.snapshots
+        # Warm resolve: the in-memory mirrors are already loaded — this
+        # is what a live snapshot query (or in-process recovery) pays.
+        started = time.perf_counter()
+        live_snapshot, live_payload = snapshots.latest_recoverable(
+            changelog)
+        memory_resolve_ms = (time.perf_counter() - started) * 1e3
+        live_state = materialize_snapshot(live_payload)
+        changelog.close()
+        root = Path(tmp)
+        disk_bytes = sum(path.stat().st_size
+                         for path in root.rglob("*") if path.is_file())
+        segment_files = len(list((root / "changelog")
+                                 .glob("segment-*.log")))
+        cut_files = len(list((root / "snapshots").glob("cut-*.bin")))
+        # Cold start: reopen the stores from the files alone (a new
+        # process after SIGKILL) and resolve the latest recoverable cut.
+        started = time.perf_counter()
+        cold_snapshots = FileSnapshotStore(
+            tmp, mode="incremental",
+            base_every=coordinator.config.snapshot_base_every,
+            track_footprints=coordinator.config.snapshot_footprints)
+        cold_changelog = FileChangelogStore(tmp)
+        cold_snapshot, cold_payload = cold_snapshots.latest_recoverable(
+            cold_changelog)
+        cold_start_ms = (time.perf_counter() - started) * 1e3
+        cold_changelog.close()
+        cold_state = materialize_snapshot(cold_payload)
+        digest_match = row.trace_digest == memory_row.trace_digest
+        state_match = (cold_state == live_state
+                       and cold_snapshot.snapshot_id
+                       == live_snapshot.snapshot_id)
+        if not digest_match:
+            problems.append(
+                f"disk/{records}: durable run diverged from the "
+                f"in-memory incremental run (trace/state digests differ "
+                f"— persistence must be a pure side effect)")
+        if not state_match:
+            problems.append(
+                f"disk/{records}: cold-start resolve disagrees with the "
+                f"live store's latest recoverable state")
+        disk = {
+            "records": records,
+            "trace_digest": row.trace_digest,
+            "digest_matches_memory": digest_match,
+            "cold_state_matches": state_match,
+            "disk_bytes": disk_bytes,
+            "segment_files": segment_files,
+            "cut_files": cut_files,
+            "changelog_records": row.changelog_records,
+            "changelog_bytes_on_disk": changelog.bytes_written,
+            "snapshot_bytes_on_disk": snapshots.bytes_written,
+            "fsyncs": changelog.fsyncs + snapshots.fsyncs,
+            "fsync_wall_ms": round(changelog.fsync_wall_ms
+                                   + snapshots.fsync_wall_ms, 3),
+            "cold_loaded_records": cold_changelog.loaded,
+            "cold_loaded_cuts": cold_snapshots.loaded,
+            "cold_start_ms": round(cold_start_ms, 3),
+            "memory_resolve_ms": round(memory_resolve_ms, 3),
+        }
+    return disk, problems
 
 
 def run_recovery_cell(*, state_backend: str | None = None, seed: int = 42,
                       record_counts: tuple[int, ...] = (1_000, GATE_RECORDS),
                       rps: float = 200.0, duration_ms: float = 2_000.0,
-                      drain_ms: float = 20_000.0) -> RecoveryReport:
+                      drain_ms: float = 20_000.0,
+                      disk: bool = True) -> RecoveryReport:
     """Run the full-vs-incremental sweep (see module docstring)."""
     backend = state_backend or default_state_backend()
     rows: list[RecoveryRow] = []
     ratios: dict[int, float] = {}
     matches: dict[int, bool] = {}
     problems: list[str] = []
+    incremental_rows: dict[int, RecoveryRow] = {}
     for records in record_counts:
         pair: dict[str, RecoveryRow] = {}
         for mode in ("full", "incremental"):
-            row = _run_one(mode, records, backend=backend, seed=seed,
-                           rps=rps, duration_ms=duration_ms,
-                           drain_ms=drain_ms)
+            row, _ = _run_one(mode, records, backend=backend, seed=seed,
+                              rps=rps, duration_ms=duration_ms,
+                              drain_ms=drain_ms)
             rows.append(row)
             pair[mode] = row
             if row.completed < row.sent:
@@ -225,6 +342,7 @@ def run_recovery_cell(*, state_backend: str | None = None, seed: int = 42,
                     f"{mode}/{records}: the injected fail-over never "
                     f"recovered")
         full, incremental = pair["full"], pair["incremental"]
+        incremental_rows[records] = incremental
         if full.mean_bytes_per_cut > 0:
             ratios[records] = (incremental.mean_bytes_per_cut
                                / full.mean_bytes_per_cut)
@@ -233,9 +351,16 @@ def run_recovery_cell(*, state_backend: str | None = None, seed: int = 42,
             problems.append(
                 f"{records}: full and incremental runs diverged "
                 f"(trace/state digests differ)")
+    disk_leg = None
+    if disk and incremental_rows:
+        largest = incremental_rows[max(incremental_rows)]
+        disk_leg, disk_problems = _disk_leg(
+            largest, backend=backend, seed=seed, rps=rps,
+            duration_ms=duration_ms, drain_ms=drain_ms)
+        problems.extend(disk_problems)
     report = RecoveryReport(rows=rows, state_backend=backend,
                             bytes_ratios=ratios, digests_match=matches,
-                            problems=problems)
+                            problems=problems, disk=disk_leg)
     gate = report.gate_ratio
     if gate is not None and gate > GATE_MAX_RATIO:
         report.problems.append(

@@ -47,6 +47,11 @@ pre-pipeline batching), ``--snapshot-mode full|incremental`` to pick
 the durability path (incremental = dirtied-slots cuts chained to
 periodic bases, plus a per-commit changelog) and ``--changelog on|off``
 to toggle the commit changelog that repairs torn incremental chains.
+``run`` (ignored, with a note), ``bench`` and ``chaos run`` accept
+``--durable DIR`` (stateflow only) to back the snapshot store and
+changelog with real files under *DIR* (see :mod:`repro.storage`): the
+run's replies are byte-identical to an in-memory run, and a rerun over
+the same directory cold-starts from the persisted cuts and records.
 
 ``bench``, ``chaos run`` and ``rescale run`` persist their results as
 ``BENCH_<cell>.json`` in the working directory (override with
@@ -171,6 +176,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("note: the Local runtime is single-process; --autoscale "
               "applies to `repro bench` / `repro chaos run` "
               "(stateflow)", file=sys.stderr)
+    if args.durable is not None:
+        print("note: the Local runtime keeps no snapshots; --durable "
+              "applies to `repro bench` / `repro chaos run` "
+              "(stateflow)", file=sys.stderr)
     runtime = LocalRuntime(program, state_backend=args.state_backend,
                            fault_plan=_load_fault_plan(args.faults))
     call_args = [_parse_literal(a) for a in args.args]
@@ -251,6 +260,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit("repro bench: error: --cell autoscale runs "
                              "canonical configurations; drop "
                              "--pipeline-depth/--snapshot-mode")
+        if args.durable is not None:
+            raise SystemExit("repro bench: error: --cell autoscale runs "
+                             "canonical configurations; drop --durable")
         return _run_autoscale_cell(args, backend)
     if args.cell == "pipeline":
         # The sweep owns the depth axis and the saturating deployment;
@@ -271,6 +283,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                              "measures a fixed deployment per depth; "
                              "drop --autoscale (the autoscale cell is "
                              "`repro bench --cell autoscale`)")
+        if args.durable is not None:
+            raise SystemExit("repro bench: error: --cell pipeline "
+                             "measures the pipeline, not the disk; "
+                             "drop --durable (the recovery cell's disk "
+                             "leg measures durable runs)")
         return _run_pipeline_cell(args, backend)
     if args.cell == "recovery":
         if args.system != "stateflow":
@@ -292,6 +309,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit("repro bench: error: --cell recovery runs "
                              "canonical configurations; drop "
                              "--changelog/--pipeline-depth")
+        if args.durable is not None:
+            raise SystemExit("repro bench: error: --cell recovery owns "
+                             "its durability directory (the disk leg "
+                             "runs in a temp dir); drop --durable")
         return _run_recovery_cell(args, backend)
     plan = _load_fault_plan(args.faults)
     rescale_plan = _load_rescale_plan(args.rescale)
@@ -304,6 +325,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.snapshot_mode is not None and args.system != "stateflow":
         raise SystemExit("repro bench: error: --snapshot-mode requires "
                          "--system stateflow (the snapshotting runtime)")
+    if args.durable is not None and args.system != "stateflow":
+        raise SystemExit("repro bench: error: --durable requires "
+                         "--system stateflow (the snapshotting runtime)")
     overrides: dict | None = {}
     if rescale_plan is not None:
         overrides["rescale_plan"] = rescale_plan
@@ -315,6 +339,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["changelog"] = args.changelog == "on"
     if args.autoscale:
         overrides["autoscale"] = True
+    if args.durable is not None:
+        overrides["durability_dir"] = args.durable
     row = run_ycsb_cell(args.system, args.workload, args.distribution,
                         rps=args.rps if args.rps is not None else 100.0,
                         duration_ms=(args.duration_ms
@@ -493,6 +519,9 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     if args.autoscale and args.system != "stateflow":
         raise SystemExit("repro chaos run: error: --autoscale requires "
                          "--system stateflow (the elastic runtime)")
+    if args.durable is not None and args.system != "stateflow":
+        raise SystemExit("repro chaos run: error: --durable requires "
+                         "--system stateflow (the snapshotting runtime)")
     report = run_chaos_cell(
         args.system, args.workload, args.distribution, rps=args.rps,
         duration_ms=args.duration_ms, record_count=args.records,
@@ -501,7 +530,8 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
         snapshot_mode=args.snapshot_mode,
         changelog=(None if args.changelog is None
                    else args.changelog == "on"),
-        autoscale=args.autoscale)
+        autoscale=args.autoscale,
+        durability_dir=args.durable)
     columns = ["system", "workload", "state_backend", "rps", "p50_ms",
                "p99_ms", "completed", "errors", "recoveries",
                "recovery_time_ms", "availability"]
@@ -613,6 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="closed-loop autoscaling (ignored by the "
                               "Local runtime; see `repro bench` / "
                               "`repro chaos run`)")
+    run_cmd.add_argument("--durable", default=None, metavar="DIR",
+                         help="durability directory (ignored by the "
+                              "Local runtime; see `repro bench` / "
+                              "`repro chaos run`)")
     run_cmd.set_defaults(handler=_cmd_run)
 
     bench_cmd = commands.add_parser(
@@ -661,6 +695,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="attach the closed-loop autoscaling "
                                 "controller (stateflow only; does not "
                                 "compose with --rescale)")
+    bench_cmd.add_argument("--durable", default=None, metavar="DIR",
+                           help="durability directory (stateflow only): "
+                                "snapshots and the commit changelog are "
+                                "persisted as files under DIR, and a "
+                                "rerun over the same DIR cold-starts "
+                                "from them")
     bench_cmd.add_argument("--cell", default="ycsb",
                            choices=["ycsb", "pipeline", "recovery",
                                     "autoscale"],
@@ -735,6 +775,11 @@ def build_parser() -> argparse.ArgumentParser:
                                     "controller (stateflow only): its "
                                     "decisions must survive the plan's "
                                     "failures")
+    chaos_run_cmd.add_argument("--durable", default=None, metavar="DIR",
+                               help="durability directory (stateflow "
+                                    "only): persist snapshots + "
+                                    "changelog under DIR through the "
+                                    "injected failures")
     chaos_run_cmd.set_defaults(handler=_cmd_chaos_run)
 
     rescale_cmd = commands.add_parser(

@@ -15,6 +15,16 @@ S-QUERY [46] and RAMP read-atomic transactions [7]:
   transactions the live view may expose in-progress call chains.
 - ``consistency="snapshot"`` reads the latest completed system snapshot —
   a globally consistent (but stale) cut, the read-atomic option.
+  Resolution goes through the same ``latest_recoverable`` path recovery
+  uses, so a torn delta chain is repaired through the commit changelog
+  (or an older cut is served) instead of failing the query.
+- ``consistency="as_of"`` is the time-travel level the durable
+  changelog makes nearly free: ``at_batch=N`` (or ``at_ms=T``) resolves
+  the nearest retained base+delta chain at or before the target and
+  replays the changelog suffix up to it — "balance of entity X as of
+  batch N".  Requires incremental snapshots with the changelog enabled;
+  a target older than the retained history (compacted cuts/records) is
+  refused rather than answered wrong.
 """
 
 from __future__ import annotations
@@ -23,7 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from ..core.errors import StatefulEntityError
-from ..runtimes.state import materialize_snapshot
+from ..runtimes.state import apply_flat_writes, materialize_snapshot
 from ..runtimes.stateflow.snapshots import SnapshotChainError
 
 
@@ -83,30 +93,90 @@ class QueryEngine:
         raise QueryError(
             f"runtime {type(runtime).__name__} exposes no queryable state")
 
-    def _snapshot_items(self, entity: str) -> tuple[Iterable, float]:
-        runtime = self._runtime
-        coordinator = getattr(runtime, "coordinator", None)
+    @staticmethod
+    def _changelog_of(coordinator):
+        """The changelog recovery would repair through, or ``None``
+        when the deployment keeps none."""
+        config = coordinator.config
+        if (config.snapshot_mode == "incremental"
+                and config.changelog_enabled):
+            return coordinator.changelog
+        return None
+
+    def _coordinator(self, purpose: str):
+        coordinator = getattr(self._runtime, "coordinator", None)
         if coordinator is None:
             raise QueryError(
-                "snapshot-consistency queries need a snapshotting runtime "
-                "(StateFlow); use consistency='live' instead")
-        snapshot = coordinator.snapshots.latest()
-        if snapshot is None:
+                f"{purpose} queries need a snapshotting runtime "
+                f"(StateFlow); use consistency='live' instead")
+        return coordinator
+
+    def _snapshot_items(self, entity: str) -> tuple[Iterable, float]:
+        coordinator = self._coordinator("snapshot-consistency")
+        if coordinator.snapshots.latest() is None:
             raise QueryError("no snapshot completed yet")
         # Incremental cuts carry only the dirtied slots: resolve the
-        # delta chain back into a full payload first (full-mode cuts
-        # resolve to themselves).  A torn/broken chain surfaces as the
-        # engine's own error type, like every other unqueryable state.
+        # delta chain back into a full payload, through the same
+        # latest_recoverable path recovery uses — a torn chain is
+        # repaired via the commit changelog, and failing that the
+        # query is served from the newest older cut that resolves,
+        # exactly the state a crash right now would restore.
         try:
-            payload = coordinator.snapshots.resolve(snapshot)
+            snapshot, payload = coordinator.snapshots.latest_recoverable(
+                self._changelog_of(coordinator))
         except SnapshotChainError as error:
             raise QueryError(
-                f"latest snapshot is not resolvable ({error}); recovery "
-                f"will repair it — retry, or use consistency='live'")
+                f"no retained snapshot is resolvable ({error}); "
+                f"use consistency='live' instead")
         # Materialize (copy) only the queried entity's rows, not the
         # whole committed store.
         state = materialize_snapshot(payload, entity)
         return list(state.items()), snapshot.taken_at_ms
+
+    def _as_of_items(self, entity: str, *, at_batch: int | None,
+                     at_ms: float | None) -> tuple[Iterable, float]:
+        """Time-travel source: the nearest retained cut at or before
+        the target, plus the changelog suffix up to it (records carry
+        absolute post-states, so replay is a fold of dict updates)."""
+        coordinator = self._coordinator("as-of")
+        if (at_batch is None) == (at_ms is None):
+            raise QueryError(
+                "as-of queries take exactly one of at_batch= or at_ms=")
+        changelog = self._changelog_of(coordinator)
+        if changelog is None:
+            raise QueryError(
+                "as-of queries replay the commit changelog; run with "
+                "snapshot_mode='incremental' and the changelog enabled")
+        snapshots = coordinator.snapshots
+        for snapshot in reversed(snapshots.retained()):
+            # The cut qualifies when everything it contains is at or
+            # before the target: batches it committed all have ids
+            # below its batch_seq counter, and a cut taken at time T
+            # contains only commits at or before T.
+            if at_batch is not None and snapshot.batch_seq - 1 > at_batch:
+                continue
+            if at_ms is not None and snapshot.taken_at_ms > at_ms:
+                continue
+            try:
+                payload = snapshots.resolve_recoverable(snapshot,
+                                                        changelog)
+            except SnapshotChainError:
+                continue  # torn beyond repair: anchor on an older cut
+            records = changelog.suffix_as_of(
+                snapshot.changelog_seq, batch=at_batch, at_ms=at_ms)
+            if records is None:
+                continue  # gap in the suffix: anchor on an older cut
+            for record in records:
+                payload = apply_flat_writes(payload, record.writes)
+            state = materialize_snapshot(payload, entity)
+            stamp = records[-1].at_ms if records else snapshot.taken_at_ms
+            return list(state.items()), stamp
+        target = (f"batch {at_batch}" if at_batch is not None
+                  else f"t={at_ms}ms")
+        raise QueryError(
+            f"no retained snapshot precedes {target}: the point lies "
+            f"before the retained history (older cuts and changelog "
+            f"records were compacted away)")
 
     # -- core ------------------------------------------------------------
     def select(self, entity: str, *,
@@ -115,22 +185,32 @@ class QueryEngine:
                order_by: str | None = None,
                descending: bool = False,
                limit: int | None = None,
-               consistency: str = "live") -> QueryResult:
+               consistency: str = "live",
+               at_batch: int | None = None,
+               at_ms: float | None = None) -> QueryResult:
         """SQL-ish scan over every instance of *entity*.
 
         ``where`` receives the full state dict; ``project`` restricts the
         returned fields (the partition key is always included as
-        ``__key__``).
+        ``__key__``).  ``consistency="as_of"`` time-travels to
+        ``at_batch=N`` or ``at_ms=T`` (exactly one required).
         """
+        if consistency != "as_of" and (at_batch is not None
+                                       or at_ms is not None):
+            raise QueryError(
+                "at_batch=/at_ms= require consistency='as_of'")
         if consistency == "live":
             items = self._live_items()
             as_of = getattr(getattr(self._runtime, "sim", None), "now", None)
         elif consistency == "snapshot":
             items, as_of = self._snapshot_items(entity)
+        elif consistency == "as_of":
+            items, as_of = self._as_of_items(entity, at_batch=at_batch,
+                                             at_ms=at_ms)
         else:
             raise QueryError(
                 f"unknown consistency level {consistency!r}; "
-                f"pick 'live' or 'snapshot'")
+                f"pick 'live', 'snapshot' or 'as_of'")
 
         rows = []
         for (entity_name, key), state in items:
@@ -150,9 +230,12 @@ class QueryEngine:
             rows.append(row)
 
         if order_by is not None:
-            if rows and order_by not in rows[0]:
-                raise QueryError(
-                    f"cannot order by unselected field {order_by!r}")
+            for row in rows:
+                if order_by not in row:
+                    raise QueryError(
+                        f"cannot order by {order_by!r}: entity "
+                        f"{entity!r} instance {row['__key__']!r} has no "
+                        f"such field")
             rows.sort(key=lambda row: row[order_by], reverse=descending)
         else:
             rows.sort(key=lambda row: str(row["__key__"]))
@@ -162,40 +245,68 @@ class QueryEngine:
                            consistency=consistency, as_of_ms=as_of)
 
     # -- aggregates -----------------------------------------------------
+    @staticmethod
+    def _field_values(result: QueryResult, field: str,
+                      entity: str) -> list[Any]:
+        """Extract one field from every row; an instance that lacks it
+        is a query error naming the field and entity, not a bare
+        ``KeyError`` escaping from aggregate arithmetic."""
+        values = []
+        for row in result.rows:
+            if field not in row:
+                raise QueryError(
+                    f"unknown field {field!r} on entity {entity!r} "
+                    f"(instance {row['__key__']!r} has no such field)")
+            values.append(row[field])
+        return values
+
     def count(self, entity: str, *, where: Predicate | None = None,
-              consistency: str = "live") -> int:
+              consistency: str = "live", at_batch: int | None = None,
+              at_ms: float | None = None) -> int:
         return len(self.select(entity, where=where,
-                               consistency=consistency))
+                               consistency=consistency,
+                               at_batch=at_batch, at_ms=at_ms))
 
     def sum(self, entity: str, field: str, *,
             where: Predicate | None = None,
-            consistency: str = "live") -> Any:
-        result = self.select(entity, where=where, consistency=consistency)
-        return sum(row[field] for row in result.rows)
+            consistency: str = "live", at_batch: int | None = None,
+            at_ms: float | None = None) -> Any:
+        result = self.select(entity, where=where, consistency=consistency,
+                             at_batch=at_batch, at_ms=at_ms)
+        return sum(self._field_values(result, field, entity))
 
     def avg(self, entity: str, field: str, *,
             where: Predicate | None = None,
-            consistency: str = "live") -> float:
-        result = self.select(entity, where=where, consistency=consistency)
+            consistency: str = "live", at_batch: int | None = None,
+            at_ms: float | None = None) -> float:
+        result = self.select(entity, where=where, consistency=consistency,
+                             at_batch=at_batch, at_ms=at_ms)
         if not result.rows:
             raise QueryError("avg over empty result")
-        return sum(row[field] for row in result.rows) / len(result.rows)
+        values = self._field_values(result, field, entity)
+        return sum(values) / len(values)
 
     def min(self, entity: str, field: str, *,
-            consistency: str = "live") -> Any:
-        result = self.select(entity, consistency=consistency)
+            consistency: str = "live", at_batch: int | None = None,
+            at_ms: float | None = None) -> Any:
+        result = self.select(entity, consistency=consistency,
+                             at_batch=at_batch, at_ms=at_ms)
         if not result.rows:
             raise QueryError("min over empty result")
-        return min(row[field] for row in result.rows)
+        return min(self._field_values(result, field, entity))
 
     def max(self, entity: str, field: str, *,
-            consistency: str = "live") -> Any:
-        result = self.select(entity, consistency=consistency)
+            consistency: str = "live", at_batch: int | None = None,
+            at_ms: float | None = None) -> Any:
+        result = self.select(entity, consistency=consistency,
+                             at_batch=at_batch, at_ms=at_ms)
         if not result.rows:
             raise QueryError("max over empty result")
-        return max(row[field] for row in result.rows)
+        return max(self._field_values(result, field, entity))
 
     def top_k(self, entity: str, field: str, k: int, *,
-              consistency: str = "live") -> QueryResult:
+              consistency: str = "live", at_batch: int | None = None,
+              at_ms: float | None = None) -> QueryResult:
         return self.select(entity, order_by=field, descending=True,
-                           limit=k, consistency=consistency)
+                           limit=k, consistency=consistency,
+                           at_batch=at_batch, at_ms=at_ms)

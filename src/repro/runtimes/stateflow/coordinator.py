@@ -239,6 +239,15 @@ class CoordinatorConfig:
     #: recovery time growing with state size; 0 keeps the legacy fixed
     #: recovery pause).
     restore_cost_ms_per_key: float = 0.0
+    #: Put real files under the durability path: when set, the snapshot
+    #: and changelog stores are the file-backed ones from
+    #: :mod:`repro.storage` (segment-file changelog, per-cut snapshot
+    #: files, fsync-on-append) rooted at this directory, and a cold
+    #: start — a *real* process death — recovers from disk.  ``None``
+    #: keeps the in-memory stores (durability survives simulated
+    #: crashes only).  Persistence is a pure side effect: traces are
+    #: byte-identical either way.
+    durability_dir: str | None = None
 
 
 class Coordinator:
@@ -261,14 +270,27 @@ class Coordinator:
         self.autoscaler = autoscaler
         self._slot_of = getattr(committed, "slot_of", None)
         self.cpu = CpuPool(sim, 1, name="coordinator")
-        self.snapshots = SnapshotStore(
-            mode=self.config.snapshot_mode,
-            base_every=self.config.snapshot_base_every,
-            track_footprints=self.config.snapshot_footprints)
-        #: Durable commit changelog (incremental mode): one record per
-        #: committed batch.  Like the snapshot store it survives crashes;
-        #: recovery rewinds it to the restored cut's position.
-        self.changelog = ChangelogStore()
+        if self.config.durability_dir:
+            # Imported lazily: the storage package depends on this
+            # module's sibling (snapshots), and most deployments never
+            # touch disk.
+            from ...storage import FileChangelogStore, FileSnapshotStore
+            self.snapshots = FileSnapshotStore(
+                self.config.durability_dir,
+                mode=self.config.snapshot_mode,
+                base_every=self.config.snapshot_base_every,
+                track_footprints=self.config.snapshot_footprints)
+            self.changelog = FileChangelogStore(self.config.durability_dir)
+        else:
+            self.snapshots = SnapshotStore(
+                mode=self.config.snapshot_mode,
+                base_every=self.config.snapshot_base_every,
+                track_footprints=self.config.snapshot_footprints)
+            #: Durable commit changelog (incremental mode): one record
+            #: per committed batch.  Like the snapshot store it survives
+            #: crashes; recovery rewinds it to the restored cut's
+            #: position.
+            self.changelog = ChangelogStore()
         self.stats = AriaStats()
         self.pending: list[TxnRecord] = []
         #: The epoch pipeline: every sealed-but-not-closed batch, by id.
@@ -784,7 +806,8 @@ class Coordinator:
             if state is not None:
                 writes[(entity, key)] = state
         if writes:
-            self.changelog.append(batch.batch_id, writes)
+            self.changelog.append(batch.batch_id, writes,
+                                  at_ms=self.sim.now)
 
     def _prune_pipeline_metadata(self) -> None:
         """Release pinned views and footprints no in-flight batch can

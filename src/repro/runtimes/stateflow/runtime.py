@@ -88,6 +88,11 @@ class StateflowConfig:
     #: Commit changelog toggle (``--changelog``): ``None`` keeps
     #: ``coordinator.changelog_enabled``.
     changelog: bool | None = None
+    #: Durability directory (``--durable``): when set, snapshots and
+    #: the changelog live in file-backed stores under this path (see
+    #: :mod:`repro.storage`) and a real process death recovers from
+    #: disk on the next start.  ``None`` keeps the in-memory stores.
+    durability_dir: str | None = None
     check_state_serializable: bool = False
     ingress_partitions: int = 4
     egress_partitions: int = 4
@@ -129,6 +134,9 @@ class StateflowRuntime(Runtime):
             coordinator_overrides["snapshot_mode"] = self.config.snapshot_mode
         if self.config.changelog is not None:
             coordinator_overrides["changelog_enabled"] = self.config.changelog
+        if self.config.durability_dir is not None:
+            coordinator_overrides["durability_dir"] = \
+                self.config.durability_dir
         if coordinator_overrides:
             # Fresh config objects, not in-place writes: the caller may
             # share a StateflowConfig or CoordinatorConfig across

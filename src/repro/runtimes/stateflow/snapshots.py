@@ -161,6 +161,10 @@ class ChangelogRecord:
     seq: int
     batch_id: int
     writes: dict[tuple[str, Any], dict[str, Any]]
+    #: Simulated time the batch closed — the timestamp axis of as-of
+    #: (time-travel) queries.  Batch ids and append times are both
+    #: monotone in ``seq``.
+    at_ms: float = 0.0
 
 
 class ChangelogStore:
@@ -181,6 +185,13 @@ class ChangelogStore:
         self.duplicate_appends = 0
         self.truncated = 0
         self.bytes_appended = 0
+        #: Records (and their bytes) dropped by :meth:`rewind_to` — the
+        #: rolled-back timeline.  Net surviving volume is
+        #: ``appended - rewound`` / ``bytes_appended - bytes_rewound``;
+        #: the recovery bench reports the net so a run with fail-overs
+        #: does not overstate what the log actually retains.
+        self.rewound = 0
+        self.bytes_rewound = 0
 
     @property
     def head_seq(self) -> int:
@@ -190,22 +201,26 @@ class ChangelogStore:
     def __len__(self) -> int:
         return len(self._records)
 
+    @staticmethod
+    def _record_bytes(record: ChangelogRecord) -> int:
+        return sum(len(repr(key)) + len(repr(state))
+                   for key, state in record.writes.items())
+
     def append(self, batch_id: int,
-               writes: dict[tuple[str, Any], dict[str, Any]]) -> int:
+               writes: dict[tuple[str, Any], dict[str, Any]], *,
+               at_ms: float = 0.0) -> int:
         """Append one batch's commit delta; duplicate appends of the
         same batch (a redelivered close) are dropped, not re-sequenced."""
         if batch_id in self._by_batch:
             self.duplicate_appends += 1
             return self.head_seq
         record = ChangelogRecord(seq=self._next_seq, batch_id=batch_id,
-                                 writes=dict(writes))
+                                 writes=dict(writes), at_ms=at_ms)
         self._next_seq += 1
         self._records.append(record)
         self._by_batch.add(batch_id)
         self.appended += 1
-        self.bytes_appended += sum(
-            len(repr(key)) + len(repr(state))
-            for key, state in record.writes.items())
+        self.bytes_appended += self._record_bytes(record)
         return record.seq
 
     def records_between(self, after_seq: int,
@@ -221,13 +236,43 @@ class ChangelogStore:
 
     def rewind_to(self, seq: int) -> None:
         """Recovery rolled the run back to a cut at position *seq*:
-        drop the now-orphaned suffix and resume sequencing from there."""
+        drop the now-orphaned suffix and resume sequencing from there.
+        The dropped records move from the ``appended`` side of the
+        ledger to ``rewound``/``bytes_rewound`` — they were written, but
+        they no longer exist on the surviving timeline."""
         if seq >= self.head_seq:
             return
-        kept = [record for record in self._records if record.seq <= seq]
+        kept, dropped = [], []
+        for record in self._records:
+            (kept if record.seq <= seq else dropped).append(record)
         self._records = kept
         self._by_batch = {record.batch_id for record in kept}
         self._next_seq = seq + 1
+        self.rewound += len(dropped)
+        self.bytes_rewound += sum(self._record_bytes(record)
+                                  for record in dropped)
+
+    def suffix_as_of(self, after_seq: int, *, batch: int | None = None,
+                     at_ms: float | None = None
+                     ) -> list[ChangelogRecord] | None:
+        """The contiguous run of records after *after_seq* up to an
+        as-of boundary — ``batch_id <= batch`` or append time
+        ``<= at_ms`` (batch ids and times are both monotone in seq, so
+        the boundary is a prefix).  ``None`` when the span has a gap
+        (rewound or truncated records): the caller must anchor on an
+        older cut or give up."""
+        span: list[ChangelogRecord] = []
+        for record in self._records:
+            if record.seq <= after_seq:
+                continue
+            if batch is not None and record.batch_id > batch:
+                break
+            if at_ms is not None and record.at_ms > at_ms:
+                break
+            span.append(record)
+        if span and span[-1].seq - after_seq != len(span):
+            return None
+        return span
 
     def truncate_through(self, seq: int) -> None:
         """Compaction: drop records no retained cut can need (their seq
@@ -396,6 +441,11 @@ class SnapshotStore:
     def latest(self) -> Snapshot | None:
         return self._snapshots[-1] if self._snapshots else None
 
+    def retained(self) -> list[Snapshot]:
+        """Every snapshot still in the retention window, oldest first —
+        the candidate set as-of queries walk when picking an anchor."""
+        return list(self._snapshots)
+
     def resolve(self, snapshot: Snapshot) -> Any:
         """Replay *snapshot*'s delta chain over its base: the full state
         payload a ``restore`` accepts.  Raises
@@ -441,6 +491,22 @@ class SnapshotStore:
             return None
         return resolve_payload(parts[slot], list(reversed(chain)))
 
+    def resolve_recoverable(self, snapshot: Snapshot,
+                            changelog: ChangelogStore | None = None) -> Any:
+        """Resolve one cut the way recovery would: replay its delta
+        chain, and on a torn/broken chain repair it through the
+        changelog (nearest intact ancestor + replayed commit records).
+        Raises :class:`SnapshotChainError` when neither works."""
+        try:
+            return self.resolve(snapshot)
+        except SnapshotChainError:
+            if changelog is not None:
+                repaired = self._repair(snapshot, changelog)
+                if repaired is not None:
+                    self.changelog_repairs += 1
+                    return repaired
+            raise
+
     def latest_recoverable(
             self, changelog: ChangelogStore | None = None,
     ) -> tuple[Snapshot, Any]:
@@ -451,13 +517,9 @@ class SnapshotStore:
         cut — the "last complete chain" the watchdog guarantee names."""
         for snapshot in reversed(self._snapshots):
             try:
-                return snapshot, self.resolve(snapshot)
+                return snapshot, self.resolve_recoverable(snapshot,
+                                                          changelog)
             except SnapshotChainError:
-                if changelog is not None:
-                    repaired = self._repair(snapshot, changelog)
-                    if repaired is not None:
-                        self.changelog_repairs += 1
-                        return snapshot, repaired
                 self.chain_fallbacks += 1
         raise SnapshotChainError("no recoverable snapshot retained")
 

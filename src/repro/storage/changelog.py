@@ -1,0 +1,199 @@
+"""Append-only segment-file changelog (the durable commit log).
+
+:class:`FileChangelogStore` is the in-memory
+:class:`~repro.runtimes.stateflow.snapshots.ChangelogStore` with real
+files underneath: the coordinator, recovery, repair and the benches use
+the identical interface, and the file layer is a pure side effect — a
+durable run's reply trace is byte-identical to an in-memory run's.
+
+Shape (the log-structured contract sequential flash wants):
+
+- records append as length-prefixed :mod:`repro.substrates.wire`
+  frames into segment files (``changelog/segment-<firstseq>.log``),
+  rolled every ``segment_records`` records;
+- every append is flushed and (by default) fsynced before the call
+  returns — a record the coordinator believes durable is durable;
+- on open, a torn tail (the bytes a crash landed mid-append) is
+  detected by the framing and truncated away; segments after a torn
+  one are dropped whole (appends are sequential, so anything beyond
+  the tear is from a lost timeline);
+- ``truncate_through`` (compaction) drops whole segments and advances
+  the manifest's ``changelog_floor``; records in a partially-live
+  segment stay on disk but are skipped on reload;
+- ``rewind_to`` (recovery) physically truncates the orphaned suffix,
+  so a cold start can never resurrect a rolled-back timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from ..runtimes.stateflow.snapshots import ChangelogStore
+from ..substrates.wire import encode_frame
+from .manifest import (open_layout, read_manifest, scan_frames,
+                       truncate_file, update_manifest)
+
+
+class FileChangelogStore(ChangelogStore):
+    """Segment-file-backed changelog (see module docstring).
+
+    Extra counters over the in-memory store: ``fsyncs`` /
+    ``fsync_wall_ms`` (the durability tax the recovery bench reports),
+    ``bytes_written`` (frames, not repr estimates), ``loaded`` (records
+    recovered from disk on open), ``torn_tail_bytes`` (bytes a crash
+    tore, truncated on open) and ``segments_dropped`` (compaction)."""
+
+    def __init__(self, directory: str | os.PathLike, *,
+                 fsync: bool = True, segment_records: int = 256):
+        super().__init__()
+        self._layout = open_layout(directory)
+        self._fsync = fsync
+        self._segment_records = max(int(segment_records), 1)
+        self.fsyncs = 0
+        self.fsync_wall_ms = 0.0
+        self.bytes_written = 0
+        self.loaded = 0
+        self.torn_tail_bytes = 0
+        self.segments_dropped = 0
+        #: seq -> (segment path, byte offset just past the record):
+        #: rewind truncates the containing segment at these marks.
+        self._offsets: dict[int, tuple[Path, int]] = {}
+        self._segments: list[Path] = []
+        self._handle = None
+        self._current_path: Path | None = None
+        self._current_records = 0
+        self._load()
+
+    # -- open / recovery ------------------------------------------------
+    def _load(self) -> None:
+        floor = read_manifest(self._layout).get("changelog_floor", -1)
+        max_seq = -1
+        torn = False
+        for path in self._layout.segment_files():
+            if torn:
+                # Appends are strictly sequential: segments past a torn
+                # one belong to bytes that never logically existed.
+                path.unlink()
+                continue
+            data = path.read_bytes()
+            entries, clean = scan_frames(data)
+            if clean < len(data):
+                self.torn_tail_bytes += len(data) - clean
+                truncate_file(path, clean)
+                torn = True
+            self._segments.append(path)
+            for end, record in entries:
+                self._offsets[record.seq] = (path, end)
+                max_seq = max(max_seq, record.seq)
+                self.loaded += 1
+                if record.seq > floor:
+                    self._records.append(record)
+                    self._by_batch.add(record.batch_id)
+        self._next_seq = max(max_seq, floor) + 1
+        if self._segments:
+            self._current_path = self._segments[-1]
+            self._current_records = sum(
+                1 for path, _ in self._offsets.values()
+                if path == self._current_path)
+
+    # -- durability plumbing --------------------------------------------
+    def _sync(self, handle) -> None:
+        if not self._fsync:
+            return
+        started = time.perf_counter()
+        os.fsync(handle.fileno())
+        self.fsync_wall_ms += (time.perf_counter() - started) * 1e3
+        self.fsyncs += 1
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _append_handle(self, first_seq: int):
+        if (self._current_path is None
+                or self._current_records >= self._segment_records):
+            self._close_handle()
+            self._current_path = self._layout.segment_path(first_seq)
+            self._segments.append(self._current_path)
+            self._current_records = 0
+        if self._handle is None:
+            self._handle = open(self._current_path, "ab")
+        return self._handle
+
+    # -- the in-memory interface, persisted -----------------------------
+    def append(self, batch_id, writes, *, at_ms: float = 0.0) -> int:
+        before = self.head_seq
+        seq = super().append(batch_id, writes, at_ms=at_ms)
+        if seq == before:
+            return seq  # duplicate append: nothing new to persist
+        frame = encode_frame(self._records[-1])
+        handle = self._append_handle(seq)
+        handle.write(frame)
+        handle.flush()
+        self._sync(handle)
+        self.bytes_written += len(frame)
+        self._current_records += 1
+        self._offsets[seq] = (self._current_path, handle.tell())
+        return seq
+
+    def rewind_to(self, seq: int) -> None:
+        head = self.head_seq
+        super().rewind_to(seq)
+        if seq >= head:
+            return
+        self._close_handle()
+        for dropped in [s for s in self._offsets if s > seq]:
+            del self._offsets[dropped]
+        for path in list(self._segments):
+            keep = max((end for s, (p, end) in self._offsets.items()
+                        if p == path), default=None)
+            if keep is None:
+                # Even the segment's first record is orphaned — unless
+                # it is the segment we must keep appending into (all of
+                # whose records were rewound), drop the whole file.
+                if path == self._current_path:
+                    truncate_file(path, 0)
+                    self._current_records = 0
+                else:
+                    path.unlink()
+                    self._segments.remove(path)
+            else:
+                truncate_file(path, keep)
+                if path == self._current_path:
+                    self._current_records = sum(
+                        1 for p, _ in self._offsets.values() if p == path)
+        if self._current_path is not None \
+                and self._current_path not in self._segments:
+            self._current_path = self._segments[-1] if self._segments \
+                else None
+            self._current_records = sum(
+                1 for p, _ in self._offsets.values()
+                if p == self._current_path)
+
+    def truncate_through(self, seq: int) -> None:
+        super().truncate_through(seq)
+        if seq < 0:
+            return
+        manifest = read_manifest(self._layout)
+        if seq > manifest.get("changelog_floor", -1):
+            update_manifest(self._layout, changelog_floor=seq)
+        # Segment-drop compaction: a file whose every record is at or
+        # below the floor can never anchor a repair again.  The live
+        # append segment is kept even when fully below the floor — the
+        # next append lands there.
+        for path in list(self._segments):
+            if path == self._current_path:
+                continue
+            seqs = [s for s, (p, _) in self._offsets.items() if p == path]
+            if seqs and max(seqs) <= seq:
+                path.unlink()
+                self._segments.remove(path)
+                for s in seqs:
+                    del self._offsets[s]
+                self.segments_dropped += 1
+
+    def close(self) -> None:
+        self._close_handle()

@@ -1,0 +1,180 @@
+"""Schema of the durability directory: layout, manifest, migration.
+
+A durability directory is the on-disk home of one StateFlow
+deployment's recovery state (``StateflowConfig(durability_dir=...)`` /
+``--durable <dir>`` on the CLI)::
+
+    <dir>/
+      MANIFEST.json                  # format version + store metadata
+      changelog/segment-<seq>.log    # append-only commit-record frames
+      snapshots/cut-<id>.bin         # one frame per retained snapshot
+      snapshots/ledger.log           # append-only CutRecord frames
+
+Every binary file is a sequence of :mod:`repro.substrates.wire` frames
+(``magic | length | buffers | pickle-5 body``), so a torn tail — the
+bytes a crash landed mid-``write`` — is detected by the same framing
+that detects torn socket streams, and truncated away on open.
+
+The manifest is the versioned part of the schema.  ``open_layout``
+migrates older layouts forward before either store touches the
+directory: version 0 (the flat prototype layout, every file in the
+directory root) is moved into the split subdirectories above.  A
+manifest from a *newer* format is refused — downgrading code must not
+silently misread a layout it does not understand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..substrates.wire import MAGIC, MAX_FRAME_BYTES, FrameError, decode_frame
+
+#: Current layout version (see module docstring for the history).
+FORMAT_VERSION = 1
+
+_HEADER = len(MAGIC) + 4  # magic + big-endian u32 payload length
+
+
+class StorageError(RuntimeError):
+    """The durability directory cannot be opened (unknown or newer
+    format, or an unmigratable layout)."""
+
+
+@dataclass(slots=True)
+class DurabilityLayout:
+    """Resolved paths of one durability directory."""
+
+    root: Path
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "MANIFEST.json"
+
+    @property
+    def changelog_dir(self) -> Path:
+        return self.root / "changelog"
+
+    @property
+    def snapshots_dir(self) -> Path:
+        return self.root / "snapshots"
+
+    @property
+    def ledger_path(self) -> Path:
+        return self.snapshots_dir / "ledger.log"
+
+    def segment_path(self, first_seq: int) -> Path:
+        return self.changelog_dir / f"segment-{first_seq:010d}.log"
+
+    def cut_path(self, snapshot_id: int) -> Path:
+        return self.snapshots_dir / f"cut-{snapshot_id:010d}.bin"
+
+    def segment_files(self) -> list[Path]:
+        return sorted(self.changelog_dir.glob("segment-*.log"))
+
+    def cut_files(self) -> list[Path]:
+        return sorted(self.snapshots_dir.glob("cut-*.bin"))
+
+
+def read_manifest(layout: DurabilityLayout) -> dict[str, Any]:
+    if not layout.manifest_path.exists():
+        return {}
+    return json.loads(layout.manifest_path.read_text())
+
+
+def update_manifest(layout: DurabilityLayout,
+                    **fields: Any) -> dict[str, Any]:
+    """Read-merge-write the manifest atomically (tmp + rename), so a
+    crash mid-update leaves either the old or the new manifest, never a
+    half-written one."""
+    manifest = read_manifest(layout)
+    manifest.setdefault("format_version", FORMAT_VERSION)
+    manifest.update(fields)
+    tmp = layout.manifest_path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    os.replace(tmp, layout.manifest_path)
+    return manifest
+
+
+def _migrate_v0(layout: DurabilityLayout) -> None:
+    """v0 -> v1: the flat prototype layout kept segments, cuts and the
+    ledger in the directory root; v1 splits them into ``changelog/``
+    and ``snapshots/`` so compaction can drop whole segment files
+    without scanning unrelated entries."""
+    layout.changelog_dir.mkdir(exist_ok=True)
+    layout.snapshots_dir.mkdir(exist_ok=True)
+    for path in sorted(layout.root.glob("segment-*.log")):
+        os.replace(path, layout.changelog_dir / path.name)
+    for path in sorted(layout.root.glob("cut-*.bin")):
+        os.replace(path, layout.snapshots_dir / path.name)
+    legacy_ledger = layout.root / "ledger.log"
+    if legacy_ledger.exists():
+        os.replace(legacy_ledger, layout.ledger_path)
+
+
+def open_layout(directory: str | os.PathLike) -> DurabilityLayout:
+    """Open (creating or migrating as needed) a durability directory.
+
+    Idempotent: the changelog and snapshot stores of one deployment
+    both call this on the same directory."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    layout = DurabilityLayout(root)
+    manifest = read_manifest(layout)
+    version = manifest.get("format_version")
+    if version is None:
+        legacy = (list(root.glob("segment-*.log"))
+                  or list(root.glob("cut-*.bin"))
+                  or (root / "ledger.log").exists())
+        if legacy:
+            _migrate_v0(layout)
+        update_manifest(layout, format_version=FORMAT_VERSION)
+    elif version > FORMAT_VERSION:
+        raise StorageError(
+            f"durability directory {root} has format version {version}; "
+            f"this build reads up to {FORMAT_VERSION} — refusing to "
+            f"touch a newer layout")
+    elif version < 1:
+        _migrate_v0(layout)
+        update_manifest(layout, format_version=FORMAT_VERSION)
+    layout.changelog_dir.mkdir(exist_ok=True)
+    layout.snapshots_dir.mkdir(exist_ok=True)
+    return layout
+
+
+def scan_frames(data: bytes) -> tuple[list[tuple[int, Any]], int]:
+    """Decode a file's frames front to back: ``([(end_offset, message),
+    ...], clean_through)``.
+
+    ``clean_through`` is the byte offset after the last intact frame;
+    when it is shorter than ``len(data)`` the tail is torn (a crash
+    landed mid-append) or corrupt, and the caller truncates the file
+    there — exactly the recovery contract of an append-only log."""
+    entries: list[tuple[int, Any]] = []
+    offset = 0
+    while len(data) - offset >= _HEADER:
+        if data[offset:offset + len(MAGIC)] != MAGIC:
+            break
+        length = int.from_bytes(
+            data[offset + len(MAGIC):offset + _HEADER], "big")
+        if length > MAX_FRAME_BYTES:
+            break
+        end = offset + _HEADER + length
+        if end > len(data):
+            break  # torn tail: the frame's remainder never hit disk
+        try:
+            message = decode_frame(data[offset:end])
+        except FrameError:
+            break
+        entries.append((end, message))
+        offset = end
+    return entries, offset
+
+
+def truncate_file(path: Path, length: int) -> None:
+    """Drop a file's torn tail in place."""
+    with open(path, "r+b") as handle:
+        handle.truncate(length)

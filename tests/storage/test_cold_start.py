@@ -1,0 +1,268 @@
+"""Cold-start battery: durable runs are observationally identical to
+in-memory runs, and a process death — simulated or a real SIGKILL —
+loses nothing the stores called durable.
+
+The equivalence leg reuses the PR-5 battery's deterministic
+configuration (150 ms cuts, a base every 3) so crashes land at
+interesting chain positions; the disk must be a pure side effect of
+exactly the same run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import verify_history
+from repro.faults import random_plan
+from repro.runtimes.state import materialize_snapshot
+from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
+from repro.runtimes.stateflow.coordinator import CoordinatorConfig
+from repro.storage import FileChangelogStore, FileSnapshotStore
+from repro.substrates.simulation import Simulation
+from repro.workloads import Account, DriverConfig, WorkloadDriver, YcsbWorkload
+
+BACKENDS = ("dict", "cow")
+MODES = ("full", "incremental")
+SNAPSHOT_INTERVAL_MS = 150.0
+BASE_EVERY = 3
+
+
+def run_once(mode, backend, *, seed=11, durability_dir=None,
+             fault_plan=None, rps=150.0, duration_ms=1_500.0, records=24):
+    config = StateflowConfig(
+        workers=3, state_backend=backend, snapshot_mode=mode,
+        pipeline_depth=2, fault_plan=fault_plan,
+        durability_dir=durability_dir,
+        coordinator=CoordinatorConfig(
+            snapshot_interval_ms=SNAPSHOT_INTERVAL_MS,
+            failure_detect_ms=200.0,
+            snapshot_base_every=BASE_EVERY))
+    runtime = StateflowRuntime(run_once.program, sim=Simulation(seed=seed),
+                               config=config)
+    trace = []
+    runtime.reply_tap = lambda reply: trace.append(
+        (reply.request_id, repr(reply.payload), reply.error))
+    workload = YcsbWorkload("T", record_count=records,
+                            distribution="uniform", seed=seed + 1,
+                            initial_balance=1_000)
+    runtime.preload(Account, workload.dataset_rows())
+    runtime.start()
+    driver = WorkloadDriver(runtime, workload, DriverConfig(
+        rps=rps, duration_ms=duration_ms, warmup_ms=0.0,
+        drain_ms=25_000.0, seed=seed + 2))
+    result = driver.run()
+    runtime.sim.run(until=runtime.sim.now + 25_000.0)
+    state = materialize_snapshot(runtime.committed.snapshot())
+    return (trace, state, runtime, result.sent, driver.completed, workload)
+
+
+@pytest.fixture(autouse=True)
+def _program(account_program):
+    run_once.program = account_program
+
+
+def reopen_stores(directory):
+    """A cold start: fresh store objects over the surviving files only."""
+    snapshots = FileSnapshotStore(directory, mode="incremental",
+                                  base_every=BASE_EVERY)
+    changelog = FileChangelogStore(directory)
+    return snapshots, changelog
+
+
+class TestDurableRunsAreInvisible:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_traces_byte_identical_to_in_memory(self, tmp_path, mode,
+                                                backend):
+        memory = run_once(mode, backend)
+        durable = run_once(mode, backend,
+                           durability_dir=str(tmp_path / mode / backend))
+        assert memory[0] == durable[0], "reply traces diverged"
+        assert memory[1] == durable[1], "final committed state diverged"
+        trace, state, _, sent, completed, workload = durable
+        problems = verify_history(sent=sent, completed=completed,
+                                  trace=trace, state=state,
+                                  workload=workload, workload_name="T")
+        assert problems == [], problems
+        # The run really did hit the disk.
+        coordinator = durable[2].coordinator
+        assert coordinator.snapshots.bytes_written > 0
+        if mode == "incremental":
+            assert coordinator.changelog.bytes_written > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_durable_recovery_equals_in_memory_recovery(self, tmp_path,
+                                                        backend):
+        """Crashes under a chaos plan: the replies of the durable run
+        must stay byte-identical through recovery itself."""
+        plan = random_plan(23, duration_ms=1_500.0, workers=3,
+                           coordinator_faults=True)
+        memory = run_once("incremental", backend, fault_plan=plan, seed=23)
+        durable = run_once("incremental", backend, fault_plan=plan, seed=23,
+                           durability_dir=str(tmp_path / backend))
+        assert durable[2].coordinator.recoveries >= 1
+        assert memory[0] == durable[0]
+        assert memory[1] == durable[1]
+
+
+class TestColdStart:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cold_reopen_resolves_the_live_state(self, tmp_path, backend):
+        durable = run_once("incremental", backend,
+                           durability_dir=str(tmp_path))
+        coordinator = durable[2].coordinator
+        live_snapshot, live_payload = \
+            coordinator.snapshots.latest_recoverable(coordinator.changelog)
+        live_state = materialize_snapshot(live_payload)
+
+        cold_snapshots, cold_changelog = reopen_stores(tmp_path)
+        cold_snapshot, cold_payload = cold_snapshots.latest_recoverable(
+            cold_changelog)
+        assert cold_snapshot.snapshot_id == live_snapshot.snapshot_id
+        assert materialize_snapshot(cold_payload) == live_state
+        assert cold_changelog.head_seq == coordinator.changelog.head_seq
+        cold_changelog.close()
+
+    def test_rewind_survives_the_cold_start(self, tmp_path):
+        """A recovery rewinds the changelog; the dropped suffix must be
+        gone from disk too, not just from the dying process's memory."""
+        plan = random_plan(23, duration_ms=1_500.0, workers=3,
+                           coordinator_faults=True)
+        durable = run_once("incremental", "dict", fault_plan=plan, seed=23,
+                           durability_dir=str(tmp_path))
+        live = durable[2].coordinator.changelog
+        assert durable[2].coordinator.recoveries >= 1
+        assert live.rewound > 0, "the plan must actually force a rewind"
+
+        _, cold_changelog = reopen_stores(tmp_path)
+        assert cold_changelog.head_seq == live.head_seq
+        assert ([r.seq for r in cold_changelog._records]
+                == [r.seq for r in live._records])
+        cold_changelog.close()
+
+
+#: The child runs a deterministic durable workload, reports what its
+#: stores say is recoverable, then dies by real SIGKILL mid-breath —
+#: no atexit, no flush, no orderly close.
+_CHILD = """
+import json, os, signal, sys
+from repro.compiler.pipeline import compile_program
+from repro.runtimes.state import materialize_snapshot
+from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
+from repro.runtimes.stateflow.coordinator import CoordinatorConfig
+from repro.substrates.simulation import Simulation
+from repro.workloads import Account, DriverConfig, WorkloadDriver, \\
+    YcsbWorkload
+
+durable, report = sys.argv[1], sys.argv[2]
+config = StateflowConfig(
+    workers=3, state_backend="dict", snapshot_mode="incremental",
+    pipeline_depth=2, durability_dir=durable,
+    coordinator=CoordinatorConfig(
+        snapshot_interval_ms=150.0, failure_detect_ms=200.0,
+        snapshot_base_every=3))
+runtime = StateflowRuntime(compile_program([Account]),
+                           sim=Simulation(seed=11), config=config)
+workload = YcsbWorkload("T", record_count=16, distribution="uniform",
+                        seed=12, initial_balance=1_000)
+runtime.preload(Account, workload.dataset_rows())
+runtime.start()
+driver = WorkloadDriver(runtime, workload, DriverConfig(
+    rps=150.0, duration_ms=1_000.0, warmup_ms=0.0, drain_ms=20_000.0,
+    seed=13))
+driver.run()
+runtime.sim.run(until=runtime.sim.now + 20_000.0)
+coordinator = runtime.coordinator
+snapshot, payload = coordinator.snapshots.latest_recoverable(
+    coordinator.changelog)
+state = materialize_snapshot(payload)
+with open(report, "w") as handle:
+    json.dump({"snapshot_id": snapshot.snapshot_id,
+               "head_seq": coordinator.changelog.head_seq,
+               "state": repr(sorted(state.items(), key=repr))}, handle)
+    handle.flush()
+    os.fsync(handle.fileno())
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+class TestRealKill:
+    def test_sigkill_loses_nothing_durable(self, tmp_path):
+        durable = tmp_path / "durable"
+        report = tmp_path / "report.json"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(durable), str(report)],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert child.returncode == -signal.SIGKILL, child.stderr
+        dying_words = json.loads(report.read_text(encoding="utf-8"))
+
+        cold_snapshots, cold_changelog = reopen_stores(durable)
+        snapshot, payload = cold_snapshots.latest_recoverable(cold_changelog)
+        state = materialize_snapshot(payload)
+        assert snapshot.snapshot_id == dying_words["snapshot_id"]
+        assert cold_changelog.head_seq == dying_words["head_seq"]
+        assert repr(sorted(state.items(), key=repr)) == dying_words["state"]
+        cold_changelog.close()
+
+
+@pytest.mark.slow
+class TestRealKillOnProcessSubstrate:
+    def test_worker_sigkill_with_durable_stores(self, tmp_path,
+                                                account_program):
+        """Real worker processes, a real mid-history kill, real files:
+        the history stays exact and a cold reopen of the durability
+        directory resolves what the live coordinator resolves."""
+        config = StateflowConfig(
+            spawner="process", workers=3, exec_service_ms=0.0,
+            state_op_ms=0.0, snapshot_mode="incremental",
+            durability_dir=str(tmp_path),
+            coordinator=CoordinatorConfig(
+                conflict_check_ms_per_txn=0.0, dispatch_ms_per_txn=0.0,
+                failure_detect_ms=2_000.0, snapshot_interval_ms=500.0,
+                snapshot_base_every=3))
+        runtime = StateflowRuntime(account_program, config=config)
+        try:
+            (ref,) = runtime.preload(Account, [("hot", 0)])
+            runtime.start()
+            increments = [1 + (i % 9) for i in range(30)]
+            replies = []
+
+            def submit(amount):
+                runtime.submit(ref, "add", (amount,),
+                               on_reply=lambda r: replies.append(
+                                   r.request_id))
+
+            for amount in increments[:10]:
+                submit(amount)
+            runtime.sim.run_until(lambda: len(replies) >= 5,
+                                  max_time=runtime.sim.now + 90_000.0)
+            runtime.fail_worker(1)  # a real SIGKILL under the hood
+            for amount in increments[10:]:
+                submit(amount)
+            expected = sum(increments)
+            assert runtime.sim.run_until(
+                lambda: (runtime.entity_state(ref) or {}).get("balance")
+                == expected and len(replies) >= len(increments),
+                max_time=runtime.sim.now + 90_000.0)
+            coordinator = runtime.coordinator
+            live_snapshot, live_payload = \
+                coordinator.snapshots.latest_recoverable(
+                    coordinator.changelog)
+            live_state = materialize_snapshot(live_payload)
+        finally:
+            runtime.close()
+
+        cold_snapshots, cold_changelog = reopen_stores(tmp_path)
+        cold_snapshot, cold_payload = cold_snapshots.latest_recoverable(
+            cold_changelog)
+        assert cold_snapshot.snapshot_id == live_snapshot.snapshot_id
+        assert materialize_snapshot(cold_payload) == live_state
+        cold_changelog.close()

@@ -1,0 +1,178 @@
+"""File-backed changelog: segment files, fsync accounting, torn-tail
+truncation, physical rewind and whole-segment compaction."""
+
+import pytest
+
+from repro.storage import FileChangelogStore, read_manifest, open_layout
+
+
+def writes_for(n):
+    return {("Account", f"k{n}"): {"balance": float(n)}}
+
+
+def fill(store, count, *, start=0):
+    for n in range(start, start + count):
+        store.append(n, writes_for(n), at_ms=float(n) * 10.0)
+
+
+class TestRoundTrip:
+    def test_append_close_reopen_restores_every_record(self, tmp_path):
+        store = FileChangelogStore(tmp_path)
+        fill(store, 5)
+        before = [(r.seq, r.batch_id, r.writes, r.at_ms)
+                  for r in store._records]
+        store.close()
+
+        reopened = FileChangelogStore(tmp_path)
+        after = [(r.seq, r.batch_id, r.writes, r.at_ms)
+                 for r in reopened._records]
+        assert after == before
+        assert reopened.head_seq == 4
+        assert reopened.loaded == 5
+        # Sequencing continues where the dead process stopped.
+        assert reopened.append(99, writes_for(99)) == 5
+
+    def test_every_append_is_fsynced(self, tmp_path):
+        store = FileChangelogStore(tmp_path)
+        fill(store, 7)
+        assert store.fsyncs == 7
+        assert store.bytes_written > 0
+
+        relaxed = FileChangelogStore(tmp_path / "relaxed", fsync=False)
+        fill(relaxed, 7)
+        assert relaxed.fsyncs == 0
+
+    def test_duplicate_append_hits_memory_and_disk_once(self, tmp_path):
+        store = FileChangelogStore(tmp_path)
+        seq = store.append(7, writes_for(7))
+        written = store.bytes_written
+        assert store.append(7, writes_for(7)) == seq  # redelivered close
+        assert store.bytes_written == written
+        store.close()
+        assert FileChangelogStore(tmp_path).loaded == 1
+
+
+class TestTornTail:
+    def test_partial_trailing_frame_is_truncated(self, tmp_path):
+        store = FileChangelogStore(tmp_path)
+        fill(store, 3)
+        store.close()
+        [segment] = list((tmp_path / "changelog").glob("segment-*.log"))
+        intact = segment.stat().st_size
+        # A crash mid-append leaves half a frame on disk.
+        with open(segment, "ab") as handle:
+            handle.write(b"SF\x00\x00\x00\xff half-a-frame")
+
+        reopened = FileChangelogStore(tmp_path)
+        assert reopened.loaded == 3
+        assert reopened.torn_tail_bytes > 0
+        assert segment.stat().st_size == intact
+        # The log stays appendable after the repair.
+        assert reopened.append(3, writes_for(3)) == 3
+
+    def test_corrupt_frame_body_drops_the_suffix(self, tmp_path):
+        store = FileChangelogStore(tmp_path)
+        fill(store, 4)
+        offsets = dict(store._offsets)
+        store.close()
+        [segment] = list((tmp_path / "changelog").glob("segment-*.log"))
+        # Zero out record 2's bytes (frame framing intact, body rotted):
+        # everything from the corruption on is untrusted.
+        _, end_1 = offsets[1]
+        _, end_2 = offsets[2]
+        data = bytearray(segment.read_bytes())
+        data[end_1 + 8:end_2] = bytes(len(data[end_1 + 8:end_2]))
+        segment.write_bytes(bytes(data))
+
+        reopened = FileChangelogStore(tmp_path)
+        assert [r.seq for r in reopened._records] == [0, 1]
+        assert reopened.torn_tail_bytes > 0
+
+    def test_segments_after_a_torn_one_are_dropped(self, tmp_path):
+        store = FileChangelogStore(tmp_path, segment_records=2)
+        fill(store, 6)
+        store.close()
+        segments = sorted((tmp_path / "changelog").glob("segment-*.log"))
+        assert len(segments) == 3
+        # Tear the middle segment mid-record: the third segment's
+        # records come after the tear, so they are from a lost timeline.
+        middle = segments[1]
+        middle.write_bytes(middle.read_bytes()[:-3])
+
+        reopened = FileChangelogStore(tmp_path)
+        assert [r.seq for r in reopened._records] == [0, 1, 2]
+        assert not segments[2].exists()
+
+
+class TestSegments:
+    def test_appends_roll_into_new_segments(self, tmp_path):
+        store = FileChangelogStore(tmp_path, segment_records=2)
+        fill(store, 5)
+        names = sorted(p.name for p in
+                       (tmp_path / "changelog").glob("segment-*.log"))
+        assert names == ["segment-0000000000.log", "segment-0000000002.log",
+                         "segment-0000000004.log"]
+        store.close()
+        assert FileChangelogStore(tmp_path, segment_records=2).loaded == 5
+
+    def test_truncate_through_drops_dead_segments(self, tmp_path):
+        store = FileChangelogStore(tmp_path, segment_records=2)
+        fill(store, 6)
+        store.truncate_through(3)
+        assert store.segments_dropped == 2
+        names = sorted(p.name for p in
+                       (tmp_path / "changelog").glob("segment-*.log"))
+        assert names == ["segment-0000000004.log"]
+        assert read_manifest(open_layout(tmp_path))["changelog_floor"] == 3
+        store.close()
+        reopened = FileChangelogStore(tmp_path, segment_records=2)
+        assert [r.seq for r in reopened._records] == [4, 5]
+
+    def test_records_below_the_floor_are_skipped_on_reload(self, tmp_path):
+        # The floor can land inside the live segment: its file survives
+        # (appends keep landing there) but the dead prefix must not
+        # come back on a cold start.
+        store = FileChangelogStore(tmp_path, segment_records=4)
+        fill(store, 3)
+        store.truncate_through(1)
+        assert [r.seq for r in store._records] == [2]
+        store.close()
+        reopened = FileChangelogStore(tmp_path, segment_records=4)
+        assert [r.seq for r in reopened._records] == [2]
+        assert reopened.head_seq == 2
+
+
+class TestRewind:
+    def test_rewind_truncates_disk_and_counts_the_loss(self, tmp_path):
+        store = FileChangelogStore(tmp_path)
+        fill(store, 5)
+        store.rewind_to(2)
+        assert store.rewound == 2
+        assert store.bytes_rewound > 0
+        assert store.head_seq == 2
+        store.close()
+        # The orphaned suffix must not resurrect on a cold start.
+        reopened = FileChangelogStore(tmp_path)
+        assert [r.seq for r in reopened._records] == [0, 1, 2]
+
+    def test_append_after_rewind_reuses_seqs_durably(self, tmp_path):
+        store = FileChangelogStore(tmp_path, segment_records=2)
+        fill(store, 6)
+        store.rewind_to(2)
+        store.append(100, writes_for(100), at_ms=1000.0)
+        assert store.head_seq == 3
+        store.close()
+        reopened = FileChangelogStore(tmp_path, segment_records=2)
+        assert [(r.seq, r.batch_id) for r in reopened._records] == [
+            (0, 0), (1, 1), (2, 2), (3, 100)]
+
+    def test_rewind_below_every_record_empties_the_log(self, tmp_path):
+        store = FileChangelogStore(tmp_path)
+        fill(store, 3)
+        store.rewind_to(-1)
+        assert store.head_seq == -1
+        assert store.rewound == 3
+        store.append(50, writes_for(50))
+        store.close()
+        reopened = FileChangelogStore(tmp_path)
+        assert [(r.seq, r.batch_id) for r in reopened._records] == [(0, 50)]
