@@ -1,0 +1,213 @@
+"""``repro bench --cell views``: incremental maintenance vs full scan.
+
+The cell drives a YCSB-A/zipfian write mix against StateFlow with four
+registered views (filtered count, global sum, per-bucket rollup, top-10)
+and measures, per state size:
+
+- **per-commit maintenance cost** — the wall-clock nanoseconds the view
+  manager spends folding each batch's write footprint into every plan
+  (O(changed keys)), straight off the manager's ledger;
+- **full-scan cost** — the wall-clock time recomputing all four views
+  from the committed store (O(state)), i.e. what every read would pay
+  without incremental maintenance;
+- **freshness lag** — simulated milliseconds between a batch commit and
+  the pushed update's delivery to a subscriber over the network
+  substrate;
+- **exactness** — a sampled per-commit probe comparing every view to
+  the full-scan oracle (zero mismatches gates the cell).
+
+The committed artifact (``BENCH_views.json``) carries the >=10x speedup
+gate at the 10k-key leg: the whole point of the O(changed-keys) read
+path is that refreshing a view costs orders of magnitude less than
+scanning state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..query import QueryEngine, ViewSpec
+from ..runtimes.stateflow import StateflowConfig, StateflowRuntime
+from ..substrates.simulation import Simulation
+from ..workloads import Account, DriverConfig, WorkloadDriver, YcsbWorkload
+from .harness import default_state_backend, ycsb_program
+
+#: The speedup the 10k-key leg must clear (incremental refresh vs full
+#: scan) for the cell to pass.
+SPEEDUP_FLOOR = 10.0
+#: Ceiling on observed subscription delivery lag, in simulated ms.
+LAG_CEILING_MS = 50.0
+#: The record counts swept by default ("10k-100k keys").
+RECORD_COUNTS = (10_000, 100_000)
+#: Full-scan timing repetitions (best-of, to shed scheduler noise).
+SCAN_REPEATS = 3
+
+
+def _rich(row: dict) -> bool:
+    return row["balance"] >= 1_000
+
+
+def _bucket(row: dict) -> str:
+    # Last character of the key: ~10 stable groups at any state size.
+    return row["account_id"][-1]
+
+
+def cell_views() -> list[ViewSpec]:
+    """The four standing queries the cell maintains — one per supported
+    shape: filtered count, global sum, per-group rollup, bounded top-k."""
+    return [
+        ViewSpec("rich-count", "Account", "count", where=_rich),
+        ViewSpec("total-balance", "Account", "sum", field="balance"),
+        ViewSpec("balance-by-bucket", "Account", "sum", field="balance",
+                 group_by=_bucket),
+        ViewSpec("top-10", "Account", "top_k", field="balance", k=10),
+    ]
+
+
+def run_views_leg(record_count: int, *, seed: int = 42,
+                  state_backend: str | None = None,
+                  rps: float = 200.0, duration_ms: float = 6_000.0,
+                  drain_ms: float = 6_000.0) -> dict[str, Any]:
+    """One leg: drive load at *record_count* keys, return its metrics."""
+    from ..ir.dataflow import stable_hash
+
+    backend = state_backend or default_state_backend()
+    seed = seed + stable_hash(f"views|{record_count}|{rps}") % 997
+    config = StateflowConfig(state_backend=backend,
+                             snapshot_mode="incremental")
+    runtime = StateflowRuntime(ycsb_program(), sim=Simulation(seed=seed),
+                               config=config)
+    workload = YcsbWorkload("A", record_count=record_count,
+                            distribution="zipfian", seed=seed + 1)
+    runtime.preload(Account, workload.dataset_rows())
+    runtime.start()
+
+    engine = QueryEngine(runtime)
+    names = [engine.register_view(spec).name for spec in cell_views()]
+
+    # Sampled exactness probe: every Nth commit, diff every view against
+    # the O(state) oracle.  Sampling keeps the probe from dominating the
+    # run's wall time at 100k keys; the tests/ battery checks every
+    # batch on smaller states.
+    manager = runtime.views
+    probe_every = max(1, record_count // 1_000)
+    probe_state = {"commits": 0, "checks": 0, "mismatches": 0}
+
+    def probe(batch_id: int) -> None:
+        probe_state["commits"] += 1
+        if probe_state["commits"] % probe_every:
+            return
+        for name in names:
+            probe_state["checks"] += 1
+            if manager.read(name).value != manager.expected(name):
+                probe_state["mismatches"] += 1
+
+    manager.probe = probe
+
+    # Freshness: simulated delivery lag of pushed updates, measured at
+    # the subscriber (network hop included).
+    lags_ms: list[float] = []
+    engine.subscribe_view(
+        "total-balance",
+        lambda update: lags_ms.append(runtime.sim.now - update.at_ms))
+
+    driver = WorkloadDriver(runtime, workload, DriverConfig(
+        rps=rps, duration_ms=duration_ms,
+        warmup_ms=min(2_000.0, duration_ms / 5),
+        drain_ms=drain_ms, seed=seed + 2))
+    result = driver.run()
+
+    commits = max(1, manager.commits_applied)
+    maintenance_ms_per_commit = manager.maintenance_ns / commits / 1e6
+
+    # The counterfactual: what every refresh would cost without the
+    # incremental path — recompute all registered views from the
+    # committed store (same oracle the probe trusts).
+    full_scan_ms = min(
+        _timed_full_scan(manager, names) for _ in range(SCAN_REPEATS))
+
+    speedup = (full_scan_ms / maintenance_ms_per_commit
+               if maintenance_ms_per_commit > 0 else float("inf"))
+    freshness = runtime.views.read("total-balance")
+    return {
+        "record_count": record_count,
+        "state_backend": backend,
+        "rps": rps,
+        "duration_ms": duration_ms,
+        "requests_completed": result.completed,
+        "commits_applied": manager.commits_applied,
+        "keys_applied": manager.keys_applied,
+        "maintenance_ms_per_commit": round(maintenance_ms_per_commit, 6),
+        "full_scan_ms": round(full_scan_ms, 4),
+        "speedup": round(speedup, 2),
+        "probe_checks": probe_state["checks"],
+        "probe_mismatches": probe_state["mismatches"],
+        "freshness": {
+            "updates_delivered": len(lags_ms),
+            "max_lag_ms": round(max(lags_ms), 4) if lags_ms else None,
+            "mean_lag_ms": (round(sum(lags_ms) / len(lags_ms), 4)
+                            if lags_ms else None),
+            "final_lag_batches": freshness.lag_batches,
+        },
+    }
+
+
+def _timed_full_scan(manager, names: list[str]) -> float:
+    started = time.perf_counter_ns()
+    for name in names:
+        manager.expected(name)
+    return (time.perf_counter_ns() - started) / 1e6
+
+
+def run_views_cell(*, seed: int = 42, state_backend: str | None = None,
+                   record_counts: tuple[int, ...] = RECORD_COUNTS,
+                   rps: float = 200.0, duration_ms: float = 6_000.0,
+                   ) -> dict[str, Any]:
+    """Run every leg and assemble the ``BENCH_views.json`` payload."""
+    legs = [run_views_leg(count, seed=seed, state_backend=state_backend,
+                          rps=rps, duration_ms=duration_ms)
+            for count in record_counts]
+    smallest = legs[0]
+    max_lags = [leg["freshness"]["max_lag_ms"] for leg in legs
+                if leg["freshness"]["max_lag_ms"] is not None]
+    gates = {
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_at_smallest_leg": smallest["speedup"],
+        "speedup_ok": smallest["speedup"] >= SPEEDUP_FLOOR,
+        "lag_ceiling_ms": LAG_CEILING_MS,
+        "max_lag_ms": max(max_lags) if max_lags else None,
+        "lag_ok": bool(max_lags) and max(max_lags) <= LAG_CEILING_MS,
+        "zero_mismatches": all(
+            leg["probe_mismatches"] == 0 and leg["probe_checks"] > 0
+            for leg in legs),
+    }
+    return {
+        "cell": "views",
+        "views": [spec.name for spec in cell_views()],
+        "legs": legs,
+        "gates": gates,
+        "ok": gates["speedup_ok"] and gates["lag_ok"]
+              and gates["zero_mismatches"],
+    }
+
+
+def format_views_summary(artifact: dict[str, Any]) -> str:
+    gates = artifact["gates"]
+    lines = []
+    for leg in artifact["legs"]:
+        lines.append(
+            f"{leg['record_count']} keys: "
+            f"{leg['maintenance_ms_per_commit']:.4f} ms/commit "
+            f"incremental vs {leg['full_scan_ms']:.2f} ms full scan "
+            f"({leg['speedup']:.0f}x), max push lag "
+            f"{leg['freshness']['max_lag_ms']} ms, "
+            f"{leg['probe_checks']} oracle checks, "
+            f"{leg['probe_mismatches']} mismatches")
+    verdict = "PASS" if artifact["ok"] else "FAIL"
+    lines.append(
+        f"{verdict}: speedup {gates['speedup_at_smallest_leg']:.0f}x "
+        f"(floor {gates['speedup_floor']:.0f}x), max lag "
+        f"{gates['max_lag_ms']} ms (ceiling {gates['lag_ceiling_ms']} ms), "
+        f"mismatches {'none' if gates['zero_mismatches'] else 'FOUND'}")
+    return "\n".join(lines)

@@ -19,6 +19,11 @@ Commands:
   ``--cell autoscale`` drives a zipfian rate/skew ramp twice — once
   with the closed-loop controller, once at fixed size — and writes
   ``BENCH_autoscale.json`` with the post-scale p99-SLO gate;
+  ``--cell views`` registers four standing queries, drives a write mix
+  at 10k-100k keys, and writes ``BENCH_views.json`` with the >=10x
+  incremental-vs-full-scan speedup gate and the freshness-lag gate;
+  ``--rps-sweep R1,R2,...`` turns the ycsb cell into a rate sweep
+  across both state backends;
 - ``chaos plan --seed N --out plan.json`` — generate a reproducible
   random fault plan;
 - ``chaos run [--plan plan.json] [--seed N] ...`` — execute a workload
@@ -201,11 +206,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 #: an invalid invocation tells the user what *would* work.
 SPAWNER_MATRIX = (
     "valid combinations: --spawner simulator (the default) runs every "
-    "cell (ycsb / pipeline / recovery / autoscale) and composes with "
-    "--faults, --rescale and --autoscale; --spawner process runs "
+    "cell (ycsb / pipeline / recovery / autoscale / views) and composes "
+    "with --faults, --rescale and --autoscale; --spawner process runs "
     "--system stateflow with --cell ycsb (optionally --autoscale) or "
     "--cell pipeline, and rejects --faults/--rescale and the "
-    "recovery/autoscale cells (they drive virtual-time simulator "
+    "recovery/autoscale/views cells (they drive virtual-time simulator "
     "internals)")
 
 
@@ -240,11 +245,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                              "not compose with --faults/--rescale (fault "
                              "plans drive simulator internals); "
                              + SPAWNER_MATRIX)
-        if args.cell in ("recovery", "autoscale"):
+        if args.cell in ("recovery", "autoscale", "views"):
             raise SystemExit(f"repro bench: error: --cell {args.cell} "
                              "is simulator-only (its sweep measures "
                              "virtual-time behaviour deterministically); "
                              + SPAWNER_MATRIX)
+    if args.rps_sweep is not None and args.cell != "ycsb":
+        raise SystemExit(f"repro bench: error: --rps-sweep drives the "
+                         f"ycsb cell; drop it for --cell {args.cell}")
     if args.cell == "autoscale":
         if args.system != "stateflow":
             raise SystemExit("repro bench: error: --cell autoscale runs "
@@ -264,6 +272,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit("repro bench: error: --cell autoscale runs "
                              "canonical configurations; drop --durable")
         return _run_autoscale_cell(args, backend)
+    if args.cell == "views":
+        if args.system != "stateflow":
+            raise SystemExit("repro bench: error: --cell views runs on "
+                             "stateflow (views hang off the Aria commit "
+                             "path); " + SPAWNER_MATRIX)
+        if args.faults is not None or args.rescale is not None:
+            raise SystemExit("repro bench: error: --cell views does not "
+                             "compose with --faults/--rescale (the "
+                             "correctness battery in tests/ covers views "
+                             "under chaos and rescale; the cell measures "
+                             "a clean run)")
+        if args.autoscale:
+            raise SystemExit("repro bench: error: --cell views measures "
+                             "a fixed deployment; drop --autoscale")
+        if args.pipeline_depth is not None or args.snapshot_mode is not None:
+            raise SystemExit("repro bench: error: --cell views runs "
+                             "canonical configurations (incremental "
+                             "snapshots, default pipeline); drop "
+                             "--pipeline-depth/--snapshot-mode")
+        if args.changelog is not None or args.durable is not None:
+            raise SystemExit("repro bench: error: --cell views runs "
+                             "canonical configurations; drop "
+                             "--changelog/--durable")
+        return _run_views_cell(args, backend)
     if args.cell == "pipeline":
         # The sweep owns the depth axis and the saturating deployment;
         # flags it cannot honour are rejected, not silently dropped.
@@ -341,28 +373,84 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["autoscale"] = True
     if args.durable is not None:
         overrides["durability_dir"] = args.durable
-    row = run_ycsb_cell(args.system, args.workload, args.distribution,
-                        rps=args.rps if args.rps is not None else 100.0,
-                        duration_ms=(args.duration_ms
-                                     if args.duration_ms is not None
-                                     else 2_000.0),
-                        record_count=(args.records
-                                      if args.records is not None else 100),
-                        seed=args.seed,
-                        state_backend=backend, fault_plan=plan,
-                        spawner=args.spawner,
-                        runtime_overrides=overrides or None)
+    duration_ms = (args.duration_ms if args.duration_ms is not None
+                   else 2_000.0)
+    record_count = args.records if args.records is not None else 100
+    if args.rps_sweep is not None:
+        # A proper sweep: every requested rate, on both state backends
+        # unless --state-backend pins one.  All rows land in one
+        # BENCH_ycsb.json so the rate/latency curve is an artifact, not
+        # scrollback.
+        rates = _parse_rps_sweep(args.rps_sweep)
+        backends = ([args.state_backend] if args.state_backend
+                    else sorted(BACKENDS))
+        rows = [run_ycsb_cell(args.system, args.workload,
+                              args.distribution, rps=rate,
+                              duration_ms=duration_ms,
+                              record_count=record_count, seed=args.seed,
+                              state_backend=sweep_backend, fault_plan=plan,
+                              spawner=args.spawner,
+                              runtime_overrides=(dict(overrides)
+                                                 if overrides else None))
+                for sweep_backend in backends for rate in rates]
+        title = (f"YCSB {args.workload}/{args.distribution} on "
+                 f"{args.system}, rps sweep "
+                 f"{'/'.join(str(r) for r in rates)} x "
+                 f"{'/'.join(backends)}")
+    else:
+        rows = [run_ycsb_cell(
+            args.system, args.workload, args.distribution,
+            rps=args.rps if args.rps is not None else 100.0,
+            duration_ms=duration_ms, record_count=record_count,
+            seed=args.seed, state_backend=backend, fault_plan=plan,
+            spawner=args.spawner, runtime_overrides=overrides or None)]
+        title = f"YCSB {args.workload}/{args.distribution} on {args.system}"
     columns = ["system", "workload", "distribution", "state_backend",
                "rps", "p50_ms", "p99_ms", "mean_ms", "completed", "errors"]
     if plan is not None and args.system == "stateflow":
         columns += ["recoveries", "msg_dropped"]
-    print(format_table(
-        [row], f"YCSB {args.workload}/{args.distribution} on {args.system}",
-        columns=columns))
+    print(format_table(rows, title, columns=columns))
     path = write_bench_artifact("ycsb", {"cell": "ycsb",
-                                         "rows": [row.as_dict()]})
+                                         "rows": [row.as_dict()
+                                                  for row in rows]})
     print(f"wrote {path}")
     return 0
+
+
+def _parse_rps_sweep(text: str) -> list[float]:
+    try:
+        rates = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"repro bench: error: --rps-sweep expects "
+                         f"comma-separated rates, got {text!r}")
+    if not rates or any(rate <= 0 for rate in rates):
+        raise SystemExit(f"repro bench: error: --rps-sweep needs positive "
+                         f"rates, got {text!r}")
+    return rates
+
+
+def _run_views_cell(args: argparse.Namespace, backend: str) -> int:
+    """``repro bench --cell views``: incremental view maintenance vs
+    full scans at 10k-100k keys, persisted as ``BENCH_views.json``."""
+    from .bench import (format_views_summary, run_views_cell,
+                        write_bench_artifact)
+
+    cell_args: dict = {"state_backend": backend, "seed": args.seed}
+    if args.rps is not None:
+        cell_args["rps"] = args.rps
+    if args.duration_ms is not None:
+        cell_args["duration_ms"] = args.duration_ms
+    if args.records is not None:
+        cell_args["record_counts"] = (args.records,)
+    artifact = run_views_cell(**cell_args)
+    title = (f"incremental views: maintenance vs full scan, "
+             f"{backend} backend")
+    print(title)
+    print("-" * len(title))
+    print(format_views_summary(artifact))
+    path = write_bench_artifact("views", artifact)
+    print(f"wrote {path}")
+    return 0 if artifact["ok"] else 1
 
 
 def _print_pipeline_rows(report) -> None:
@@ -660,6 +748,12 @@ def build_parser() -> argparse.ArgumentParser:
     # None = the active cell's own default (ycsb: 100 rps / 2000 ms /
     # 100 records; pipeline: its saturating sweep configuration).
     bench_cmd.add_argument("--rps", type=float, default=None)
+    bench_cmd.add_argument("--rps-sweep", default=None,
+                           metavar="R1,R2,...",
+                           help="run the ycsb cell at each rate (and on "
+                                "both state backends unless "
+                                "--state-backend pins one); all rows "
+                                "land in one BENCH_ycsb.json")
     bench_cmd.add_argument("--duration-ms", type=float, default=None)
     bench_cmd.add_argument("--records", type=int, default=None)
     bench_cmd.add_argument("--seed", type=int, default=42)
@@ -703,7 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "from them")
     bench_cmd.add_argument("--cell", default="ycsb",
                            choices=["ycsb", "pipeline", "recovery",
-                                    "autoscale"],
+                                    "autoscale", "views"],
                            help="'pipeline' sweeps depth 1/2/4 on a "
                                 "saturating YCSB-A/zipfian cell and "
                                 "writes BENCH_pipeline.json; 'recovery' "
@@ -712,7 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "BENCH_recovery.json; 'autoscale' "
                                 "drives a zipfian rate/skew ramp with "
                                 "and without the closed-loop controller "
-                                "and writes BENCH_autoscale.json")
+                                "and writes BENCH_autoscale.json; "
+                                "'views' measures incremental view "
+                                "maintenance vs full scans at 10k-100k "
+                                "keys and writes BENCH_views.json")
     bench_cmd.set_defaults(handler=_cmd_bench)
 
     chaos_cmd = commands.add_parser(

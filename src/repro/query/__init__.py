@@ -1,5 +1,14 @@
 """Querying stateful entities (paper Section 5 / S-QUERY [46])."""
 
+from ..views import ViewSnapshot, ViewSpec, ViewUpdate
 from .engine import Predicate, QueryEngine, QueryError, QueryResult
 
-__all__ = ["Predicate", "QueryEngine", "QueryError", "QueryResult"]
+__all__ = [
+    "Predicate",
+    "QueryEngine",
+    "QueryError",
+    "QueryResult",
+    "ViewSnapshot",
+    "ViewSpec",
+    "ViewUpdate",
+]

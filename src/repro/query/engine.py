@@ -29,12 +29,14 @@ S-QUERY [46] and RAMP read-atomic transactions [7]:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from ..core.errors import StatefulEntityError
 from ..runtimes.state import apply_flat_writes, materialize_snapshot
 from ..runtimes.stateflow.snapshots import SnapshotChainError
+from ..views import ViewSnapshot, ViewSpec, ViewUpdate, rank_key
 
 
 class QueryError(StatefulEntityError):
@@ -80,18 +82,23 @@ class QueryEngine:
         self._runtime = runtime
 
     # -- state sources ------------------------------------------------------
-    def _live_items(self) -> Iterable[tuple[tuple[str, Any], dict[str, Any]]]:
+    def _live_store(self):
         runtime = self._runtime
         store = getattr(runtime, "committed", None)        # StateFlow
         if store is None:
             store = getattr(runtime, "state", None)        # Local/StateFun
-        if store is not None:
-            # keys()/get() is the backend-agnostic surface (dict, cow,
-            # partitioned) and returns copies, keeping predicates from
-            # mutating committed state.
-            return [(key, store.get(*key)) for key in store.keys()]
-        raise QueryError(
-            f"runtime {type(runtime).__name__} exposes no queryable state")
+        if store is None:
+            raise QueryError(
+                f"runtime {type(runtime).__name__} exposes no queryable "
+                f"state")
+        return store
+
+    def _live_items(self) -> Iterable[tuple[tuple[str, Any], dict[str, Any]]]:
+        # keys()/get() is the backend-agnostic surface (dict, cow,
+        # partitioned) and returns copies, keeping predicates from
+        # mutating committed state.
+        store = self._live_store()
+        return [(key, store.get(*key)) for key in store.keys()]
 
     @staticmethod
     def _changelog_of(coordinator):
@@ -178,31 +185,29 @@ class QueryEngine:
             f"before the retained history (older cuts and changelog "
             f"records were compacted away)")
 
-    # -- core ------------------------------------------------------------
-    def select(self, entity: str, *,
-               where: Predicate | None = None,
-               project: list[str] | None = None,
-               order_by: str | None = None,
-               descending: bool = False,
-               limit: int | None = None,
-               consistency: str = "live",
-               at_batch: int | None = None,
-               at_ms: float | None = None) -> QueryResult:
-        """SQL-ish scan over every instance of *entity*.
+    def _source_items(self, entity: str, *, consistency: str,
+                      at_batch: int | None, at_ms: float | None,
+                      key: Any = None) -> tuple[Iterable, float | None]:
+        """Resolve the consistency level to ``(items, as_of_ms)``.
 
-        ``where`` receives the full state dict; ``project`` restricts the
-        returned fields (the partition key is always included as
-        ``__key__``).  ``consistency="as_of"`` time-travels to
-        ``at_batch=N`` or ``at_ms=T`` (exactly one required).
+        A non-``None`` *key* is the point-read fast path: a live read
+        goes straight to ``store.get(entity, key)`` without enumerating
+        ``store.keys()`` — O(1), never O(state).  Snapshot and as-of
+        reads must still resolve the historical cut (that cost is the
+        consistency level's, not the scan's), then narrow to the key.
         """
         if consistency != "as_of" and (at_batch is not None
                                        or at_ms is not None):
             raise QueryError(
                 "at_batch=/at_ms= require consistency='as_of'")
         if consistency == "live":
-            items = self._live_items()
             as_of = getattr(getattr(self._runtime, "sim", None), "now", None)
-        elif consistency == "snapshot":
+            if key is not None:
+                state = self._live_store().get(entity, key)
+                return ([] if state is None
+                        else [((entity, key), state)]), as_of
+            return self._live_items(), as_of
+        if consistency == "snapshot":
             items, as_of = self._snapshot_items(entity)
         elif consistency == "as_of":
             items, as_of = self._as_of_items(entity, at_batch=at_batch,
@@ -211,7 +216,14 @@ class QueryEngine:
             raise QueryError(
                 f"unknown consistency level {consistency!r}; "
                 f"pick 'live', 'snapshot' or 'as_of'")
+        if key is not None:
+            items = [(composite, state) for composite, state in items
+                     if composite == (entity, key)]
+        return items, as_of
 
+    def _build_rows(self, entity: str, items: Iterable, *,
+                    where: Predicate | None,
+                    project: list[str] | None = None) -> list[dict]:
         rows = []
         for (entity_name, key), state in items:
             if entity_name != entity or state is None:
@@ -228,6 +240,32 @@ class QueryEngine:
                 row = {field: state[field] for field in project}
             row["__key__"] = key
             rows.append(row)
+        return rows
+
+    # -- core ------------------------------------------------------------
+    def select(self, entity: str, *,
+               key: Any = None,
+               where: Predicate | None = None,
+               project: list[str] | None = None,
+               order_by: str | None = None,
+               descending: bool = False,
+               limit: int | None = None,
+               consistency: str = "live",
+               at_batch: int | None = None,
+               at_ms: float | None = None) -> QueryResult:
+        """SQL-ish scan over every instance of *entity*.
+
+        ``key=`` narrows to one partition key — a live point read
+        resolves through ``store.get`` without materializing the whole
+        entity.  ``where`` receives the full state dict; ``project``
+        restricts the returned fields (the partition key is always
+        included as ``__key__``).  ``consistency="as_of"`` time-travels
+        to ``at_batch=N`` or ``at_ms=T`` (exactly one required).
+        """
+        items, as_of = self._source_items(entity, consistency=consistency,
+                                          at_batch=at_batch, at_ms=at_ms,
+                                          key=key)
+        rows = self._build_rows(entity, items, where=where, project=project)
 
         if order_by is not None:
             for row in rows:
@@ -305,8 +343,58 @@ class QueryEngine:
         return max(self._field_values(result, field, entity))
 
     def top_k(self, entity: str, field: str, k: int, *,
+              where: Predicate | None = None,
               consistency: str = "live", at_batch: int | None = None,
               at_ms: float | None = None) -> QueryResult:
-        return self.select(entity, order_by=field, descending=True,
-                           limit=k, consistency=consistency,
-                           at_batch=at_batch, at_ms=at_ms)
+        """The k highest-*field* rows, highest first.
+
+        A heap selection (``heapq.nlargest``), O(n log k) instead of the
+        O(n log n) full sort ``select(order_by=..., limit=k)`` pays.
+        Ties are broken by ascending key string — the same deterministic
+        order the incremental top-k view maintains, so the two paths
+        are directly comparable.
+        """
+        if k < 1:
+            raise QueryError(f"top_k needs k >= 1, got {k}")
+        items, as_of = self._source_items(entity, consistency=consistency,
+                                          at_batch=at_batch, at_ms=at_ms)
+        rows = self._build_rows(entity, items, where=where)
+        for row in rows:
+            if field not in row:
+                raise QueryError(
+                    f"unknown field {field!r} on entity {entity!r} "
+                    f"(instance {row['__key__']!r} has no such field)")
+        top = heapq.nlargest(
+            k, rows, key=lambda row: rank_key(row[field], row["__key__"]))
+        return QueryResult(entity=entity, rows=top,
+                           consistency=consistency, as_of_ms=as_of)
+
+    # -- materialized views ---------------------------------------------
+    def _view_manager(self, purpose: str):
+        views = getattr(self._runtime, "views", None)
+        if views is None:
+            raise QueryError(
+                f"{purpose} needs a runtime with materialized-view "
+                f"support (StateFlow)")
+        return views
+
+    def register_view(self, spec: ViewSpec) -> ViewSnapshot:
+        """Register a standing query; returns its first (hydrated)
+        snapshot.  Registration pays one O(state) scan; every later
+        refresh is incremental — O(changed keys) per committed batch."""
+        return self._view_manager("register_view").register(spec)
+
+    def unregister_view(self, name: str) -> None:
+        self._view_manager("unregister_view").unregister(name)
+
+    def view(self, name: str) -> ViewSnapshot:
+        """Read a registered view: the maintained value plus freshness
+        metadata (last applied batch id, lag behind the commit head)."""
+        return self._view_manager("view").read(name)
+
+    def subscribe_view(self, name: str,
+                       callback: Callable[[ViewUpdate], None]) -> None:
+        """Push-subscribe to a view's maintenance deltas.  Deliveries
+        ride the runtime's transport (the network substrate on
+        StateFlow), off the commit path."""
+        self._view_manager("subscribe_view").subscribe(name, callback)

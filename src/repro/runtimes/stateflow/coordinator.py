@@ -268,6 +268,12 @@ class Coordinator:
         #: turns the windowed load into autonomous ``request_rescale``
         #: calls.
         self.autoscaler = autoscaler
+        #: Materialized-view maintenance (a :class:`~repro.views.
+        #: ViewManager`), or ``None``.  Fed the write footprint of every
+        #: closed batch — unconditionally, unlike the changelog: views
+        #: work in full-snapshot mode too — and rebuilt on recovery so
+        #: no view ever reflects an abandoned pipeline batch.
+        self.views: Any = None
         self._slot_of = getattr(committed, "slot_of", None)
         self.cpu = CpuPool(sim, 1, name="coordinator")
         if self.config.durability_dir:
@@ -771,7 +777,7 @@ class Coordinator:
             self.inflight.pop(batch.batch_id, None)
             self._last_closed = batch.batch_id
             self.stats.observe_close(self.sim.now - batch.started_at)
-            self._append_changelog(batch)
+            self._observe_batch_writes(batch)
             if self.config.pipeline_depth > 1:
                 self._footprints[batch.batch_id] = frozenset(batch.footprint)
             self._prune_pipeline_metadata()
@@ -789,25 +795,34 @@ class Coordinator:
         if self._can_seal():
             self._start_batch()
 
-    def _append_changelog(self, batch: _Batch) -> None:
-        """Record the batch's commit delta durably: the post-commit
-        state of every footprint key.  Runs at batch close, after every
-        write (multi-key, fallback, single-key) is installed, so the
-        read-back values are exactly what the batch left behind.  Keys a
-        footprint names but that never materialized (an errored
-        single-key transaction on an absent key) are skipped — the
-        runtime has no deletes, so absence means "was never written"."""
-        if (self.config.snapshot_mode != "incremental"
-                or not self.config.changelog_enabled or not batch.footprint):
-            return
-        writes = {}
-        for entity, key in batch.footprint:
-            state = self.committed.get(entity, key)
-            if state is not None:
-                writes[(entity, key)] = state
-        if writes:
+    def _observe_batch_writes(self, batch: _Batch) -> None:
+        """Fan the batch's commit delta out to its two consumers: the
+        durable changelog (incremental mode only) and view maintenance
+        (whenever views are registered).  The post-commit states are
+        read back once at batch close, after every write (multi-key,
+        fallback, single-key) is installed, so the values are exactly
+        what the batch left behind.  Keys a footprint names but that
+        never materialized (an errored single-key transaction on an
+        absent key) are skipped — the runtime has no deletes, so
+        absence means "was never written"."""
+        changelogging = (self.config.snapshot_mode == "incremental"
+                         and self.config.changelog_enabled)
+        viewing = self.views is not None and len(self.views)
+        writes: dict = {}
+        if batch.footprint and (changelogging or viewing):
+            for entity, key in batch.footprint:
+                state = self.committed.get(entity, key)
+                if state is not None:
+                    writes[(entity, key)] = state
+        if changelogging and writes:
             self.changelog.append(batch.batch_id, writes,
                                   at_ms=self.sim.now)
+        if viewing:
+            # Even an empty footprint advances view freshness: a closed
+            # read-only batch leaves views exactly as fresh as the
+            # store.
+            self.views.on_commit(batch.batch_id, writes,
+                                 at_ms=self.sim.now)
 
     def _prune_pipeline_metadata(self) -> None:
         """Release pinned views and footprints no in-flight batch can
@@ -1185,6 +1200,11 @@ class Coordinator:
         # post-recovery batch.  The committed-store version label tracks
         # them: everything below the next batch id counts as closed.
         self._last_closed = self._batch_seq - 1
+        if self.views is not None:
+            # Views rewind with the store: rebuild them from the
+            # restored state so nothing from the abandoned pipeline
+            # survives; replay re-feeds its effects under new batch ids.
+            self.views.on_restore(self._last_closed, at_ms=self.sim.now)
         self.hooks.source_seek(snapshot.source_offsets)
 
         def resume() -> None:

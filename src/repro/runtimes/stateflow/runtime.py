@@ -28,6 +28,7 @@ from ...substrates.kafka import KafkaBroker, KafkaConfig, KafkaRecord
 from ...substrates.network import LatencyModel, Network, NetworkConfig
 from ...substrates.simulation import MetricRecorder, Simulation
 from ...substrates.spawner import Spawner, make_spawner
+from ...views import ViewManager
 from ..base import InvocationResult, Runtime
 from ..executor import OperatorExecutor, run_constructor
 from ..state import PartitionedStore, SlotDelta, resolve_payload
@@ -195,6 +196,20 @@ class StateflowRuntime(Runtime):
         self.coordinator = Coordinator(self.sim, self.committed, hooks,
                                        self.config.coordinator,
                                        autoscaler=self.autoscaler)
+        #: Incremental materialized views (see :mod:`repro.views`):
+        #: maintained off the commit path from each closed batch's write
+        #: footprint; registered through
+        #: :meth:`~repro.query.engine.QueryEngine.register_view`.  Push
+        #: subscriptions fan view updates out over the network substrate
+        #: — one send per subscriber, never blocking the Aria commit —
+        #: so they work identically on the simulator and the
+        #: wallclock/process substrates.
+        self.views = ViewManager(
+            self.committed, clock=lambda: self.sim.now,
+            head=lambda: self.coordinator._last_closed)
+        self.views.transport = lambda deliver: self.network.send(
+            deliver, src="coordinator", dst="view-subscribers")
+        self.coordinator.views = self.views
         if self.config.rescale_plan is not None:
             for step in self.config.rescale_plan.validate().steps:
                 self.sim.schedule_at(

@@ -1,0 +1,47 @@
+"""Incremental materialized views: the O(changed-keys) read path.
+
+Standing queries (filtered counts/sums/avgs, per-group rollups, bounded
+top-k) compile into small dataflows of stateful update operators, each
+consuming the commit-time write-footprint deltas and emitting its own
+delta downstream — a view refresh costs O(changed keys), not O(state).
+See ``README.md`` ("Incremental materialized views") for the operator
+diagram and freshness semantics.
+"""
+
+from .compiler import (
+    KINDS,
+    CompiledView,
+    ViewCompiler,
+    ViewSpec,
+    compile_spec,
+    recompute,
+)
+from .manager import ViewManager, ViewSnapshot, ViewUpdate
+from .operators import (
+    TOMBSTONE,
+    Delta,
+    FilterMap,
+    GroupAggregate,
+    TopK,
+    ViewError,
+    rank_key,
+)
+
+__all__ = [
+    "CompiledView",
+    "Delta",
+    "FilterMap",
+    "GroupAggregate",
+    "KINDS",
+    "TOMBSTONE",
+    "TopK",
+    "ViewCompiler",
+    "ViewError",
+    "ViewManager",
+    "ViewSnapshot",
+    "ViewSpec",
+    "ViewUpdate",
+    "compile_spec",
+    "rank_key",
+    "recompute",
+]

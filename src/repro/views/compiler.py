@@ -1,0 +1,202 @@
+"""Standing-query compiler: specs normalized into operator dataflows.
+
+A :class:`ViewSpec` declares a standing query — a filtered count/sum/avg,
+a per-group rollup, or a bounded top-k — and the compiler normalizes it
+into a small chain of stateful update operators (filter/map ->
+group-aggregate | top-k, see :mod:`.operators`).  Normalization is
+memoized on the spec's *plan signature* (the dist_zero
+reactive-expression idiom: normalize an expression once and reuse the
+normalized node), so registering two equivalent specs — same entity,
+predicate, aggregate and grouping — yields one shared plan maintained
+once per commit.
+
+The compiled plan's contract is deliberately tiny:
+
+- ``apply(delta)`` folds one commit's write footprint in, O(changed
+  keys), and returns the plan's own output delta (``None`` when the
+  visible result did not change);
+- ``value()`` reads the current result without touching entity state;
+- ``hydrate(items)`` rebuilds from a full scan — registration and
+  recovery rewind both go through it, because feeding the whole state
+  as one delta from empty *is* the from-scratch recompute (absolute
+  states make the two paths identical, which the hypothesis battery
+  asserts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from .operators import Delta, FilterMap, GroupAggregate, TopK, ViewError
+
+#: Supported standing-query kinds.
+KINDS = ("count", "sum", "avg", "top_k")
+
+
+@dataclass(slots=True)
+class ViewSpec:
+    """One standing query.
+
+    ``kind`` picks the terminal operator: ``count``/``sum``/``avg``
+    aggregate (optionally per ``group_by`` group, optionally filtered
+    by ``where``); ``top_k`` keeps the k highest-``field`` rows.
+    ``group_by`` is a field name or a ``row -> group`` callable.
+    """
+
+    name: str
+    entity: str
+    kind: str
+    field: str | None = None
+    where: Callable[[dict], bool] | None = None
+    group_by: str | Callable[[dict], Any] | None = None
+    k: int | None = None
+
+    def validated(self) -> "ViewSpec":
+        if self.kind not in KINDS:
+            raise ViewError(f"unknown view kind {self.kind!r}; "
+                            f"choose from {KINDS}")
+        if self.kind in ("sum", "avg", "top_k") and not self.field:
+            raise ViewError(f"view kind {self.kind!r} needs field=")
+        if self.kind == "top_k":
+            if self.k is None or self.k < 1:
+                raise ViewError("top_k views need k >= 1")
+            if self.group_by is not None:
+                raise ViewError("top_k views do not take group_by= "
+                                "(the ranking is already global)")
+        return self
+
+    def plan_signature(self) -> tuple:
+        """Two specs with the same signature share one compiled plan.
+        Callables are compared by identity — passing the same predicate
+        object means the same filter."""
+        where_token = None if self.where is None else id(self.where)
+        if self.group_by is None or isinstance(self.group_by, str):
+            group_token = self.group_by
+        else:
+            group_token = id(self.group_by)
+        return (self.entity, self.kind, self.field, where_token,
+                group_token, self.k)
+
+
+def _group_fn(group_by) -> Callable[[dict], Any] | None:
+    if group_by is None or callable(group_by):
+        return group_by
+    name = group_by
+
+    def by_field(row: dict) -> Any:
+        if name not in row:
+            raise ViewError(f"cannot group by {name!r}: row has no "
+                            f"such field")
+        return row[name]
+
+    return by_field
+
+
+def _value_fn(field_name: str | None) -> Callable[[dict], Any] | None:
+    if field_name is None:
+        return None
+    name = field_name
+
+    def value_of(row: dict) -> Any:
+        if name not in row:
+            raise ViewError(f"view field {name!r} missing from row")
+        return row[name]
+
+    return value_of
+
+
+@dataclass(slots=True)
+class CompiledView:
+    """A normalized plan: the operator chain plus its read surface."""
+
+    spec: ViewSpec
+    plan: tuple
+    filter_map: FilterMap
+    terminal: Any  # GroupAggregate | TopK
+    #: Freshness: the last committed batch folded in (-1 = none yet)
+    #: and the simulated time it was folded at.
+    last_applied_batch: int = -1
+    applied_at_ms: float | None = None
+    #: Names of every registered view sharing this plan.
+    names: list[str] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.filter_map.reset()
+        self.terminal.reset()
+
+    def apply(self, delta: Delta) -> Any:
+        """Fold one commit's footprint in; returns the output delta
+        (grouped aggregates: ``{group: value | TOMBSTONE}``; top-k: the
+        replacement row list) or ``None`` when nothing visible moved."""
+        if not delta:
+            return None
+        out = self.terminal.apply(self.filter_map.apply(delta))
+        return out if out else None
+
+    def hydrate(self, items: Iterable[tuple[Any, dict]]) -> None:
+        """Rebuild from a full scan: reset and fold the whole state in
+        as one delta (identical to recompute-from-scratch)."""
+        self.reset()
+        self.apply({key: row for key, row in items})
+
+    def value(self) -> Any:
+        """The current result, shaped per kind: scalar for ungrouped
+        aggregates (``avg`` of nothing is ``None``), ``{group: value}``
+        for rollups, an ordered row list for top-k."""
+        if self.spec.kind == "top_k":
+            return self.terminal.result()
+        groups = self.terminal.result()
+        if self.spec.group_by is not None:
+            return groups
+        if self.spec.kind == "count":
+            return groups.get(None, 0)
+        if self.spec.kind == "sum":
+            return groups.get(None, 0)
+        return groups.get(None)  # avg over no rows
+
+
+def compile_spec(spec: ViewSpec) -> CompiledView:
+    """Normalize one spec into its operator chain (un-memoized)."""
+    spec = spec.validated()
+    filter_map = FilterMap(where=spec.where)
+    if spec.kind == "top_k":
+        terminal: Any = TopK(spec.k or 1, _value_fn(spec.field))
+    else:
+        terminal = GroupAggregate(spec.kind,
+                                  group_of=_group_fn(spec.group_by),
+                                  value_of=_value_fn(spec.field))
+    return CompiledView(spec=spec, plan=spec.plan_signature(),
+                        filter_map=filter_map, terminal=terminal)
+
+
+class ViewCompiler:
+    """Memoizing normalizer: equivalent specs share one compiled plan."""
+
+    def __init__(self) -> None:
+        self._plans: dict[tuple, CompiledView] = {}
+
+    def normalize(self, spec: ViewSpec) -> CompiledView:
+        signature = spec.validated().plan_signature()
+        compiled = self._plans.get(signature)
+        if compiled is None:
+            compiled = compile_spec(spec)
+            self._plans[signature] = compiled
+        return compiled
+
+    def forget(self, compiled: CompiledView) -> None:
+        """Drop a plan once its last registered view is gone."""
+        self._plans.pop(compiled.plan, None)
+
+    @property
+    def plans(self) -> list[CompiledView]:
+        return list(self._plans.values())
+
+
+def recompute(spec: ViewSpec, items: Iterable[tuple[Any, dict]]) -> Any:
+    """The full-scan oracle: evaluate *spec* from scratch over *items*
+    (``(key, row)`` pairs).  Tests, the bench cell and the CI gates
+    compare every incremental view against this."""
+    compiled = compile_spec(spec)
+    compiled.hydrate(items)
+    return compiled.value()

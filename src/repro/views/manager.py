@@ -1,0 +1,219 @@
+"""View registration, commit-path maintenance, rewind, subscriptions.
+
+The :class:`ViewManager` is the runtime-side owner of every registered
+materialized view.  It sits *off* the Aria commit path: the coordinator
+calls :meth:`on_commit` once per closed batch with the batch's write
+footprint (absolute post-states, the changelog convention), the manager
+folds the O(changed keys) delta into each registered plan, and push
+subscribers are fanned the resulting view deltas over whatever
+transport the runtime provides (the network substrate on StateFlow —
+commit never waits on a subscriber).
+
+Rewind semantics: recovery restores the committed store to a snapshot
+and abandons the whole pipeline, so :meth:`on_restore` rebuilds every
+plan from the restored store — a view can never reflect an abandoned
+batch, because hydration-from-state and incremental maintenance land on
+identical results (absolute-state deltas).  Rescales move slot
+ownership, not contents, at a drained-pipeline barrier, so views need
+no rescale hook.  Duplicate delivery of a batch (an at-least-once
+transport replaying the hook) is dropped per plan by batch id.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .compiler import CompiledView, ViewCompiler, ViewSpec
+from .operators import ViewError
+
+
+@dataclass(slots=True)
+class ViewSnapshot:
+    """One read of a registered view, with freshness provenance."""
+
+    name: str
+    kind: str
+    value: Any
+    #: The last committed batch folded into this result (-1 = only the
+    #: registration-time hydration has run).
+    last_applied_batch: int
+    #: How many closed batches the view is behind the coordinator
+    #: (0 = fully fresh; the synchronous commit hook keeps it 0).
+    lag_batches: int
+    #: Simulated time the last batch was folded in.
+    as_of_ms: float | None
+
+
+@dataclass(slots=True)
+class ViewUpdate:
+    """One pushed maintenance result, as delivered to subscribers."""
+
+    view: str
+    batch_id: int
+    #: The view's own output delta for this batch (grouped aggregates:
+    #: ``{group: value | TOMBSTONE}``; top-k: the replacement rows).
+    delta: Any
+    #: The full view value after this batch (views are small by
+    #: construction: aggregates, rollups, bounded top-k).
+    value: Any
+    at_ms: float | None
+
+
+class ViewManager:
+    """Registered views over one runtime's committed store."""
+
+    def __init__(self, store: Any, *,
+                 clock: Callable[[], float | None] | None = None,
+                 head: Callable[[], int] | None = None):
+        #: Committed store exposing ``keys() -> (entity, key)`` tuples
+        #: and ``get(entity, key)`` (the backend-agnostic surface).
+        self._store = store
+        self._clock = clock or (lambda: None)
+        #: The coordinator's last closed batch id (freshness anchor);
+        #: -1 outside a batching runtime.
+        self._head = head or (lambda: -1)
+        self._compiler = ViewCompiler()
+        self._views: dict[str, CompiledView] = {}
+        self._subscribers: dict[str, list[Callable[[ViewUpdate], None]]] = {}
+        #: Push transport: called with a zero-arg deliver closure; the
+        #: runtime points this at the network substrate so updates fan
+        #: out as messages.  ``None`` delivers synchronously.
+        self.transport: Callable[[Callable[[], None]], None] | None = None
+        #: Test/bench observe hook: called with the batch id after each
+        #: commit is folded into every plan (outside the timed region).
+        self.probe: Callable[[int], None] | None = None
+        #: Maintenance cost ledger (the bench cell's numerator).
+        self.maintenance_ns = 0
+        self.commits_applied = 0
+        self.keys_applied = 0
+        self.rehydrations = 0
+
+    # -- registration ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def names(self) -> list[str]:
+        return sorted(self._views)
+
+    def register(self, spec: ViewSpec) -> ViewSnapshot:
+        """Compile (or share) the plan and hydrate it from the store.
+
+        Registration is the only O(state) moment in a view's life: the
+        initial result comes from one full scan; every later refresh is
+        O(changed keys)."""
+        if spec.name in self._views:
+            raise ViewError(f"view {spec.name!r} is already registered")
+        compiled = self._compiler.normalize(spec)
+        if not compiled.names:
+            compiled.hydrate(self._scan(spec.entity))
+            compiled.last_applied_batch = self._head()
+            compiled.applied_at_ms = self._clock()
+        compiled.names.append(spec.name)
+        self._views[spec.name] = compiled
+        return self.read(spec.name)
+
+    def unregister(self, name: str) -> None:
+        compiled = self._views.pop(name, None)
+        if compiled is None:
+            raise ViewError(f"no registered view {name!r}")
+        compiled.names.remove(name)
+        self._subscribers.pop(name, None)
+        if not compiled.names:
+            self._compiler.forget(compiled)
+
+    def _scan(self, entity: str):
+        store = self._store
+        for composite in store.keys():
+            entity_name, key = composite
+            if entity_name != entity:
+                continue
+            state = store.get(entity_name, key)
+            if state is not None:
+                yield key, state
+
+    # -- reads ----------------------------------------------------------
+    def _compiled(self, name: str) -> CompiledView:
+        compiled = self._views.get(name)
+        if compiled is None:
+            raise ViewError(f"no registered view {name!r}")
+        return compiled
+
+    def read(self, name: str) -> ViewSnapshot:
+        compiled = self._compiled(name)
+        head = self._head()
+        return ViewSnapshot(
+            name=name, kind=compiled.spec.kind, value=compiled.value(),
+            last_applied_batch=compiled.last_applied_batch,
+            lag_batches=max(0, head - compiled.last_applied_batch),
+            as_of_ms=compiled.applied_at_ms)
+
+    def expected(self, name: str) -> Any:
+        """The full-scan oracle for one view: recompute its value from
+        the committed store, bypassing every incremental memo."""
+        from .compiler import recompute
+        compiled = self._compiled(name)
+        return recompute(compiled.spec, self._scan(compiled.spec.entity))
+
+    # -- subscriptions --------------------------------------------------
+    def subscribe(self, name: str,
+                  callback: Callable[[ViewUpdate], None]) -> None:
+        self._compiled(name)  # must exist
+        self._subscribers.setdefault(name, []).append(callback)
+
+    def _publish(self, update: ViewUpdate) -> None:
+        for callback in self._subscribers.get(update.view, []):
+            if self.transport is None:
+                callback(update)
+            else:
+                self.transport(lambda cb=callback, u=update: cb(u))
+
+    # -- commit-path maintenance ----------------------------------------
+    def on_commit(self, batch_id: int, writes: dict, at_ms: float | None,
+                  ) -> None:
+        """Fold one closed batch's write footprint into every plan.
+
+        *writes* maps ``(entity, key)`` to the absolute post-commit
+        state (exactly what the changelog records).  Batches already
+        applied (duplicate delivery) are skipped per plan; an empty
+        footprint still advances freshness."""
+        if not self._views:
+            return
+        per_entity: dict[str, dict] = {}
+        for (entity, key), state in writes.items():
+            per_entity.setdefault(entity, {})[key] = state
+        outputs: list[tuple[CompiledView, Any]] = []
+        started = time.perf_counter_ns()
+        for compiled in self._compiler.plans:
+            if batch_id <= compiled.last_applied_batch:
+                continue  # duplicate delivery of an applied batch
+            delta = per_entity.get(compiled.spec.entity)
+            out = compiled.apply(delta) if delta else None
+            compiled.last_applied_batch = batch_id
+            compiled.applied_at_ms = at_ms
+            if out is not None:
+                outputs.append((compiled, out))
+        self.maintenance_ns += time.perf_counter_ns() - started
+        self.commits_applied += 1
+        self.keys_applied += len(writes)
+        if self.probe is not None:
+            self.probe(batch_id)
+        for compiled, out in outputs:
+            value = compiled.value()
+            for name in compiled.names:
+                self._publish(ViewUpdate(view=name, batch_id=batch_id,
+                                         delta=out, value=value,
+                                         at_ms=at_ms))
+
+    # -- rewind ---------------------------------------------------------
+    def on_restore(self, last_closed: int, at_ms: float | None) -> None:
+        """Recovery rewound the committed store (and the changelog) to
+        a snapshot: rebuild every plan from the restored state so no
+        view reflects an abandoned pipeline batch.  Replayed batches
+        re-arrive through :meth:`on_commit` under new batch ids."""
+        for compiled in self._compiler.plans:
+            compiled.hydrate(self._scan(compiled.spec.entity))
+            compiled.last_applied_batch = last_closed
+            compiled.applied_at_ms = at_ms
+            self.rehydrations += 1

@@ -1,0 +1,238 @@
+"""Stateful view-maintenance operators: delta in, delta out.
+
+Each operator consumes a *delta* — a mapping ``{key: row | TOMBSTONE}``
+of absolute post-commit states for the keys one batch touched — and
+emits its own delta downstream, so one maintenance step costs O(changed
+keys), never O(state).  The operators keep exactly the memos retraction
+needs:
+
+- :class:`FilterMap` is stateless: a row failing the predicate (or a
+  deleted row) flows downstream as a :data:`~repro.runtimes.state.
+  TOMBSTONE` retraction, so downstream operators can forget it.
+- :class:`GroupAggregate` remembers, per key, the (group, value)
+  contribution it last applied, and per group a running (count, total);
+  an update retracts the old contribution and applies the new one —
+  two O(1) bucket adjustments.
+- :class:`TopK` keeps a sorted index of every live key ordered by
+  ``(-score, str(key))`` (deterministic tie-break), so a membership
+  change is an O(log n) bisect and a read slices the first k.
+
+Because deltas carry *absolute* states (the changelog convention, see
+:mod:`repro.runtimes.stateflow.snapshots`), re-applying the same delta
+is idempotent and applying the last-writer-wins compaction of a delta
+sequence lands on the same state as applying the sequence — the
+properties the hypothesis battery in ``tests/views`` pins down.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Callable
+
+from ..core.errors import StatefulEntityError
+from ..runtimes.state import TOMBSTONE
+
+#: One maintenance step's input/output: key -> absolute row state, or
+#: TOMBSTONE for "this key no longer contributes".
+Delta = dict[Any, Any]
+
+
+class ViewError(StatefulEntityError):
+    """Invalid view specification or registration."""
+
+
+class FilterMap:
+    """Stateless filter + projection stage.
+
+    Rows failing ``where`` (and upstream deletions) are forwarded as
+    TOMBSTONE retractions: the downstream operator retracts whatever
+    contribution it may hold for the key, which is a no-op for keys it
+    never admitted.
+    """
+
+    def __init__(self, where: Callable[[dict], bool] | None = None,
+                 project: tuple[str, ...] | None = None):
+        self.where = where
+        self.project = project
+
+    def reset(self) -> None:
+        pass  # no state
+
+    def apply(self, delta: Delta) -> Delta:
+        out: Delta = {}
+        for key, row in delta.items():
+            if row is TOMBSTONE or (self.where is not None
+                                    and not self.where(row)):
+                out[key] = TOMBSTONE
+            elif self.project is not None:
+                missing = [f for f in self.project if f not in row]
+                if missing:
+                    raise ViewError(
+                        f"view row for key {key!r} lacks field(s) "
+                        f"{missing}")
+                out[key] = {f: row[f] for f in self.project}
+            else:
+                out[key] = dict(row)
+        return out
+
+
+class GroupAggregate:
+    """count/sum/avg per group, with O(1) retraction memos.
+
+    ``group_of`` maps a row to its group key (``None`` = one global
+    group, i.e. a plain filtered aggregate); ``value_of`` extracts the
+    aggregated value (ignored for ``count``).  The emitted delta maps
+    each touched group to its new aggregate value, or TOMBSTONE when
+    the group lost its last member.
+    """
+
+    KINDS = ("count", "sum", "avg")
+
+    def __init__(self, kind: str,
+                 group_of: Callable[[dict], Any] | None = None,
+                 value_of: Callable[[dict], Any] | None = None):
+        if kind not in self.KINDS:
+            raise ViewError(f"unknown aggregate kind {kind!r}; "
+                            f"choose from {self.KINDS}")
+        if kind in ("sum", "avg") and value_of is None:
+            raise ViewError(f"aggregate kind {kind!r} needs a value field")
+        self.kind = kind
+        self.group_of = group_of
+        self.value_of = value_of
+        #: key -> (group, value): the contribution currently applied.
+        self._contrib: dict[Any, tuple[Any, Any]] = {}
+        #: group -> [count, total].
+        self._groups: dict[Any, list] = {}
+
+    def reset(self) -> None:
+        self._contrib.clear()
+        self._groups.clear()
+
+    def _aggregate(self, group: Any) -> Any:
+        count, total = self._groups[group]
+        if self.kind == "count":
+            return count
+        if self.kind == "sum":
+            return total
+        return total / count
+
+    def apply(self, delta: Delta) -> Delta:
+        touched: set = set()
+        for key, row in delta.items():
+            old = self._contrib.pop(key, None)
+            if old is not None:
+                group, value = old
+                bucket = self._groups[group]
+                bucket[0] -= 1
+                bucket[1] -= value
+                if bucket[0] == 0:
+                    del self._groups[group]
+                touched.add(group)
+            if row is TOMBSTONE:
+                continue
+            group = self.group_of(row) if self.group_of is not None else None
+            value = self.value_of(row) if self.value_of is not None else 0
+            self._contrib[key] = (group, value)
+            bucket = self._groups.setdefault(group, [0, 0])
+            bucket[0] += 1
+            bucket[1] += value
+            touched.add(group)
+        out: Delta = {}
+        for group in touched:
+            out[group] = (self._aggregate(group)
+                          if group in self._groups else TOMBSTONE)
+        return out
+
+    def result(self) -> dict[Any, Any]:
+        return {group: self._aggregate(group) for group in self._groups}
+
+
+class _RevStr:
+    """Inverted string ordering, so a ``(score, _RevStr(key))`` sort key
+    ranks equal scores by *ascending* key string under ``nlargest`` /
+    descending sorts (the deterministic tie-break shared with
+    :meth:`~repro.query.engine.QueryEngine.top_k`)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __lt__(self, other: "_RevStr") -> bool:
+        return self.value > other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _RevStr) and self.value == other.value
+
+    def __hash__(self) -> int:  # pragma: no cover - parity with __eq__
+        return hash(self.value)
+
+
+def rank_key(score: Any, key: Any) -> tuple:
+    """The shared top-k ordering: sort (or ``nlargest``) by this and the
+    highest score wins, with equal scores broken by *ascending* key
+    string — identical on the incremental :class:`TopK` path and the
+    full-scan :meth:`~repro.query.engine.QueryEngine.top_k` path, so
+    the two are byte-comparable."""
+    return (score, _RevStr(str(key)))
+
+
+class TopK:
+    """Bounded top-k rows by a score field.
+
+    Keeps every live key in an index sorted ascending by
+    ``(score, _RevStr(str(key)))`` and reads the last k entries
+    back-to-front: highest score first, ties broken by ascending key
+    string — the same deterministic order
+    :meth:`~repro.query.engine.QueryEngine.top_k` produces.  A
+    membership change is an O(log n) bisect, and a key falling out of
+    the top k is backfilled from the index without rescanning state.
+    Emits the full replacement top-k list (bounded size) whenever the
+    visible rows may have changed.
+    """
+
+    def __init__(self, k: int, score_of: Callable[[dict], Any]):
+        if k < 1:
+            raise ViewError(f"top-k needs k >= 1, got {k}")
+        self.k = k
+        self.score_of = score_of
+        #: Ascending index of (score, _RevStr(str(key)), key).
+        self._index: list[tuple] = []
+        #: key -> (score, row) for retraction and row materialization.
+        self._rows: dict[Any, tuple[Any, dict]] = {}
+
+    def reset(self) -> None:
+        self._index.clear()
+        self._rows.clear()
+
+    def _top_keys(self) -> list:
+        top = self._index[-self.k:] if self.k else []
+        return [entry[2] for entry in reversed(top)]
+
+    def apply(self, delta: Delta) -> list | None:
+        before = self._top_keys()
+        for key, row in delta.items():
+            old = self._rows.pop(key, None)
+            if old is not None:
+                score, _ = old
+                del self._index[bisect_left(
+                    self._index, (score, _RevStr(str(key)), key))]
+            if row is TOMBSTONE:
+                continue
+            score = self.score_of(row)
+            self._rows[key] = (score, row)
+            insort(self._index, (score, _RevStr(str(key)), key))
+        after = self._top_keys()
+        if after == before and all(
+                key not in delta for key in after):
+            return None
+        return self.result()
+
+    def result(self) -> list[dict]:
+        rows = []
+        for key in self._top_keys():
+            _, row = self._rows[key]
+            materialized = dict(row)
+            materialized["__key__"] = key
+            rows.append(materialized)
+        return rows

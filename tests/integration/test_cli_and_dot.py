@@ -1,6 +1,7 @@
 """CLI + Graphviz export."""
 
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -34,9 +35,10 @@ def shop_module(tmp_path):
     return path
 
 
-def _cli(*args, timeout=120):
+def _cli(*args, timeout=120, env=None):
     return subprocess.run([sys.executable, "-m", "repro", *map(str, args)],
-                          capture_output=True, text=True, timeout=timeout)
+                          capture_output=True, text=True, timeout=timeout,
+                          env=env)
 
 
 class TestCli:
@@ -149,8 +151,10 @@ class TestChaosCli:
         completed = _cli("chaos", "plan", "--seed", 5, "--duration-ms", 1000,
                          "--out", plan_path)
         assert completed.returncode == 0, completed.stderr
+        bench_env = {**os.environ, "REPRO_BENCH_DIR": str(tmp_path)}
         completed = _cli("bench", "--duration-ms", 1000, "--rps", 60,
-                         "--records", 25, "--faults", plan_path, timeout=300)
+                         "--records", 25, "--faults", plan_path, timeout=300,
+                         env=bench_env)
         assert completed.returncode == 0, completed.stderr
         assert "recoveries" in completed.stdout
 

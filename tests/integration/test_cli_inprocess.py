@@ -103,7 +103,8 @@ def test_chaos_run_inprocess(capsys):
     assert "serializable, loss-free, exactly-once" in out
 
 
-def test_bench_with_faults_inprocess(tmp_path, capsys):
+def test_bench_with_faults_inprocess(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
     plan_path = str(tmp_path / "plan.json")
     assert main(["chaos", "plan", "--seed", "5", "--duration-ms", "1000",
                  "--out", plan_path]) == 0
@@ -118,7 +119,8 @@ def test_bench_rejects_unknown_env_backend(monkeypatch):
         main(["bench", "--duration-ms", "500"])
 
 
-def test_bench_pipeline_depth_flag(capsys):
+def test_bench_pipeline_depth_flag(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
     assert main(["bench", "--duration-ms", "600", "--rps", "80",
                  "--records", "25", "--pipeline-depth", "1"]) == 0
     assert "YCSB" in capsys.readouterr().out
@@ -195,7 +197,8 @@ def test_chaos_run_autoscale_requires_stateflow():
         main(["chaos", "run", "--system", "statefun", "--autoscale"])
 
 
-def test_bench_ycsb_autoscale_flag(capsys):
+def test_bench_ycsb_autoscale_flag(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
     assert main(["bench", "--autoscale", "--duration-ms", "800",
                  "--rps", "120", "--records", "30"]) == 0
     assert "YCSB" in capsys.readouterr().out
@@ -219,3 +222,65 @@ def test_bench_pipeline_cell_honours_load_flags(capsys):
     payload = json.loads(
         __import__("pathlib").Path("BENCH_pipeline.json").read_text())
     assert payload["rps"] == 2000.0
+
+
+def test_bench_views_cell_inprocess(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert main(["bench", "--cell", "views", "--records", "400",
+                 "--duration-ms", "800", "--rps", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "incremental views" in out and "BENCH_views.json" in out
+    payload = json.loads((tmp_path / "BENCH_views.json").read_text())
+    assert payload["cell"] == "views"
+    assert payload["gates"]["zero_mismatches"] is True
+    assert payload["gates"]["speedup_ok"] is True
+    (leg,) = payload["legs"]
+    assert leg["record_count"] == 400
+    assert leg["probe_mismatches"] == 0
+    assert leg["freshness"]["final_lag_batches"] == 0
+
+
+def test_bench_views_cell_flag_rejections(tmp_path):
+    with pytest.raises(SystemExit, match="stateflow"):
+        main(["bench", "--cell", "views", "--system", "statefun"])
+    with pytest.raises(SystemExit, match="simulator-only"):
+        main(["bench", "--cell", "views", "--spawner", "process"])
+    with pytest.raises(SystemExit, match="canonical"):
+        main(["bench", "--cell", "views", "--snapshot-mode", "full"])
+    with pytest.raises(SystemExit, match="autoscale"):
+        main(["bench", "--cell", "views", "--autoscale"])
+    with pytest.raises(SystemExit, match="rps-sweep"):
+        main(["bench", "--cell", "views", "--rps-sweep", "60"])
+    plan_path = str(tmp_path / "plan.json")
+    assert main(["chaos", "plan", "--seed", "3", "--out", plan_path]) == 0
+    with pytest.raises(SystemExit, match="chaos"):
+        main(["bench", "--cell", "views", "--faults", plan_path])
+
+
+def test_bench_rps_sweep_both_backends(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert main(["bench", "--rps-sweep", "40,80", "--duration-ms", "600",
+                 "--records", "20"]) == 0
+    assert "rps sweep" in capsys.readouterr().out
+    payload = json.loads((tmp_path / "BENCH_ycsb.json").read_text())
+    rows = payload["rows"]
+    assert len(rows) == 4, "2 rates x 2 backends"
+    assert {row["state_backend"] for row in rows} == {"dict", "cow"}
+    assert {row["rps"] for row in rows} == {40.0, 80.0}
+
+
+def test_bench_rps_sweep_pinned_backend(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert main(["bench", "--rps-sweep", "40", "--state-backend", "cow",
+                 "--duration-ms", "400", "--records", "20"]) == 0
+    payload = json.loads((tmp_path / "BENCH_ycsb.json").read_text())
+    assert [row["state_backend"] for row in payload["rows"]] == ["cow"]
+
+
+def test_bench_rps_sweep_rejections():
+    with pytest.raises(SystemExit, match="rps-sweep"):
+        main(["bench", "--cell", "recovery", "--rps-sweep", "60"])
+    with pytest.raises(SystemExit, match="positive"):
+        main(["bench", "--rps-sweep", "0"])
+    with pytest.raises(SystemExit, match="comma-separated"):
+        main(["bench", "--rps-sweep", "abc"])

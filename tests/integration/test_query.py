@@ -70,8 +70,59 @@ class TestSelect:
         result = QueryEngine(local_accounts).top_k("Account", "balance", 1)
         assert result.keys() == ["acct-3"]
 
+    def test_top_k_tie_break_is_ascending_key(self, account_program):
+        runtime = LocalRuntime(account_program)
+        for key in ["zed", "abe", "mid"]:
+            runtime.create(Account, key, 50)
+        runtime.create(Account, "low", 10)
+        result = QueryEngine(runtime).top_k("Account", "balance", 3)
+        assert result.keys() == ["abe", "mid", "zed"], (
+            "equal scores must rank by ascending key string — the same "
+            "deterministic order the incremental top-k view maintains")
+
+    def test_top_k_where_and_validation(self, local_accounts):
+        engine = QueryEngine(local_accounts)
+        result = engine.top_k("Account", "balance", 2,
+                              where=lambda s: s["balance"] < 50)
+        assert result.scalars("balance") == [40, 25]
+        with pytest.raises(QueryError, match="k >= 1"):
+            engine.top_k("Account", "balance", 0)
+        with pytest.raises(QueryError, match="unknown field"):
+            engine.top_k("Account", "ghost", 2)
+
     def test_unknown_entity_empty(self, local_accounts):
         assert len(QueryEngine(local_accounts).select("Ghost")) == 0
+
+    def test_point_read_never_scans(self, account_program):
+        """A single-key live read must go straight to ``store.get``
+        without materializing the whole entity via ``store.keys()``."""
+        from types import SimpleNamespace
+
+        runtime = LocalRuntime(account_program)
+        for index, balance in enumerate([10, 25, 40]):
+            runtime.create(Account, f"acct-{index}", balance)
+        store = runtime.state
+
+        class NoScanStore:
+            def keys(self):
+                raise AssertionError("point read must not enumerate keys")
+
+            def get(self, entity, key):
+                return store.get(entity, key)
+
+        engine = QueryEngine(SimpleNamespace(state=NoScanStore()))
+        result = engine.select("Account", key="acct-1")
+        assert result.rows == [{"account_id": "acct-1", "balance": 25,
+                                "payload": "", "__key__": "acct-1"}]
+        assert engine.select("Account", key="ghost").rows == []
+
+    def test_point_read_respects_where_and_project(self, local_accounts):
+        engine = QueryEngine(local_accounts)
+        assert engine.select("Account", key="acct-0",
+                             where=lambda s: s["balance"] > 99).rows == []
+        row = engine.select("Account", key="acct-2",
+                            project=["balance"]).rows[0]
+        assert row == {"balance": 40, "__key__": "acct-2"}
 
     def test_bad_consistency(self, local_accounts):
         with pytest.raises(QueryError):

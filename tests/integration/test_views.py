@@ -1,0 +1,315 @@
+"""End-to-end incremental materialized views on StateFlow.
+
+The invariant under test everywhere: after *every* committed batch, each
+registered view is byte-equal to the full-scan oracle over the committed
+store (``ViewManager.expected``), including under chaos fault plans,
+mid-run rescales, and coordinator crash/recovery — where views must
+rewind with the store and never reflect an abandoned pipeline batch.
+A per-batch probe hooks the maintenance path so the equality is checked
+at commit granularity, not just at quiesce.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import chaos_coordinator_config
+from repro.faults import random_plan
+from repro.query import QueryEngine, QueryError, ViewSpec
+from repro.views import ViewError
+from repro.rescale import staged_plan
+from repro.runtimes import LocalRuntime
+from repro.runtimes.stateflow import (
+    CoordinatorConfig,
+    StateflowConfig,
+    StateflowRuntime,
+)
+from repro.workloads import Account
+
+ACCOUNTS = 6
+SEED_BALANCE = 100
+TOTAL = ACCOUNTS * SEED_BALANCE
+
+
+def _rich(row):
+    return row["balance"] >= SEED_BALANCE
+
+
+def _bucket(row):
+    # balance // 50 moves keys *between* groups as transfers land,
+    # stressing group retraction, not just in-place updates.
+    return row["balance"] // 50
+
+
+def standard_views(runtime) -> QueryEngine:
+    """Register one view per kind: filtered count, global sum, grouped
+    avg (with group migration), bounded top-k."""
+    engine = QueryEngine(runtime)
+    engine.register_view(ViewSpec("rich-count", "Account", "count",
+                                  where=_rich))
+    engine.register_view(ViewSpec("total", "Account", "sum",
+                                  field="balance"))
+    engine.register_view(ViewSpec("avg-by-bucket", "Account", "avg",
+                                  field="balance", group_by=_bucket))
+    engine.register_view(ViewSpec("top3", "Account", "top_k",
+                                  field="balance", k=3))
+    return engine
+
+
+def attach_probe(runtime) -> list:
+    """After every commit, compare every view to the full-scan oracle;
+    collected mismatches fail the test with batch provenance."""
+    failures: list = []
+
+    def probe(batch_id: int) -> None:
+        for name in runtime.views.names():
+            got = runtime.views.read(name).value
+            want = runtime.views.expected(name)
+            if got != want:
+                failures.append((batch_id, name, got, want))
+
+    runtime.views.probe = probe
+    return failures
+
+
+def submit_transfers(runtime, refs, plan, *, spacing_ms=40.0):
+    for index, (source, target, amount) in enumerate(plan):
+        if source == target:
+            target = (target + 1) % len(refs)
+        runtime.sim.schedule_at(
+            index * spacing_ms,
+            lambda s=source, t=target, a=amount: runtime.submit(
+                refs[s], "transfer", (a, refs[t])))
+
+
+def assert_views_match_oracle(runtime):
+    for name in runtime.views.names():
+        assert runtime.views.read(name).value == \
+            runtime.views.expected(name), name
+
+
+transfer_plan = st.lists(
+    st.tuples(st.integers(0, ACCOUNTS - 1), st.integers(0, ACCOUNTS - 1),
+              st.integers(1, 30)),
+    min_size=1, max_size=25)
+
+
+class TestEveryBatchEquality:
+    @pytest.mark.parametrize("state_backend", ["dict", "cow"])
+    @pytest.mark.parametrize("snapshot_mode", ["full", "incremental"])
+    def test_views_track_every_batch(self, account_program, state_backend,
+                                     snapshot_mode):
+        """Deterministic transfer mix: every view equals the oracle at
+        every commit, on both state backends and both snapshot modes
+        (views and the changelog share the commit-path observation)."""
+        runtime = StateflowRuntime(account_program, config=StateflowConfig(
+            state_backend=state_backend, snapshot_mode=snapshot_mode))
+        refs = runtime.preload(
+            Account, [(f"acct-{i}", SEED_BALANCE) for i in range(ACCOUNTS)])
+        runtime.start()
+        engine = standard_views(runtime)
+        failures = attach_probe(runtime)
+        plan = [(i % ACCOUNTS, (i * 3 + 1) % ACCOUNTS, 5 + i % 17)
+                for i in range(30)]
+        submit_transfers(runtime, refs, plan)
+        runtime.sim.run(until=60_000)
+        assert failures == []
+        assert runtime.views.commits_applied > 0
+        assert_views_match_oracle(runtime)
+        assert engine.view("total").value == TOTAL
+
+    def test_freshness_metadata(self, account_program):
+        runtime = StateflowRuntime(account_program)
+        refs = runtime.preload(Account, [("a", 100), ("b", 100)])
+        runtime.start()
+        engine = standard_views(runtime)
+        runtime.call(refs[0], "transfer", 30, refs[1])
+        snap = engine.view("total")
+        assert snap.lag_batches == 0, (
+            "the synchronous commit hook must keep views fully fresh")
+        assert snap.last_applied_batch == runtime.coordinator._last_closed
+        assert snap.as_of_ms is not None
+
+    def test_register_mid_run_hydrates_current_state(self, account_program):
+        runtime = StateflowRuntime(account_program)
+        refs = runtime.preload(Account, [("a", 100), ("b", 100)])
+        runtime.start()
+        runtime.call(refs[0], "transfer", 30, refs[1])
+        engine = QueryEngine(runtime)
+        snap = engine.register_view(
+            ViewSpec("total", "Account", "sum", field="balance"))
+        assert snap.value == 200
+        assert snap.last_applied_batch == runtime.coordinator._last_closed
+        runtime.call(refs[1], "deposit", 50)
+        assert engine.view("total").value == 250
+        engine.unregister_view("total")
+        with pytest.raises(ViewError):
+            engine.view("total")
+
+    def test_view_api_requires_stateflow(self, account_program):
+        engine = QueryEngine(LocalRuntime(account_program))
+        spec = ViewSpec("v", "Account", "count")
+        with pytest.raises(QueryError, match="StateFlow"):
+            engine.register_view(spec)
+        with pytest.raises(QueryError, match="StateFlow"):
+            engine.view("v")
+        with pytest.raises(QueryError, match="StateFlow"):
+            engine.subscribe_view("v", print)
+
+
+class TestSubscriptions:
+    def test_updates_ride_the_network_substrate(self, account_program):
+        """Pushes are delivered as messages through the network, not
+        inline on the commit path — and still arrive in batch order
+        with the values the view held at publish time."""
+        runtime = StateflowRuntime(account_program)
+        refs = runtime.preload(
+            Account, [(f"acct-{i}", SEED_BALANCE) for i in range(ACCOUNTS)])
+        runtime.start()
+        engine = standard_views(runtime)
+        updates: list = []
+        engine.subscribe_view("top3", updates.append)
+        plan = [(i % ACCOUNTS, (i + 1) % ACCOUNTS, 10) for i in range(12)]
+        submit_transfers(runtime, refs, plan)
+        runtime.sim.run(until=60_000)
+        assert updates, "transfer load must push at least one update"
+        batch_ids = [u.batch_id for u in updates]
+        assert batch_ids == sorted(batch_ids)
+        final = updates[-1]
+        assert final.value == engine.view("top3").value
+        assert all(u.view == "top3" for u in updates)
+
+
+class TestChaos:
+    @given(transfer_plan, st.integers(0, 2**20))
+    @settings(max_examples=6, deadline=None)
+    def test_views_exact_under_chaos(self, account_program, plan, seed):
+        """Worker crashes, dropped messages and partitions: the per-
+        batch equality probe must never trip, and the sum view must
+        show exact conservation at quiesce (the serial oracle)."""
+        fault_plan = random_plan(seed, duration_ms=3_000.0, workers=5,
+                                 intensity="medium")
+        runtime = StateflowRuntime(account_program, config=StateflowConfig(
+            fault_plan=fault_plan,
+            coordinator=chaos_coordinator_config()))
+        refs = runtime.preload(
+            Account, [(f"acct-{i}", SEED_BALANCE) for i in range(ACCOUNTS)])
+        runtime.start()
+        engine = standard_views(runtime)
+        failures = attach_probe(runtime)
+        submit_transfers(runtime, refs, plan)
+        runtime.sim.run(until=60_000)
+        assert failures == []
+        assert_views_match_oracle(runtime)
+        assert engine.view("total").value == TOTAL
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("state_backend", ["dict", "cow"])
+    @pytest.mark.parametrize("snapshot_mode", ["full", "incremental"])
+    def test_views_rewind_with_the_store(self, account_program,
+                                         state_backend, snapshot_mode):
+        """Coordinator fail-stop mid-load: recovery rewinds the
+        committed store to a snapshot and abandons the pipeline, so the
+        views must rewind too (rehydration), then track the replayed
+        batches back to an exact final state."""
+        runtime = StateflowRuntime(account_program, config=StateflowConfig(
+            state_backend=state_backend, snapshot_mode=snapshot_mode,
+            coordinator=CoordinatorConfig(snapshot_interval_ms=150.0,
+                                          failure_detect_ms=200.0)))
+        refs = runtime.preload(
+            Account, [(f"acct-{i}", SEED_BALANCE) for i in range(ACCOUNTS)])
+        runtime.start()
+        engine = standard_views(runtime)
+        failures = attach_probe(runtime)
+        plan = [(i % ACCOUNTS, (i * 3 + 1) % ACCOUNTS, 5 + i % 11)
+                for i in range(25)]
+        submit_transfers(runtime, refs, plan)
+        runtime.fail_coordinator(at_ms=430.0, failover_after_ms=80.0)
+        runtime.sim.run(until=60_000)
+        assert runtime.views.rehydrations >= len(runtime.views.names()), (
+            "recovery must rebuild every view from the restored store")
+        assert failures == []
+        assert_views_match_oracle(runtime)
+        assert engine.view("total").value == TOTAL
+        snap = engine.view("total")
+        assert snap.last_applied_batch == runtime.coordinator._last_closed
+
+    def test_rewound_views_forget_abandoned_batches(self, account_program):
+        """Crash with commits past the last snapshot: immediately after
+        the restore (before any replay lands) the views must equal the
+        rewound store — not the pre-crash state."""
+        runtime = StateflowRuntime(account_program, config=StateflowConfig(
+            coordinator=CoordinatorConfig(snapshot_interval_ms=10_000.0,
+                                          failure_detect_ms=200.0)))
+        refs = runtime.preload(Account, [("a", 100), ("b", 100)])
+        runtime.start()
+        engine = standard_views(runtime)
+        runtime.call(refs[0], "transfer", 30, refs[1])
+        assert engine.view("top3").value[0]["__key__"] == "b"
+        runtime.coordinator.crash()
+        runtime.coordinator.recover()  # rewinds to the t=0 snapshot
+        assert_views_match_oracle(runtime)
+        assert [row["balance"] for row in engine.view("top3").value] \
+            == [100, 100], "views must not reflect the abandoned commit"
+
+
+class TestRescale:
+    @pytest.mark.parametrize("state_backend", ["dict", "cow"])
+    def test_views_exact_across_rescale(self, account_program,
+                                        state_backend):
+        """The canonical 2 -> 4 -> 3 resize under transfer load: slot
+        ownership moves between workers but the committed contents do
+        not, so views need no rescale hook — the per-batch probe proves
+        they stay exact through both barriers."""
+        runtime = StateflowRuntime(account_program, config=StateflowConfig(
+            workers=2, state_backend=state_backend,
+            rescale_plan=staged_plan((4, 3), start_ms=300.0,
+                                     interval_ms=400.0),
+            coordinator=chaos_coordinator_config()))
+        refs = runtime.preload(
+            Account, [(f"acct-{i}", SEED_BALANCE) for i in range(ACCOUNTS)])
+        runtime.start()
+        engine = standard_views(runtime)
+        failures = attach_probe(runtime)
+        plan = [(i % ACCOUNTS, (i * 5 + 2) % ACCOUNTS, 3 + i % 13)
+                for i in range(30)]
+        submit_transfers(runtime, refs, plan)
+        runtime.sim.run(until=60_000)
+        assert runtime.coordinator.rescales == 2
+        assert runtime.worker_count == 3
+        assert failures == []
+        assert_views_match_oracle(runtime)
+        assert engine.view("total").value == TOTAL
+
+
+@pytest.mark.slow
+class TestProcessSubstrate:
+    def test_views_on_real_processes(self, account_program):
+        """The manager hangs off the parent-side committed mirror, so
+        views (and push subscriptions) work unchanged when workers are
+        real processes — nothing touches the Aria commit path."""
+        runtime = StateflowRuntime(account_program, config=StateflowConfig(
+            spawner="process", workers=3, exec_service_ms=0.0,
+            state_op_ms=0.0,
+            coordinator=CoordinatorConfig(
+                conflict_check_ms_per_txn=0.0, dispatch_ms_per_txn=0.0,
+                failure_detect_ms=2_000.0, snapshot_interval_ms=500.0)))
+        try:
+            refs = runtime.preload(
+                Account,
+                [(f"acct-{i}", SEED_BALANCE) for i in range(ACCOUNTS)])
+            runtime.start()
+            engine = standard_views(runtime)
+            updates: list = []
+            engine.subscribe_view("total", updates.append)
+            for i in range(10):
+                runtime.call(refs[i % ACCOUNTS], "transfer", 7,
+                             refs[(i + 1) % ACCOUNTS])
+            assert_views_match_oracle(runtime)
+            assert engine.view("total").value == TOTAL
+            assert updates and updates[-1].value == TOTAL
+        finally:
+            runtime.close()
