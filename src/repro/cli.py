@@ -19,9 +19,11 @@ Commands:
   ``--cell autoscale`` drives a zipfian rate/skew ramp twice — once
   with the closed-loop controller, once at fixed size — and writes
   ``BENCH_autoscale.json`` with the post-scale p99-SLO gate;
-  ``--cell views`` registers four standing queries, drives a write mix
-  at 10k-100k keys, and writes ``BENCH_views.json`` with the >=10x
-  incremental-vs-full-scan speedup gate and the freshness-lag gate;
+  ``--cell views`` registers six standing queries (count/sum/rollup/
+  min/max/top-k), drives a write mix at 10k-100k keys plus a durable
+  cold-start leg, and writes ``BENCH_views.json`` with the >=10x
+  incremental-vs-full-scan speedup gate, the freshness-lag gate, and
+  the >=10x sidecar-resume-vs-rehydration gate;
   ``--rps-sweep R1,R2,...`` turns the ycsb cell into a rate sweep
   across both state backends;
 - ``chaos plan --seed N --out plan.json`` — generate a reproducible
@@ -293,7 +295,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                              "--pipeline-depth/--snapshot-mode")
         if args.changelog is not None or args.durable is not None:
             raise SystemExit("repro bench: error: --cell views runs "
-                             "canonical configurations; drop "
+                             "canonical configurations and owns its "
+                             "durable cold-start leg (a temp-dir "
+                             "durable run timed sidecar-resume vs "
+                             "full rehydration); drop "
                              "--changelog/--durable")
         return _run_views_cell(args, backend)
     if args.cell == "pipeline":
@@ -809,7 +814,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "and writes BENCH_autoscale.json; "
                                 "'views' measures incremental view "
                                 "maintenance vs full scans at 10k-100k "
-                                "keys and writes BENCH_views.json")
+                                "keys, plus durable sidecar resume vs "
+                                "cold-start rehydration, and writes "
+                                "BENCH_views.json")
     bench_cmd.set_defaults(handler=_cmd_bench)
 
     chaos_cmd = commands.add_parser(

@@ -325,18 +325,20 @@ class QueryEngine:
         return sum(values) / len(values)
 
     def min(self, entity: str, field: str, *,
+            where: Predicate | None = None,
             consistency: str = "live", at_batch: int | None = None,
             at_ms: float | None = None) -> Any:
-        result = self.select(entity, consistency=consistency,
+        result = self.select(entity, where=where, consistency=consistency,
                              at_batch=at_batch, at_ms=at_ms)
         if not result.rows:
             raise QueryError("min over empty result")
         return min(self._field_values(result, field, entity))
 
     def max(self, entity: str, field: str, *,
+            where: Predicate | None = None,
             consistency: str = "live", at_batch: int | None = None,
             at_ms: float | None = None) -> Any:
-        result = self.select(entity, consistency=consistency,
+        result = self.select(entity, where=where, consistency=consistency,
                              at_batch=at_batch, at_ms=at_ms)
         if not result.rows:
             raise QueryError("max over empty result")

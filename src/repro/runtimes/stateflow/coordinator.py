@@ -1095,7 +1095,9 @@ class Coordinator:
             assignment=freeze() if freeze is not None else None,
             kind=kind,
             changelog_seq=self.changelog.head_seq,
-            epoch_buffer=self._epoch_buffer)
+            epoch_buffer=self._epoch_buffer,
+            views_state=(self.views.export_sidecar()
+                         if self.views is not None else None))
         # Changelog compaction rides the cut cadence: records below
         # every retained cut's position can never anchor a repair.
         self.changelog.truncate_through(self.snapshots.floor_changelog_seq())
@@ -1201,10 +1203,16 @@ class Coordinator:
         # them: everything below the next batch id counts as closed.
         self._last_closed = self._batch_seq - 1
         if self.views is not None:
-            # Views rewind with the store: rebuild them from the
-            # restored state so nothing from the abandoned pipeline
-            # survives; replay re-feeds its effects under new batch ids.
-            self.views.on_restore(self._last_closed, at_ms=self.sim.now)
+            # Views rewind with the store: nothing from the abandoned
+            # pipeline may survive; replay re-feeds its effects under
+            # new batch ids.  The cut's sidecar carries every plan's
+            # operator memos as of exactly the restored store state
+            # (the changelog was rewound to the same position), so
+            # matching plans resume incrementally; plans the sidecar
+            # does not cover rebuild from a scan.
+            self.views.on_restore(
+                self._last_closed, at_ms=self.sim.now,
+                sidecar=getattr(snapshot, "views_state", None))
         self.hooks.source_seek(snapshot.source_offsets)
 
         def resume() -> None:

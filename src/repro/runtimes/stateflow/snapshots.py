@@ -140,6 +140,14 @@ class Snapshot:
     #: Fault injection: the cut's delta fragment was dropped in flight —
     #: the payload is unusable and resolution must repair or fall back.
     torn: bool = False
+    #: Durable-view sidecar: the versioned export of every registered
+    #: view plan's operator state at the cut (see
+    #: :meth:`~repro.views.manager.ViewManager.export_sidecar`), so
+    #: recovery and cold starts resume views incrementally instead of
+    #: rescanning state.  ``None`` when no views were registered.
+    #: Cut files written before format v2 lack this slot entirely —
+    #: readers go through ``getattr(snapshot, "views_state", None)``.
+    views_state: Any = None
 
 
 @dataclass(slots=True)
@@ -358,7 +366,8 @@ class SnapshotStore:
              admitted: set[int] | None = None,
              assignment: Any = None, kind: str = "full",
              changelog_seq: int = -1,
-             epoch_buffer: list[Any] | None = None) -> Snapshot:
+             epoch_buffer: list[Any] | None = None,
+             views_state: Any = None) -> Snapshot:
         parent_id = (self._snapshots[-1].snapshot_id
                      if kind == "delta" and self._snapshots else None)
         torn = False
@@ -376,7 +385,8 @@ class SnapshotStore:
             arrival_seq=arrival_seq, pending=list(pending or []),
             admitted=set(admitted or ()), assignment=assignment,
             kind=kind, parent_id=parent_id, changelog_seq=changelog_seq,
-            torn=torn, epoch_buffer=list(epoch_buffer or []))
+            torn=torn, epoch_buffer=list(epoch_buffer or []),
+            views_state=views_state)
         self._next_id += 1
         self._snapshots.append(snapshot)
         self._cuts_since_base = (self._cuts_since_base + 1

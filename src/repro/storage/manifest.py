@@ -18,9 +18,14 @@ that detects torn socket streams, and truncated away on open.
 The manifest is the versioned part of the schema.  ``open_layout``
 migrates older layouts forward before either store touches the
 directory: version 0 (the flat prototype layout, every file in the
-directory root) is moved into the split subdirectories above.  A
-manifest from a *newer* format is refused — downgrading code must not
-silently misread a layout it does not understand.
+directory root) is moved into the split subdirectories above; version 1
+cut frames predate the durable-view sidecar slot
+(``Snapshot.views_state``) and are rewritten with the slot
+materialized — ``Snapshot`` is a slots dataclass, so an old pickle
+would otherwise come back with the attribute simply *absent*
+(``AttributeError`` on access, not ``None``).  A manifest from a
+*newer* format is refused — downgrading code must not silently misread
+a layout it does not understand.
 """
 
 from __future__ import annotations
@@ -31,10 +36,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from ..substrates.wire import MAGIC, MAX_FRAME_BYTES, FrameError, decode_frame
+from ..substrates.wire import (MAGIC, MAX_FRAME_BYTES, FrameError,
+                               decode_frame, encode_frame)
 
 #: Current layout version (see module docstring for the history).
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 _HEADER = len(MAGIC) + 4  # magic + big-endian u32 payload length
 
@@ -115,6 +121,28 @@ def _migrate_v0(layout: DurabilityLayout) -> None:
         os.replace(legacy_ledger, layout.ledger_path)
 
 
+def _migrate_v1(layout: DurabilityLayout) -> None:
+    """v1 -> v2: cut frames gained the durable-view sidecar slot
+    (``Snapshot.views_state``).  ``Snapshot`` is a slots dataclass, so
+    a v1 pickle unpickles with the slot *uninitialized* — attribute
+    access raises instead of returning ``None`` — and every retained
+    cut is rewritten (atomically, like any cut write) with the slot
+    materialized.  No sidecar was recorded at those cuts: ``None``."""
+    for path in layout.cut_files():
+        try:
+            snapshot = decode_frame(path.read_bytes())
+        except FrameError:
+            continue  # torn/corrupt cut: the store drops it on open
+        if getattr(snapshot, "views_state", None) is None:
+            try:
+                snapshot.views_state = None
+            except AttributeError:
+                continue  # not a Snapshot-shaped frame; leave it be
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(encode_frame(snapshot))
+        os.replace(tmp, path)
+
+
 def open_layout(directory: str | os.PathLike) -> DurabilityLayout:
     """Open (creating or migrating as needed) a durability directory.
 
@@ -131,14 +159,18 @@ def open_layout(directory: str | os.PathLike) -> DurabilityLayout:
                   or (root / "ledger.log").exists())
         if legacy:
             _migrate_v0(layout)
+            _migrate_v1(layout)
         update_manifest(layout, format_version=FORMAT_VERSION)
     elif version > FORMAT_VERSION:
         raise StorageError(
             f"durability directory {root} has format version {version}; "
             f"this build reads up to {FORMAT_VERSION} — refusing to "
             f"touch a newer layout")
-    elif version < 1:
-        _migrate_v0(layout)
+    elif version < FORMAT_VERSION:
+        if version < 1:
+            _migrate_v0(layout)
+        if version < 2:
+            _migrate_v1(layout)
         update_manifest(layout, format_version=FORMAT_VERSION)
     layout.changelog_dir.mkdir(exist_ok=True)
     layout.snapshots_dir.mkdir(exist_ok=True)

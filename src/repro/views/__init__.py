@@ -1,11 +1,15 @@
 """Incremental materialized views: the O(changed-keys) read path.
 
-Standing queries (filtered counts/sums/avgs, per-group rollups, bounded
-top-k) compile into small dataflows of stateful update operators, each
-consuming the commit-time write-footprint deltas and emitting its own
-delta downstream — a view refresh costs O(changed keys), not O(state).
-See ``README.md`` ("Incremental materialized views") for the operator
-diagram and freshness semantics.
+Standing queries (filtered counts/sums/avgs/mins/maxes, per-group
+rollups, tumbling-window aggregates, two-entity foreign-key joins,
+bounded top-k) compile into small dataflows of stateful update
+operators, each consuming the commit-time write-footprint deltas and
+emitting its own delta downstream — a view refresh costs O(changed
+keys), not O(state).  Plan operator state additionally rides snapshot
+cuts as a versioned sidecar, so recovery and cold starts resume views
+incrementally instead of rescanning state.  See ``README.md``
+("Incremental materialized views") for the operator diagram and
+freshness semantics.
 """
 
 from .compiler import (
@@ -16,23 +20,29 @@ from .compiler import (
     compile_spec,
     recompute,
 )
-from .manager import ViewManager, ViewSnapshot, ViewUpdate
+from .manager import SIDECAR_VERSION, ViewManager, ViewSnapshot, ViewUpdate
 from .operators import (
     TOMBSTONE,
     Delta,
+    DeltaJoin,
     FilterMap,
     GroupAggregate,
+    OrderedGroupIndex,
     TopK,
     ViewError,
+    WindowedAggregate,
     rank_key,
 )
 
 __all__ = [
     "CompiledView",
     "Delta",
+    "DeltaJoin",
     "FilterMap",
     "GroupAggregate",
     "KINDS",
+    "OrderedGroupIndex",
+    "SIDECAR_VERSION",
     "TOMBSTONE",
     "TopK",
     "ViewCompiler",
@@ -41,6 +51,7 @@ __all__ = [
     "ViewSnapshot",
     "ViewSpec",
     "ViewUpdate",
+    "WindowedAggregate",
     "compile_spec",
     "rank_key",
     "recompute",

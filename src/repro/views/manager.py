@@ -10,23 +10,42 @@ transport the runtime provides (the network substrate on StateFlow —
 commit never waits on a subscriber).
 
 Rewind semantics: recovery restores the committed store to a snapshot
-and abandons the whole pipeline, so :meth:`on_restore` rebuilds every
-plan from the restored store — a view can never reflect an abandoned
-batch, because hydration-from-state and incremental maintenance land on
-identical results (absolute-state deltas).  Rescales move slot
-ownership, not contents, at a drained-pipeline barrier, so views need
-no rescale hook.  Duplicate delivery of a batch (an at-least-once
-transport replaying the hook) is dropped per plan by batch id.
+and abandons the whole pipeline, so :meth:`on_restore` brings every
+plan back to exactly the restored state — a view can never reflect an
+abandoned batch.  Plans covered by the cut's durable sidecar (see
+:meth:`export_sidecar`) restore their operator memos directly, O(plan
+state) with zero store access (``sidecar_restores``); plans the sidecar
+misses rebuild from a store scan (``rehydrations``) — identical results
+either way for scan-derivable plans, because hydration-from-state and
+incremental maintenance land on the same memos (absolute-state deltas).
+Windowed plans are the exception that motivates the sidecar: their
+window assignment lives only in operator state, so a scan fallback
+collapses history into one window while a sidecar restore preserves it.
+Rescales move slot ownership, not contents, at a drained-pipeline
+barrier, so views need no rescale hook.  Duplicate delivery of a batch
+(an at-least-once transport replaying the hook) is dropped per plan by
+batch id.
+
+Cold starts go through :meth:`attach_recovery`: a process reopening a
+durable directory hands the manager the recovered cut's sidecar plus
+the changelog suffix past the cut, and every subsequently registered
+view resumes from ``(sidecar memos, last_applied_batch)`` + suffix
+replay instead of scanning the restored store — ``rehydrations`` stays
+0 on a clean resume.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from .compiler import CompiledView, ViewCompiler, ViewSpec
 from .operators import ViewError
+
+#: Version tag of the durable-view sidecar payload riding snapshot
+#: cuts.  Bump when the per-plan state layout changes shape.
+SIDECAR_VERSION = 1
 
 
 @dataclass(slots=True)
@@ -53,10 +72,11 @@ class ViewUpdate:
     view: str
     batch_id: int
     #: The view's own output delta for this batch (grouped aggregates:
-    #: ``{group: value | TOMBSTONE}``; top-k: the replacement rows).
+    #: ``{group: value | TOMBSTONE}``; top-k: the replacement rows —
+    #: ``[]`` when the view drained).
     delta: Any
     #: The full view value after this batch (views are small by
-    #: construction: aggregates, rollups, bounded top-k).
+    #: construction: aggregates, rollups, windows, bounded top-k).
     value: Any
     at_ms: float | None
 
@@ -77,6 +97,10 @@ class ViewManager:
         self._compiler = ViewCompiler()
         self._views: dict[str, CompiledView] = {}
         self._subscribers: dict[str, list[Callable[[ViewUpdate], None]]] = {}
+        #: Cold-start recovery context: sidecar plan entries by view
+        #: name plus the changelog suffix past the recovered cut (see
+        #: :meth:`attach_recovery`); ``None`` outside a cold start.
+        self._recovery: dict[str, Any] | None = None
         #: Push transport: called with a zero-arg deliver closure; the
         #: runtime points this at the network substrate so updates fan
         #: out as messages.  ``None`` delivers synchronously.
@@ -85,10 +109,17 @@ class ViewManager:
         #: commit is folded into every plan (outside the timed region).
         self.probe: Callable[[int], None] | None = None
         #: Maintenance cost ledger (the bench cell's numerator).
+        #: ``keys_applied`` counts only keys of entities some plan
+        #: actually consumes — writes to view-less entities cost the
+        #: maintenance path nothing and must not pad the denominator.
         self.maintenance_ns = 0
         self.commits_applied = 0
         self.keys_applied = 0
+        #: O(state) plan rebuilds (store scans) — what the durable
+        #: sidecar exists to avoid; 0 across a clean recovery.
         self.rehydrations = 0
+        #: Plans resumed from a sidecar cut (recovery or cold start).
+        self.sidecar_restores = 0
 
     # -- registration ---------------------------------------------------
     def __len__(self) -> int:
@@ -98,18 +129,27 @@ class ViewManager:
         return sorted(self._views)
 
     def register(self, spec: ViewSpec) -> ViewSnapshot:
-        """Compile (or share) the plan and hydrate it from the store.
+        """Compile (or share) the plan and hydrate it.
 
-        Registration is the only O(state) moment in a view's life: the
-        initial result comes from one full scan; every later refresh is
-        O(changed keys)."""
+        Registration is the only O(state) moment in a view's life —
+        unless a cold-start recovery context is attached
+        (:meth:`attach_recovery`) and carries this view's plan state,
+        in which case the plan resumes from the sidecar memos plus the
+        changelog suffix and never touches the store."""
         if spec.name in self._views:
             raise ViewError(f"view {spec.name!r} is already registered")
         compiled = self._compiler.normalize(spec)
         if not compiled.names:
-            compiled.hydrate(self._scan(spec.entity))
-            compiled.last_applied_batch = self._head()
-            compiled.applied_at_ms = self._clock()
+            if not self._resume_from_recovery(spec.name, compiled):
+                compiled.hydrate(self._scan(spec.entity),
+                                 join_items=self._join_scan(compiled),
+                                 at_ms=self._clock())
+                compiled.last_applied_batch = self._head()
+                compiled.applied_at_ms = self._clock()
+                if self._recovery is not None:
+                    # A cold start had to fall back to scanning for
+                    # this plan — the sidecar didn't cover it.
+                    self.rehydrations += 1
         compiled.names.append(spec.name)
         self._views[spec.name] = compiled
         return self.read(spec.name)
@@ -133,6 +173,12 @@ class ViewManager:
             if state is not None:
                 yield key, state
 
+    def _join_scan(self, compiled: CompiledView):
+        """The joined entity's scan for hydration, when the plan joins."""
+        if compiled.spec.join_entity is None:
+            return None
+        return self._scan(compiled.spec.join_entity)
+
     # -- reads ----------------------------------------------------------
     def _compiled(self, name: str) -> CompiledView:
         compiled = self._views.get(name)
@@ -151,10 +197,20 @@ class ViewManager:
 
     def expected(self, name: str) -> Any:
         """The full-scan oracle for one view: recompute its value from
-        the committed store, bypassing every incremental memo."""
+        the committed store, bypassing every incremental memo.  Joins
+        scan both entities.  Windowed views have no store oracle —
+        window assignment depends on *when* each key last committed,
+        which rows do not carry — so asking is a :class:`ViewError`;
+        their batteries feed a shadow oracle from the commit hook."""
         from .compiler import recompute
         compiled = self._compiled(name)
-        return recompute(compiled.spec, self._scan(compiled.spec.entity))
+        spec = compiled.spec
+        if spec.window_ms is not None:
+            raise ViewError(
+                f"view {name!r} is windowed: window assignment lives in "
+                f"operator state, not rows, so no full-scan oracle exists")
+        return recompute(spec, self._scan(spec.entity),
+                         join_items=self._join_scan(compiled))
 
     # -- subscriptions --------------------------------------------------
     def subscribe(self, name: str,
@@ -175,28 +231,32 @@ class ViewManager:
         """Fold one closed batch's write footprint into every plan.
 
         *writes* maps ``(entity, key)`` to the absolute post-commit
-        state (exactly what the changelog records).  Batches already
-        applied (duplicate delivery) are skipped per plan; an empty
-        footprint still advances freshness."""
+        state (exactly what the changelog records).  Plans route by
+        entity — a join plan consumes both of its entities' footprints
+        in one step.  Batches already applied (duplicate delivery) are
+        skipped per plan; an empty footprint still advances freshness."""
         if not self._views:
             return
         per_entity: dict[str, dict] = {}
         for (entity, key), state in writes.items():
             per_entity.setdefault(entity, {})[key] = state
         outputs: list[tuple[CompiledView, Any]] = []
+        consumed: set[str] = set()
         started = time.perf_counter_ns()
         for compiled in self._compiler.plans:
             if batch_id <= compiled.last_applied_batch:
                 continue  # duplicate delivery of an applied batch
-            delta = per_entity.get(compiled.spec.entity)
-            out = compiled.apply(delta) if delta else None
+            out = compiled.apply_batch(per_entity, at_ms=at_ms)
             compiled.last_applied_batch = batch_id
             compiled.applied_at_ms = at_ms
+            consumed.update(compiled.entities())
             if out is not None:
                 outputs.append((compiled, out))
         self.maintenance_ns += time.perf_counter_ns() - started
         self.commits_applied += 1
-        self.keys_applied += len(writes)
+        self.keys_applied += sum(
+            len(delta) for entity, delta in per_entity.items()
+            if entity in consumed)
         if self.probe is not None:
             self.probe(batch_id)
         for compiled, out in outputs:
@@ -206,14 +266,132 @@ class ViewManager:
                                          delta=out, value=value,
                                          at_ms=at_ms))
 
-    # -- rewind ---------------------------------------------------------
-    def on_restore(self, last_closed: int, at_ms: float | None) -> None:
-        """Recovery rewound the committed store (and the changelog) to
-        a snapshot: rebuild every plan from the restored state so no
-        view reflects an abandoned pipeline batch.  Replayed batches
-        re-arrive through :meth:`on_commit` under new batch ids."""
+    # -- durable-view sidecar -------------------------------------------
+    def export_sidecar(self) -> dict[str, Any] | None:
+        """The versioned payload riding each snapshot cut: every live
+        plan's operator memos plus its registered names and structural
+        schema.  ``None`` when no views are registered (the common
+        no-views run pays zero cut overhead)."""
+        plans = []
         for compiled in self._compiler.plans:
-            compiled.hydrate(self._scan(compiled.spec.entity))
+            if not compiled.names:
+                continue
+            plans.append({
+                "names": sorted(compiled.names),
+                "schema": compiled.spec.schema_signature(),
+                "state": compiled.export_state(),
+                "last_applied_batch": compiled.last_applied_batch,
+                "applied_at_ms": compiled.applied_at_ms,
+            })
+        if not plans:
+            return None
+        return {"version": SIDECAR_VERSION, "plans": plans}
+
+    @staticmethod
+    def _sidecar_entries(sidecar: Any) -> dict[tuple, dict]:
+        """Index a sidecar payload by ``(view name, schema signature)``
+        — the cross-process identity of a plan.  Unknown versions (or
+        malformed payloads) index to nothing: the caller falls back to
+        scan hydration, never to a wrong restore."""
+        entries: dict[tuple, dict] = {}
+        if not isinstance(sidecar, dict) \
+                or sidecar.get("version") != SIDECAR_VERSION:
+            return entries
+        for entry in sidecar.get("plans", ()):
+            schema = tuple(entry.get("schema", ()))
+            for name in entry.get("names", ()):
+                entries[(name, schema)] = entry
+        return entries
+
+    def _restore_plan(self, compiled: CompiledView, entry: dict,
+                      last_applied_batch: int,
+                      at_ms: float | None) -> bool:
+        """Restore one plan's memos from a sidecar entry; ``False`` (and
+        an untouched-by-garbage plan, courtesy of the reset inside
+        ``restore_state``) when the entry's state doesn't fit."""
+        try:
+            compiled.restore_state(entry["state"])
+        except Exception:
+            compiled.reset()
+            return False
+        compiled.last_applied_batch = last_applied_batch
+        compiled.applied_at_ms = at_ms
+        return True
+
+    # -- rewind ---------------------------------------------------------
+    def on_restore(self, last_closed: int, at_ms: float | None,
+                   sidecar: Any = None) -> None:
+        """Recovery rewound the committed store (and the changelog) to
+        a snapshot: bring every plan back to exactly that state so no
+        view reflects an abandoned pipeline batch.  Plans the cut's
+        *sidecar* covers restore their memos directly — the sidecar was
+        exported at the same batch boundary the store was restored to,
+        so memos and store agree without touching it.  Uncovered plans
+        rebuild from a store scan.  Replayed batches re-arrive through
+        :meth:`on_commit` under new batch ids."""
+        entries = self._sidecar_entries(sidecar)
+        for compiled in self._compiler.plans:
+            entry = self._match_entry(entries, compiled)
+            if entry is not None and self._restore_plan(
+                    compiled, entry, last_closed, at_ms):
+                self.sidecar_restores += 1
+                continue
+            compiled.hydrate(self._scan(compiled.spec.entity),
+                             join_items=self._join_scan(compiled),
+                             at_ms=at_ms)
             compiled.last_applied_batch = last_closed
             compiled.applied_at_ms = at_ms
             self.rehydrations += 1
+
+    @staticmethod
+    def _match_entry(entries: dict[tuple, dict],
+                     compiled: CompiledView) -> dict | None:
+        schema = compiled.spec.schema_signature()
+        for name in compiled.names:
+            entry = entries.get((name, schema))
+            if entry is not None:
+                return entry
+        return None
+
+    # -- cold start -----------------------------------------------------
+    def attach_recovery(self, sidecar: Any,
+                        suffix: Iterable[Any] | None = None) -> None:
+        """Arm cold-start resume: *sidecar* is the recovered cut's
+        ``views_state`` payload and *suffix* the changelog records past
+        the cut (already rolled into the store the manager reads).
+        Every view registered afterwards first tries to resume from its
+        sidecar entry — restore memos, then fold the suffix records as
+        ordinary per-entity commits at their recorded ``at_ms`` — and
+        only scans the store (counting a rehydration) when the sidecar
+        doesn't cover it."""
+        self._recovery = {
+            "entries": self._sidecar_entries(sidecar),
+            "suffix": list(suffix or ()),
+        }
+
+    def detach_recovery(self) -> None:
+        self._recovery = None
+
+    def _resume_from_recovery(self, name: str,
+                              compiled: CompiledView) -> bool:
+        if self._recovery is None:
+            return False
+        entry = self._recovery["entries"].get(
+            (name, compiled.spec.schema_signature()))
+        if entry is None:
+            return False
+        if not self._restore_plan(compiled, entry,
+                                  entry.get("last_applied_batch", -1),
+                                  entry.get("applied_at_ms")):
+            return False
+        for record in self._recovery["suffix"]:
+            if record.batch_id <= compiled.last_applied_batch:
+                continue  # already inside the cut's memos
+            per_entity: dict[str, dict] = {}
+            for (entity, key), state in record.writes.items():
+                per_entity.setdefault(entity, {})[key] = state
+            compiled.apply_batch(per_entity, at_ms=record.at_ms)
+            compiled.last_applied_batch = record.batch_id
+            compiled.applied_at_ms = record.at_ms
+        self.sidecar_restores += 1
+        return True

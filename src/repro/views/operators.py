@@ -10,24 +10,50 @@ needs:
   deleted row) flows downstream as a :data:`~repro.runtimes.state.
   TOMBSTONE` retraction, so downstream operators can forget it.
 - :class:`GroupAggregate` remembers, per key, the (group, value)
-  contribution it last applied, and per group a running (count, total);
-  an update retracts the old contribution and applies the new one —
-  two O(1) bucket adjustments.
-- :class:`TopK` keeps a sorted index of every live key ordered by
-  ``(-score, str(key))`` (deterministic tie-break), so a membership
-  change is an O(log n) bisect and a read slices the first k.
+  contribution it last applied, and per group a running
+  (count, total, compensation) bucket — an update retracts the old
+  contribution and applies the new one, two O(1) bucket adjustments.
+  ``sum``/``avg`` totals use compensated (Kahan–Neumaier) accumulation
+  so long-lived float groups cannot drift from the full-scan oracle;
+  ``min``/``max`` keep a per-group :class:`OrderedGroupIndex` so
+  retracting the current extremum is an O(log n) bisect, not a rescan.
+- :class:`TopK` keeps every live key in an :class:`OrderedGroupIndex`
+  ordered by ``(score, _RevStr(str(key)))`` (deterministic tie-break),
+  so a membership change is an O(log n) bisect and a read slices the
+  top k.
+- :class:`DeltaJoin` memoizes both sides of a two-entity foreign-key
+  join; each side's delta probes the other side's memo and emits
+  joined-row deltas keyed by the primary side's key.
+- :class:`WindowedAggregate` assigns each key's contribution to the
+  tumbling ``at_ms`` window of the commit that produced it; a later
+  commit moves the key to its new window (retracting the old one).
+
+Every ``apply`` is **two-phase**: all field extraction (``group_of``,
+``value_of``, score and foreign-key lookups — anything that can raise
+:class:`ViewError`) is staged before the first memo mutation, so a
+delta that raises leaves the operator exactly as it was.  A partially
+applied delta would be silently wrong forever after.
 
 Because deltas carry *absolute* states (the changelog convention, see
 :mod:`repro.runtimes.stateflow.snapshots`), re-applying the same delta
 is idempotent and applying the last-writer-wins compaction of a delta
 sequence lands on the same state as applying the sequence — the
 properties the hypothesis battery in ``tests/views`` pins down.
+
+Each stateful operator also implements ``export_state``/
+``restore_state``: a picklable copy of exactly the memos above, riding
+the snapshot path as the durable-view sidecar (see
+:meth:`~repro.views.manager.ViewManager.export_sidecar`).  Derived
+ordered indexes are rebuilt on restore rather than exported — a sorted
+list is insertion-order independent, so the rebuild is deterministic.
 """
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left, insort
-from typing import Any, Callable
+from operator import itemgetter
+from typing import Any, Callable, Iterable
 
 from ..core.errors import StatefulEntityError
 from ..runtimes.state import TOMBSTONE
@@ -76,77 +102,6 @@ class FilterMap:
         return out
 
 
-class GroupAggregate:
-    """count/sum/avg per group, with O(1) retraction memos.
-
-    ``group_of`` maps a row to its group key (``None`` = one global
-    group, i.e. a plain filtered aggregate); ``value_of`` extracts the
-    aggregated value (ignored for ``count``).  The emitted delta maps
-    each touched group to its new aggregate value, or TOMBSTONE when
-    the group lost its last member.
-    """
-
-    KINDS = ("count", "sum", "avg")
-
-    def __init__(self, kind: str,
-                 group_of: Callable[[dict], Any] | None = None,
-                 value_of: Callable[[dict], Any] | None = None):
-        if kind not in self.KINDS:
-            raise ViewError(f"unknown aggregate kind {kind!r}; "
-                            f"choose from {self.KINDS}")
-        if kind in ("sum", "avg") and value_of is None:
-            raise ViewError(f"aggregate kind {kind!r} needs a value field")
-        self.kind = kind
-        self.group_of = group_of
-        self.value_of = value_of
-        #: key -> (group, value): the contribution currently applied.
-        self._contrib: dict[Any, tuple[Any, Any]] = {}
-        #: group -> [count, total].
-        self._groups: dict[Any, list] = {}
-
-    def reset(self) -> None:
-        self._contrib.clear()
-        self._groups.clear()
-
-    def _aggregate(self, group: Any) -> Any:
-        count, total = self._groups[group]
-        if self.kind == "count":
-            return count
-        if self.kind == "sum":
-            return total
-        return total / count
-
-    def apply(self, delta: Delta) -> Delta:
-        touched: set = set()
-        for key, row in delta.items():
-            old = self._contrib.pop(key, None)
-            if old is not None:
-                group, value = old
-                bucket = self._groups[group]
-                bucket[0] -= 1
-                bucket[1] -= value
-                if bucket[0] == 0:
-                    del self._groups[group]
-                touched.add(group)
-            if row is TOMBSTONE:
-                continue
-            group = self.group_of(row) if self.group_of is not None else None
-            value = self.value_of(row) if self.value_of is not None else 0
-            self._contrib[key] = (group, value)
-            bucket = self._groups.setdefault(group, [0, 0])
-            bucket[0] += 1
-            bucket[1] += value
-            touched.add(group)
-        out: Delta = {}
-        for group in touched:
-            out[group] = (self._aggregate(group)
-                          if group in self._groups else TOMBSTONE)
-        return out
-
-    def result(self) -> dict[Any, Any]:
-        return {group: self._aggregate(group) for group in self._groups}
-
-
 class _RevStr:
     """Inverted string ordering, so a ``(score, _RevStr(key))`` sort key
     ranks equal scores by *ascending* key string under ``nlargest`` /
@@ -168,6 +123,16 @@ class _RevStr:
         return hash(self.value)
 
 
+def _entry_text(entry: tuple) -> str:
+    """Sort key for :meth:`OrderedGroupIndex.rebuild`'s tie-break pass
+    (the raw key string; the pass runs descending, matching ascending
+    ``_RevStr`` order)."""
+    return entry[1].value
+
+
+_entry_value = itemgetter(0)
+
+
 def rank_key(score: Any, key: Any) -> tuple:
     """The shared top-k ordering: sort (or ``nlargest``) by this and the
     highest score wins, with equal scores broken by *ascending* key
@@ -177,18 +142,407 @@ def rank_key(score: Any, key: Any) -> tuple:
     return (score, _RevStr(str(key)))
 
 
+class OrderedGroupIndex:
+    """Per-group sorted index of ``(value, _RevStr(str(key)), key)``
+    entries — the shared ordered structure behind :class:`TopK` (one
+    global group) and ``min``/``max`` aggregates (one sub-index per
+    group).
+
+    Entries sort ascending by value with the shared deterministic
+    tie-break, so ``smallest``/``largest`` answer min/max in O(1) and
+    ``top`` slices the k highest in O(k); membership changes are
+    O(log n) bisects.  A group whose last entry is removed disappears
+    entirely (no empty-list residue)."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        #: group -> ascending list of (value, _RevStr(str(key)), key).
+        self._entries: dict[Any, list[tuple]] = {}
+
+    @staticmethod
+    def _entry(value: Any, key: Any) -> tuple:
+        return (value, _RevStr(str(key)), key)
+
+    def add(self, group: Any, value: Any, key: Any) -> None:
+        insort(self._entries.setdefault(group, []),
+               self._entry(value, key))
+
+    def remove(self, group: Any, value: Any, key: Any) -> None:
+        entries = self._entries[group]
+        del entries[bisect_left(entries, self._entry(value, key))]
+        if not entries:
+            del self._entries[group]
+
+    def smallest(self, group: Any) -> tuple | None:
+        entries = self._entries.get(group)
+        return entries[0] if entries else None
+
+    def largest(self, group: Any) -> tuple | None:
+        entries = self._entries.get(group)
+        return entries[-1] if entries else None
+
+    def top(self, group: Any, k: int) -> list[tuple]:
+        """The k highest entries, highest first (ties: ascending key
+        string, courtesy of the _RevStr component)."""
+        entries = self._entries.get(group, [])
+        return list(reversed(entries[-k:] if k else []))
+
+    def size(self, group: Any) -> int:
+        return len(self._entries.get(group, ()))
+
+    def __len__(self) -> int:
+        """Total live entries across every group (0 = fully drained)."""
+        return sum(len(entries) for entries in self._entries.values())
+
+    def rebuild(self, items: Iterable[tuple[Any, Any, Any]]) -> None:
+        """Bulk-load from ``(group, value, key)`` triples: one O(n log n)
+        sort per group instead of n O(n) insorts — and deterministic
+        regardless of iteration order, because a sorted list is
+        insertion-order independent.
+
+        Sorting runs as two stable key-extraction passes (tie-break
+        first, then value) instead of one tuple sort: tuple comparison
+        falls back to ``_RevStr.__lt__`` on every tie, and a Python
+        method call per comparison dominates sidecar-restore time on
+        large plans."""
+        grouped: dict[Any, list[tuple]] = {}
+        for group, value, key in items:
+            grouped.setdefault(group, []).append(
+                (value, _RevStr(str(key)), key))
+        for entries in grouped.values():
+            entries.sort(key=_entry_text, reverse=True)
+            entries.sort(key=_entry_value)
+        self._entries = grouped
+
+    def export_entries(self) -> dict[Any, list[tuple]]:
+        """Picklable image of the index, preserving order so a sidecar
+        restore skips the re-sort entirely.  Shallow per-group list
+        copies are sound: entries are immutable tuples (``_RevStr`` is
+        a plain picklable wrapper), and every index mutation goes
+        through list surgery, never in-place entry edits."""
+        return {group: list(entries)
+                for group, entries in self._entries.items()}
+
+    def load_entries(self, exported: dict[Any, list[tuple]]) -> None:
+        """Inverse of :meth:`export_entries` — O(groups) with no
+        sorting (the export preserved entry order)."""
+        self._entries = {group: list(entries)
+                         for group, entries in exported.items()}
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def _kahan_add(bucket: list, value: Any) -> None:
+    """Neumaier-compensated accumulation into ``bucket[1]`` (total) /
+    ``bucket[2]`` (compensation).  Retraction is addition of the
+    negated value, so the compensation absorbs the cancellation error
+    that makes naive ``total -= value`` drift on long-lived float
+    groups.  Integer-only groups stay exactly integral: every
+    correction term is then identically zero."""
+    total = bucket[1]
+    fresh = total + value
+    if abs(total) >= abs(value):
+        bucket[2] += (total - fresh) + value
+    else:
+        bucket[2] += (value - fresh) + total
+    bucket[1] = fresh
+
+
+class GroupAggregate:
+    """count/sum/avg/min/max per group, with O(1)–O(log n) retraction.
+
+    ``group_of`` maps a row to its group key (``None`` = one global
+    group, i.e. a plain filtered aggregate); ``value_of`` extracts the
+    aggregated value (ignored for ``count``).  The emitted delta maps
+    each touched group to its new aggregate value, or TOMBSTONE when
+    the group lost its last member.
+    """
+
+    KINDS = ("count", "sum", "avg", "min", "max")
+
+    def __init__(self, kind: str,
+                 group_of: Callable[[dict], Any] | None = None,
+                 value_of: Callable[[dict], Any] | None = None):
+        if kind not in self.KINDS:
+            raise ViewError(f"unknown aggregate kind {kind!r}; "
+                            f"choose from {self.KINDS}")
+        if kind != "count" and value_of is None:
+            raise ViewError(f"aggregate kind {kind!r} needs a value field")
+        self.kind = kind
+        self.group_of = group_of
+        self.value_of = value_of
+        #: key -> (group, value): the contribution currently applied.
+        self._contrib: dict[Any, tuple[Any, Any]] = {}
+        #: group -> [count, total, compensation].
+        self._groups: dict[Any, list] = {}
+        #: min/max: per-group ordered index of live contributions, so
+        #: retracting the current extremum reveals the runner-up
+        #: without rescanning state.
+        self._ordered: OrderedGroupIndex | None = (
+            OrderedGroupIndex() if kind in ("min", "max") else None)
+
+    def reset(self) -> None:
+        self._contrib.clear()
+        self._groups.clear()
+        if self._ordered is not None:
+            self._ordered.clear()
+
+    def _aggregate(self, group: Any) -> Any:
+        count, total, comp = self._groups[group]
+        if self.kind == "count":
+            return count
+        if self.kind == "sum":
+            return total + comp
+        if self.kind == "avg":
+            return (total + comp) / count
+        entry = (self._ordered.smallest(group) if self.kind == "min"
+                 else self._ordered.largest(group))
+        return entry[0]
+
+    def _stage(self, delta: Delta) -> list[tuple[Any, tuple | None]]:
+        """Phase one: extract every row's (group, value) without
+        touching a single memo.  ``group_of``/``value_of`` may raise
+        (a missing field is a :class:`ViewError`); staging first means
+        a raising delta leaves the operator exactly as it was."""
+        staged: list[tuple[Any, tuple | None]] = []
+        for key, row in delta.items():
+            if row is TOMBSTONE:
+                staged.append((key, None))
+                continue
+            group = self.group_of(row) if self.group_of is not None else None
+            value = self.value_of(row) if self.value_of is not None else 0
+            staged.append((key, (group, value)))
+        return staged
+
+    def apply(self, delta: Delta) -> Delta:
+        staged = self._stage(delta)  # may raise; no memo touched yet
+        touched: set = set()
+        for key, contribution in staged:
+            old = self._contrib.pop(key, None)
+            if old is not None:
+                group, value = old
+                bucket = self._groups[group]
+                bucket[0] -= 1
+                _kahan_add(bucket, -value)
+                if self._ordered is not None:
+                    self._ordered.remove(group, value, key)
+                if bucket[0] == 0:
+                    del self._groups[group]
+                touched.add(group)
+            if contribution is None:
+                continue
+            group, value = contribution
+            self._contrib[key] = contribution
+            bucket = self._groups.setdefault(group, [0, 0, 0])
+            bucket[0] += 1
+            _kahan_add(bucket, value)
+            if self._ordered is not None:
+                self._ordered.add(group, value, key)
+            touched.add(group)
+        out: Delta = {}
+        for group in touched:
+            out[group] = (self._aggregate(group)
+                          if group in self._groups else TOMBSTONE)
+        return out
+
+    def result(self) -> dict[Any, Any]:
+        return {group: self._aggregate(group) for group in self._groups}
+
+    # -- durable-view sidecar -------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        """Picklable copy of the retraction memos.  Buckets are copied
+        verbatim (including the Kahan compensation), so a restore is
+        bit-identical to the live operator — no fold-order residue.
+        The ordered index ships pre-sorted so min/max restores avoid
+        an O(n log n) rebuild."""
+        state = {"contrib": dict(self._contrib),
+                 "groups": {group: list(bucket)
+                            for group, bucket in self._groups.items()}}
+        if self._ordered is not None:
+            state["ordered"] = self._ordered.export_entries()
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._contrib = dict(state["contrib"])
+        self._groups = {group: list(bucket)
+                        for group, bucket in state["groups"].items()}
+        if self._ordered is not None:
+            if "ordered" in state:
+                self._ordered.load_entries(state["ordered"])
+            else:
+                self._ordered.rebuild(
+                    (group, value, key)
+                    for key, (group, value) in self._contrib.items())
+
+
+class WindowedAggregate(GroupAggregate):
+    """Tumbling-window aggregate over commit time (``at_ms``).
+
+    Each key's contribution is assigned to the window containing the
+    commit that produced it; a later commit *moves* the key to its new
+    window (the inherited memo retracts the old window's contribution).
+    The result maps window start (ms) to the aggregate over the keys
+    whose latest commit landed in that window.
+
+    Window assignment is part of the operator's state, not derivable
+    from any store scan — which is why windowed plans recover through
+    the durable-view sidecar and the changelog's rewind machinery
+    (records carry ``at_ms``) rather than full-scan rehydration; a
+    scan fallback collapses history into the hydration-time window.
+    """
+
+    def __init__(self, kind: str, window_ms: float,
+                 value_of: Callable[[dict], Any] | None = None):
+        if kind not in self.KINDS:
+            raise ViewError(f"unknown aggregate kind {kind!r}; "
+                            f"choose from {self.KINDS}")
+        if window_ms <= 0:
+            raise ViewError(f"windowed views need window_ms > 0, "
+                            f"got {window_ms}")
+        self.window_ms = float(window_ms)
+        self._now_window = 0.0
+        super().__init__(kind, group_of=self._window_of, value_of=value_of)
+
+    def window_start(self, at_ms: float | None) -> float:
+        """The tumbling window containing *at_ms* (``None`` — a run
+        without a clock — collapses to window 0.0)."""
+        if at_ms is None:
+            return 0.0
+        return math.floor(at_ms / self.window_ms) * self.window_ms
+
+    def _window_of(self, row: dict) -> float:
+        return self._now_window
+
+    def apply(self, delta: Delta, at_ms: float | None = None) -> Delta:
+        self._now_window = self.window_start(at_ms)
+        return super().apply(delta)
+
+
+class DeltaJoin:
+    """Two-entity foreign-key delta-join, primary-keyed output.
+
+    The *primary* (left) entity's rows carry a foreign key (field
+    ``on``) naming a row of the *joined* (right) entity; the emitted
+    delta is keyed by the primary key and carries the merged row —
+    primary fields verbatim, joined fields under ``{prefix}__{field}``.
+    Inner-join semantics: a primary row whose partner is absent is
+    invisible downstream (a TOMBSTONE retraction), and appears the
+    moment the partner arrives.
+
+    Each side's delta probes the other side's memo: a primary change is
+    O(1) (one FK lookup); a joined-side change fans out to exactly the
+    primary rows referencing it (the ``_by_fk`` index), each re-emitted
+    with the fresh partner — O(referencing keys), never O(state).
+    """
+
+    def __init__(self, on: str, prefix: str):
+        self.on = on
+        self.prefix = prefix
+        #: primary key -> primary row (the side the output is keyed by).
+        self._left: dict[Any, dict] = {}
+        #: joined-entity key -> its row.
+        self._right: dict[Any, dict] = {}
+        #: joined-entity key -> {primary keys referencing it}.
+        self._by_fk: dict[Any, set] = {}
+
+    def reset(self) -> None:
+        self._left.clear()
+        self._right.clear()
+        self._by_fk.clear()
+
+    def _fk_of(self, key: Any, row: dict) -> Any:
+        if self.on not in row:
+            raise ViewError(
+                f"join row for key {key!r} lacks foreign-key field "
+                f"{self.on!r}")
+        return row[self.on]
+
+    def _joined(self, left_row: dict, right_row: dict) -> dict:
+        merged = dict(left_row)
+        for field_name, value in right_row.items():
+            merged[f"{self.prefix}__{field_name}"] = value
+        return merged
+
+    def _unlink(self, fk: Any, key: Any) -> None:
+        peers = self._by_fk.get(fk)
+        if peers is not None:
+            peers.discard(key)
+            if not peers:
+                del self._by_fk[fk]
+
+    def apply(self, left_delta: Delta, right_delta: Delta) -> Delta:
+        # Two-phase: every FK extraction (which may raise on a malformed
+        # row) happens before the first memo mutation.
+        staged = [(key, None if row is TOMBSTONE
+                   else (self._fk_of(key, row), dict(row)))
+                  for key, row in left_delta.items()]
+        out: Delta = {}
+        for key, new in staged:
+            old = self._left.pop(key, None)
+            if old is not None:
+                self._unlink(old[self.on], key)
+            if new is None:
+                out[key] = TOMBSTONE
+                continue
+            fk, row = new
+            self._left[key] = row
+            self._by_fk.setdefault(fk, set()).add(key)
+            partner = self._right.get(fk)
+            out[key] = (self._joined(row, partner)
+                        if partner is not None else TOMBSTONE)
+        for fk, partner in right_delta.items():
+            if partner is TOMBSTONE:
+                self._right.pop(fk, None)
+            else:
+                self._right[fk] = dict(partner)
+            fresh = self._right.get(fk)
+            for key in self._by_fk.get(fk, ()):
+                out[key] = (self._joined(self._left[key], fresh)
+                            if fresh is not None else TOMBSTONE)
+        return out
+
+    def result(self) -> Delta:
+        """Every currently joined row (primary-keyed) — the hydration
+        oracle's view of the memos."""
+        out: Delta = {}
+        for key, row in self._left.items():
+            partner = self._right.get(row[self.on])
+            if partner is not None:
+                out[key] = self._joined(row, partner)
+        return out
+
+    # -- durable-view sidecar -------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        return {"left": {key: dict(row)
+                         for key, row in self._left.items()},
+                "right": {key: dict(row)
+                          for key, row in self._right.items()}}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._left = {key: dict(row)
+                      for key, row in state["left"].items()}
+        self._right = {key: dict(row)
+                       for key, row in state["right"].items()}
+        self._by_fk = {}
+        for key, row in self._left.items():
+            self._by_fk.setdefault(row[self.on], set()).add(key)
+
+
 class TopK:
     """Bounded top-k rows by a score field.
 
-    Keeps every live key in an index sorted ascending by
-    ``(score, _RevStr(str(key)))`` and reads the last k entries
-    back-to-front: highest score first, ties broken by ascending key
-    string — the same deterministic order
+    Keeps every live key in an :class:`OrderedGroupIndex` (one global
+    group) ordered ascending by ``(score, _RevStr(str(key)))`` and
+    reads the top k back-to-front: highest score first, ties broken by
+    ascending key string — the same deterministic order
     :meth:`~repro.query.engine.QueryEngine.top_k` produces.  A
     membership change is an O(log n) bisect, and a key falling out of
     the top k is backfilled from the index without rescanning state.
     Emits the full replacement top-k list (bounded size) whenever the
-    visible rows may have changed.
+    visible rows may have changed — including the empty list when the
+    last row drains, so subscribers learn the view emptied.
     """
 
     def __init__(self, k: int, score_of: Callable[[dict], Any]):
@@ -196,8 +550,8 @@ class TopK:
             raise ViewError(f"top-k needs k >= 1, got {k}")
         self.k = k
         self.score_of = score_of
-        #: Ascending index of (score, _RevStr(str(key)), key).
-        self._index: list[tuple] = []
+        #: All live keys, ordered (group None: the ranking is global).
+        self._index = OrderedGroupIndex()
         #: key -> (score, row) for retraction and row materialization.
         self._rows: dict[Any, tuple[Any, dict]] = {}
 
@@ -206,22 +560,23 @@ class TopK:
         self._rows.clear()
 
     def _top_keys(self) -> list:
-        top = self._index[-self.k:] if self.k else []
-        return [entry[2] for entry in reversed(top)]
+        return [entry[2] for entry in self._index.top(None, self.k)]
 
     def apply(self, delta: Delta) -> list | None:
+        # Two-phase: stage every score extraction (which may raise on a
+        # row missing the field) before the first index mutation.
+        staged = [(key, None if row is TOMBSTONE
+                   else (self.score_of(row), dict(row)))
+                  for key, row in delta.items()]
         before = self._top_keys()
-        for key, row in delta.items():
+        for key, new in staged:
             old = self._rows.pop(key, None)
             if old is not None:
-                score, _ = old
-                del self._index[bisect_left(
-                    self._index, (score, _RevStr(str(key)), key))]
-            if row is TOMBSTONE:
+                self._index.remove(None, old[0], key)
+            if new is None:
                 continue
-            score = self.score_of(row)
-            self._rows[key] = (score, row)
-            insort(self._index, (score, _RevStr(str(key)), key))
+            self._rows[key] = new
+            self._index.add(None, new[0], key)
         after = self._top_keys()
         if after == before and all(
                 key not in delta for key in after):
@@ -236,3 +591,19 @@ class TopK:
             materialized["__key__"] = key
             rows.append(materialized)
         return rows
+
+    # -- durable-view sidecar -------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        return {"rows": {key: (score, dict(row))
+                         for key, (score, row) in self._rows.items()},
+                "index": self._index.export_entries()}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        # Shallow: row dicts are never edited in place (apply replaces
+        # whole (score, row) tuples), and the export copied them.
+        self._rows = dict(state["rows"])
+        if "index" in state:
+            self._index.load_entries(state["index"])
+        else:
+            self._index.rebuild((None, score, key)
+                                for key, (score, _) in self._rows.items())

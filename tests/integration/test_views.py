@@ -15,6 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import compile_program, entity
 from repro.bench import chaos_coordinator_config
 from repro.faults import random_plan
 from repro.query import QueryEngine, QueryError, ViewSpec
@@ -45,13 +46,18 @@ def _bucket(row):
 
 def standard_views(runtime) -> QueryEngine:
     """Register one view per kind: filtered count, global sum, grouped
-    avg (with group migration), bounded top-k."""
+    avg (with group migration), min/max extremes (with extremum
+    retraction as transfers land), bounded top-k."""
     engine = QueryEngine(runtime)
     engine.register_view(ViewSpec("rich-count", "Account", "count",
                                   where=_rich))
     engine.register_view(ViewSpec("total", "Account", "sum",
                                   field="balance"))
     engine.register_view(ViewSpec("avg-by-bucket", "Account", "avg",
+                                  field="balance", group_by=_bucket))
+    engine.register_view(ViewSpec("poorest", "Account", "min",
+                                  field="balance"))
+    engine.register_view(ViewSpec("richest-by-bucket", "Account", "max",
                                   field="balance", group_by=_bucket))
     engine.register_view(ViewSpec("top3", "Account", "top_k",
                                   field="balance", k=3))
@@ -213,8 +219,9 @@ class TestCrashRecovery:
                                          state_backend, snapshot_mode):
         """Coordinator fail-stop mid-load: recovery rewinds the
         committed store to a snapshot and abandons the pipeline, so the
-        views must rewind too (rehydration), then track the replayed
-        batches back to an exact final state."""
+        views must rewind too — resuming from the cut's durable sidecar
+        (zero store scans), then tracking the replayed batches back to
+        an exact final state."""
         runtime = StateflowRuntime(account_program, config=StateflowConfig(
             state_backend=state_backend, snapshot_mode=snapshot_mode,
             coordinator=CoordinatorConfig(snapshot_interval_ms=150.0,
@@ -229,8 +236,11 @@ class TestCrashRecovery:
         submit_transfers(runtime, refs, plan)
         runtime.fail_coordinator(at_ms=430.0, failover_after_ms=80.0)
         runtime.sim.run(until=60_000)
-        assert runtime.views.rehydrations >= len(runtime.views.names()), (
-            "recovery must rebuild every view from the restored store")
+        assert runtime.views.sidecar_restores >= \
+            len(runtime.views._compiler.plans), (
+                "recovery must resume every plan from the cut's sidecar")
+        assert runtime.views.rehydrations == 0, (
+            "a sidecar-covered recovery must not rescan the store")
         assert failures == []
         assert_views_match_oracle(runtime)
         assert engine.view("total").value == TOTAL
@@ -283,6 +293,204 @@ class TestRescale:
         assert failures == []
         assert_views_match_oracle(runtime)
         assert engine.view("total").value == TOTAL
+
+
+# ---------------------------------------------------------------------------
+# FK delta-joins end-to-end: two entity types in one program, a stored
+# foreign key, and views spanning both.
+# ---------------------------------------------------------------------------
+
+
+@entity
+class JCustomer:
+    def __init__(self, cid: str, tier: int):
+        self.cid: str = cid
+        self.tier: int = tier
+
+    def __key__(self):
+        return self.cid
+
+    def set_tier(self, tier: int) -> int:
+        self.tier = tier
+        return self.tier
+
+
+@entity
+class JOrder:
+    def __init__(self, oid: str, customer_id: str, amount: int):
+        self.oid: str = oid
+        self.customer_id: str = customer_id
+        self.amount: int = amount
+
+    def __key__(self):
+        return self.oid
+
+    def set_amount(self, amount: int) -> int:
+        self.amount = amount
+        return self.amount
+
+    def reassign(self, customer_id: str) -> str:
+        self.customer_id = customer_id
+        return self.customer_id
+
+
+@pytest.fixture(scope="module")
+def join_program():
+    return compile_program([JCustomer, JOrder])
+
+
+def join_views(runtime) -> QueryEngine:
+    engine = QueryEngine(runtime)
+    engine.register_view(ViewSpec(
+        "sum-by-tier", "JOrder", "sum", field="amount",
+        group_by="JCustomer__tier",
+        join_entity="JCustomer", join_on="customer_id"))
+    engine.register_view(ViewSpec(
+        "joined-count", "JOrder", "count",
+        join_entity="JCustomer", join_on="customer_id"))
+    return engine
+
+
+class TestJoinViews:
+    def test_join_views_track_every_commit(self, join_program):
+        """Amount edits (left-side deltas), tier changes (right-side
+        fan-out) and FK reassignments (re-link) all ride the commit
+        path; the probe holds the two-entity scan oracle at every
+        batch."""
+        runtime = StateflowRuntime(join_program)
+        customers = runtime.preload(JCustomer, [("c0", 1), ("c1", 2)])
+        orders = runtime.preload(
+            JOrder, [(f"o{i}", f"c{i % 2}", 10 + i) for i in range(6)])
+        runtime.start()
+        engine = join_views(runtime)
+        failures = attach_probe(runtime)
+        runtime.call(orders[0], "set_amount", 100)
+        runtime.call(customers[0], "set_tier", 5)     # fans out to o0/o2/o4
+        runtime.call(orders[1], "reassign", "c0")     # FK move c1 -> c0
+        runtime.call(orders[3], "set_amount", 1)
+        runtime.call(customers[1], "set_tier", 2)
+        assert failures == []
+        assert_views_match_oracle(runtime)
+        value = engine.view("sum-by-tier").value
+        # c0 (tier 5) holds o0=100, o2=12, o4=14 and the moved o1=11;
+        # c1 (tier 2) keeps o3 (now 1) and o5=15.
+        assert value == {5: 100 + 12 + 14 + 11, 2: 1 + 15}
+        assert engine.view("joined-count").value == 6
+
+    def test_join_views_rewind_with_the_store(self, join_program):
+        """Coordinator crash between commits: both memo sides restore
+        from the sidecar and the replay converges to the oracle."""
+        runtime = StateflowRuntime(join_program, config=StateflowConfig(
+            coordinator=CoordinatorConfig(snapshot_interval_ms=150.0,
+                                          failure_detect_ms=200.0)))
+        customers = runtime.preload(JCustomer, [("c0", 1), ("c1", 2)])
+        orders = runtime.preload(
+            JOrder, [(f"o{i}", f"c{i % 2}", 10 + i) for i in range(4)])
+        runtime.start()
+        engine = join_views(runtime)
+        failures = attach_probe(runtime)
+        moves = [(orders[0], "set_amount", (50,)),
+                 (customers[0], "set_tier", (9,)),
+                 (orders[1], "reassign", ("c0",)),
+                 (orders[2], "set_amount", (7,)),
+                 (customers[1], "set_tier", (4,)),
+                 (orders[3], "reassign", ("c1",))]
+        for index, (ref, method, arguments) in enumerate(moves):
+            runtime.sim.schedule_at(
+                index * 80.0,
+                lambda r=ref, m=method, a=arguments: runtime.submit(r, m, a))
+        runtime.fail_coordinator(at_ms=330.0, failover_after_ms=80.0)
+        runtime.sim.run(until=60_000)
+        assert runtime.views.rehydrations == 0
+        assert runtime.views.sidecar_restores >= \
+            len(runtime.views._compiler.plans)
+        assert failures == []
+        assert_views_match_oracle(runtime)
+        assert engine.view("joined-count").value == 4
+
+
+# ---------------------------------------------------------------------------
+# Windowed aggregates end-to-end.  There is no full-scan oracle for a
+# windowed view (rows carry no timestamps), so the battery pins the
+# conservation invariant instead: a windowed *sum* partitions the very
+# total the un-windowed sum view maintains, at every single commit.
+# ---------------------------------------------------------------------------
+
+WINDOW_MS = 250.0
+
+
+def windowed_views(runtime) -> QueryEngine:
+    engine = QueryEngine(runtime)
+    engine.register_view(ViewSpec("total", "Account", "sum",
+                                  field="balance"))
+    engine.register_view(ViewSpec("sum-by-window", "Account", "sum",
+                                  field="balance", window_ms=WINDOW_MS))
+    return engine
+
+
+def attach_conservation_probe(runtime) -> list:
+    failures: list = []
+
+    def probe(batch_id: int) -> None:
+        windows = runtime.views.read("sum-by-window").value
+        want = runtime.views.expected("total")
+        if sum(windows.values()) != want:
+            failures.append((batch_id, windows, want))
+
+    runtime.views.probe = probe
+    return failures
+
+
+class TestWindowedViews:
+    def test_windowed_sum_partitions_the_total(self, account_program):
+        runtime = StateflowRuntime(account_program)
+        refs = runtime.preload(
+            Account, [(f"acct-{i}", SEED_BALANCE) for i in range(ACCOUNTS)])
+        runtime.start()
+        engine = windowed_views(runtime)
+        failures = attach_conservation_probe(runtime)
+        plan = [(i % ACCOUNTS, (i * 3 + 1) % ACCOUNTS, 5 + i % 17)
+                for i in range(30)]
+        submit_transfers(runtime, refs, plan, spacing_ms=60.0)
+        runtime.sim.run(until=60_000)
+        assert failures == []
+        windows = engine.view("sum-by-window").value
+        assert len(windows) > 1, "the load must span multiple windows"
+        assert sum(windows.values()) == TOTAL
+        assert all(start % WINDOW_MS == 0 for start in windows)
+
+    def test_windowed_views_survive_crash_recovery(self, account_program):
+        """The one view kind that *cannot* be rebuilt by scanning: the
+        commit-time window assignment lives only in operator state.
+        Recovery must carry it through the sidecar and keep the
+        conservation invariant across the rewind and replay."""
+        runtime = StateflowRuntime(account_program, config=StateflowConfig(
+            coordinator=CoordinatorConfig(snapshot_interval_ms=150.0,
+                                          failure_detect_ms=200.0)))
+        refs = runtime.preload(
+            Account, [(f"acct-{i}", SEED_BALANCE) for i in range(ACCOUNTS)])
+        runtime.start()
+        engine = windowed_views(runtime)
+        failures = attach_conservation_probe(runtime)
+        # Touch accounts 2..5 only before the first cut, then churn
+        # 0<->1 through the crash: the early keys must keep their old
+        # windows through recovery while the late keys land in new
+        # ones — a scan could never tell those apart.
+        plan = [(2, 3, 5), (4, 5, 7), (3, 4, 6), (5, 2, 9)] + \
+            [(0, 1, 5 + i % 11) for i in range(21)]
+        submit_transfers(runtime, refs, plan)
+        runtime.fail_coordinator(at_ms=430.0, failover_after_ms=80.0)
+        runtime.sim.run(until=60_000)
+        assert runtime.views.rehydrations == 0, (
+            "windowed state must ride the sidecar, never a rescan")
+        assert runtime.views.sidecar_restores >= \
+            len(runtime.views._compiler.plans)
+        assert failures == []
+        windows = engine.view("sum-by-window").value
+        assert len(windows) > 1
+        assert sum(windows.values()) == TOTAL
+        with pytest.raises(ViewError):
+            runtime.views.expected("sum-by-window")
 
 
 @pytest.mark.slow

@@ -19,11 +19,14 @@ import pytest
 
 from repro.bench import verify_history
 from repro.faults import random_plan
-from repro.runtimes.state import materialize_snapshot
+from repro.query import QueryEngine, ViewSpec
+from repro.runtimes.state import TOMBSTONE, apply_flat_writes, \
+    materialize_snapshot
 from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
 from repro.runtimes.stateflow.coordinator import CoordinatorConfig
 from repro.storage import FileChangelogStore, FileSnapshotStore
 from repro.substrates.simulation import Simulation
+from repro.views import ViewManager
 from repro.workloads import Account, DriverConfig, WorkloadDriver, YcsbWorkload
 
 BACKENDS = ("dict", "cow")
@@ -146,6 +149,119 @@ class TestColdStart:
         cold_changelog.close()
 
 
+VIEW_SPECS = [
+    ViewSpec("total", "Account", "sum", field="balance"),
+    ViewSpec("poorest", "Account", "min", field="balance"),
+    ViewSpec("top3", "Account", "top_k", field="balance", k=3),
+    ViewSpec("by-window", "Account", "count", window_ms=400.0),
+]
+
+
+class _FlatStore:
+    """The backend-agnostic scan surface over a materialized flat
+    ``{(entity, key): state}`` mapping — what a cold process has after
+    resolving a cut and rolling the changelog suffix forward."""
+
+    def __init__(self, state):
+        self._state = state
+
+    def keys(self):
+        return list(self._state)
+
+    def get(self, entity, key):
+        state = self._state.get((entity, key))
+        return dict(state) if state is not None else None
+
+
+def cold_start_views(directory, specs):
+    """The cold-start recipe for views: resolve the latest recoverable
+    cut, roll the changelog suffix over the payload, then resume the
+    views from the cut's sidecar + the same suffix."""
+    snapshots, changelog = reopen_stores(directory)
+    snapshot, payload = snapshots.latest_recoverable(changelog)
+    suffix = changelog.records_between(snapshot.changelog_seq,
+                                       changelog.head_seq)
+    assert suffix is not None, "the recovered chain must be contiguous"
+    state = materialize_snapshot(payload)
+    for record in suffix:
+        state = apply_flat_writes(state, record.writes)
+    state = {composite: row for composite, row in state.items()
+             if row is not TOMBSTONE}
+    manager = ViewManager(_FlatStore(state))
+    manager.attach_recovery(getattr(snapshot, "views_state", None), suffix)
+    for spec in specs:
+        manager.register(spec)
+    manager.detach_recovery()
+    changelog.close()
+    return manager, state
+
+
+def canonical(value):
+    """Order-insensitive repr for cross-process view comparison (dict
+    insertion order differs between a live run and a restore)."""
+    if isinstance(value, dict):
+        return repr(sorted(value.items(), key=repr))
+    return repr(value)
+
+
+class TestDurableViewsColdStart:
+    def _durable_run_with_views(self, directory):
+        config = StateflowConfig(
+            workers=3, state_backend="dict", snapshot_mode="incremental",
+            pipeline_depth=2, durability_dir=str(directory),
+            coordinator=CoordinatorConfig(
+                snapshot_interval_ms=SNAPSHOT_INTERVAL_MS,
+                failure_detect_ms=200.0,
+                snapshot_base_every=BASE_EVERY))
+        runtime = StateflowRuntime(run_once.program,
+                                   sim=Simulation(seed=11), config=config)
+        workload = YcsbWorkload("T", record_count=24,
+                                distribution="uniform", seed=12,
+                                initial_balance=1_000)
+        runtime.preload(Account, workload.dataset_rows())
+        runtime.start()
+        engine = QueryEngine(runtime)
+        for spec in VIEW_SPECS:
+            engine.register_view(spec)
+        driver = WorkloadDriver(runtime, workload, DriverConfig(
+            rps=150.0, duration_ms=1_500.0, warmup_ms=0.0,
+            drain_ms=25_000.0, seed=13))
+        driver.run()
+        runtime.sim.run(until=runtime.sim.now + 25_000.0)
+        return runtime
+
+    def test_cold_start_resumes_views_without_a_scan(self, tmp_path):
+        """The full durable loop: run with views, quiesce, reopen the
+        *files* in a fresh manager, and resume every view — including
+        the windowed one no scan could rebuild — from the cut's sidecar
+        plus the changelog suffix.  Zero rehydrations, byte-identical
+        values."""
+        runtime = self._durable_run_with_views(tmp_path)
+        live_values = {name: runtime.views.read(name).value
+                       for name in runtime.views.names()}
+        runtime.coordinator.changelog.close()
+
+        manager, state = cold_start_views(tmp_path, VIEW_SPECS)
+        assert manager.rehydrations == 0, (
+            "a sidecar-covered cold start must not rescan the store")
+        assert manager.sidecar_restores == len(VIEW_SPECS)
+        cold_values = {name: manager.read(name).value
+                       for name in manager.names()}
+        assert cold_values == live_values, (
+            "cold-started views must be byte-identical to the live ones")
+
+        # Control: scan hydration agrees wherever a scan *can* answer,
+        # and provably cannot for the windowed view.
+        control = ViewManager(_FlatStore(state))
+        for spec in VIEW_SPECS:
+            if spec.window_ms is None:
+                control.register(spec)
+        for name in control.names():
+            assert control.read(name).value == cold_values[name]
+        assert len(cold_values["by-window"]) > 1, (
+            "the run must spread commits over multiple windows")
+
+
 #: The child runs a deterministic durable workload, reports what its
 #: stores say is recoverable, then dies by real SIGKILL mid-breath —
 #: no atexit, no flush, no orderly close.
@@ -211,6 +327,90 @@ class TestRealKill:
         assert cold_changelog.head_seq == dying_words["head_seq"]
         assert repr(sorted(state.items(), key=repr)) == dying_words["state"]
         cold_changelog.close()
+
+
+#: Same shape as _CHILD, but with the PR-10 view set registered: the
+#: dying words are the views' values, so the parent can diff them
+#: against a files-only cold start.
+_CHILD_VIEWS = """
+import json, os, signal, sys
+from repro.compiler.pipeline import compile_program
+from repro.query import QueryEngine, ViewSpec
+from repro.runtimes.stateflow import StateflowConfig, StateflowRuntime
+from repro.runtimes.stateflow.coordinator import CoordinatorConfig
+from repro.substrates.simulation import Simulation
+from repro.workloads import Account, DriverConfig, WorkloadDriver, \\
+    YcsbWorkload
+
+durable, report = sys.argv[1], sys.argv[2]
+config = StateflowConfig(
+    workers=3, state_backend="dict", snapshot_mode="incremental",
+    pipeline_depth=2, durability_dir=durable,
+    coordinator=CoordinatorConfig(
+        snapshot_interval_ms=150.0, failure_detect_ms=200.0,
+        snapshot_base_every=3))
+runtime = StateflowRuntime(compile_program([Account]),
+                           sim=Simulation(seed=11), config=config)
+workload = YcsbWorkload("T", record_count=16, distribution="uniform",
+                        seed=12, initial_balance=1_000)
+runtime.preload(Account, workload.dataset_rows())
+runtime.start()
+engine = QueryEngine(runtime)
+for spec in [ViewSpec("total", "Account", "sum", field="balance"),
+             ViewSpec("poorest", "Account", "min", field="balance"),
+             ViewSpec("top3", "Account", "top_k", field="balance", k=3),
+             ViewSpec("by-window", "Account", "count", window_ms=400.0)]:
+    engine.register_view(spec)
+driver = WorkloadDriver(runtime, workload, DriverConfig(
+    rps=150.0, duration_ms=1_000.0, warmup_ms=0.0, drain_ms=20_000.0,
+    seed=13))
+driver.run()
+runtime.sim.run(until=runtime.sim.now + 20_000.0)
+
+
+def canonical(value):
+    if isinstance(value, dict):
+        return repr(sorted(value.items(), key=repr))
+    return repr(value)
+
+
+values = {name: canonical(runtime.views.read(name).value)
+          for name in runtime.views.names()}
+with open(report, "w") as handle:
+    json.dump(values, handle)
+    handle.flush()
+    os.fsync(handle.fileno())
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+class TestRealKillPreservesViews:
+    def test_view_values_identical_across_sigkill_cold_start(self,
+                                                             tmp_path):
+        """A real SIGKILL, then a files-only cold start of the views:
+        every value — including the windowed one — must match the dying
+        process's last reads, with zero store rescans."""
+        durable = tmp_path / "durable"
+        report = tmp_path / "report.json"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.run(
+            [sys.executable, "-c", _CHILD_VIEWS, str(durable), str(report)],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert child.returncode == -signal.SIGKILL, child.stderr
+        dying_words = json.loads(report.read_text(encoding="utf-8"))
+
+        manager, _ = cold_start_views(durable, [
+            ViewSpec("total", "Account", "sum", field="balance"),
+            ViewSpec("poorest", "Account", "min", field="balance"),
+            ViewSpec("top3", "Account", "top_k", field="balance", k=3),
+            ViewSpec("by-window", "Account", "count", window_ms=400.0)])
+        assert manager.rehydrations == 0
+        assert manager.sidecar_restores == 4
+        cold = {name: canonical(manager.read(name).value)
+                for name in manager.names()}
+        assert cold == dying_words
 
 
 @pytest.mark.slow

@@ -10,6 +10,7 @@ import pytest
 from repro.runtimes.state import StateDelta
 from repro.storage import (FileChangelogStore, FileSnapshotStore,
                            StorageError, read_manifest, open_layout)
+from repro.storage.manifest import FORMAT_VERSION
 
 #: The coordinator-owned consistency metadata every cut carries; these
 #: tests exercise the store, not the coordinator, so minimal values do.
@@ -176,11 +177,61 @@ class TestLayoutVersioning:
         assert snapshots.resolve(snapshots.latest()) == state_v(0)
         assert changelog.loaded == 1
         assert changelog._records[0].writes == state_v(1)
-        assert read_manifest(open_layout(root))["format_version"] == 1
-        # Migrated files live in the v1 subdirectories now.
+        assert read_manifest(open_layout(root))["format_version"] \
+            == FORMAT_VERSION
+        # Migrated files live in the split subdirectories now.
         assert not list(root.glob("segment-*.log"))
         assert not list(root.glob("cut-*.bin"))
+        # The v1 cut-frame migration ran too: the sidecar slot is
+        # materialized, not merely absent.
+        assert snapshots.latest().views_state is None
         changelog.close()
+
+    def test_v1_cut_frames_gain_the_sidecar_slot(self, tmp_path):
+        """A v1 directory's cut pickles predate ``Snapshot.views_state``
+        (a slots dataclass: the attribute is *missing*, not None); the
+        v1 -> v2 migration must rewrite them so every retained cut
+        answers ``views_state`` without blowing up."""
+        import pickle
+
+        store = FileSnapshotStore(tmp_path, mode="full")
+        store.take(taken_at_ms=0.0, state=state_v(0), kind="full",
+                   changelog_seq=-1, **META)
+        # Fabricate a v1 frame: strip the slot from the pickled state
+        # and stamp the manifest back to version 1.
+        layout = open_layout(tmp_path)
+        [cut_path] = layout.cut_files()
+        snapshot = store.latest()
+
+        class _V1Snapshot:
+            """Pickles as a Snapshot whose state dict lacks the slot."""
+
+            def __reduce__(self):
+                import copyreg
+
+                from repro.runtimes.stateflow.snapshots import Snapshot
+                state = snapshot.__reduce_ex__(2)[2]
+                slots = dict(state[1])
+                slots.pop("views_state", None)
+                return (copyreg._reconstructor,
+                        (Snapshot, object, None), (state[0], slots))
+
+        from repro.substrates.wire import encode_frame
+        cut_path.write_bytes(encode_frame(_V1Snapshot()))
+        manifest = json.loads(layout.manifest_path.read_text())
+        manifest["format_version"] = 1
+        layout.manifest_path.write_text(json.dumps(manifest))
+        # Prove the fabricated frame really lacks the slot.
+        from repro.substrates.wire import decode_frame
+        stale = decode_frame(cut_path.read_bytes())
+        with pytest.raises(AttributeError):
+            stale.views_state
+
+        reopened = FileSnapshotStore(tmp_path, mode="full")
+        assert reopened.loaded == 1
+        assert reopened.latest().views_state is None
+        assert read_manifest(open_layout(tmp_path))["format_version"] \
+            == FORMAT_VERSION
 
     def test_newer_layout_is_refused(self, tmp_path):
         (tmp_path / "MANIFEST.json").write_text(

@@ -5,7 +5,7 @@ The algebra the operators rely on, pinned with hypothesis:
 1. delta-in/delta-out ≡ recompute-from-scratch — folding any sequence
    of write-footprint deltas into a plan lands on exactly the value a
    full scan of the resulting state computes (every kind: filtered and
-   grouped aggregates, top-k);
+   grouped aggregates including min/max, top-k);
 2. compaction — applying the last-writer-wins compaction of a delta
    sequence equals applying the sequence (absolute states commute with
    compaction);
@@ -47,6 +47,11 @@ SPECS = [
     ViewSpec("avg-grouped-filtered", "E", "avg", field="v",
              group_by="g", where=_positive),
     ViewSpec("top3", "E", "top_k", field="v", k=3),
+    ViewSpec("min", "E", "min", field="v"),
+    ViewSpec("max", "E", "max", field="v"),
+    ViewSpec("min-grouped", "E", "min", field="v", group_by="g"),
+    ViewSpec("max-grouped-filtered", "E", "max", field="v",
+             group_by="g", where=_positive),
 ]
 SPEC_IDS = st.integers(0, len(SPECS) - 1)
 
@@ -128,9 +133,11 @@ def test_delete_everything_returns_to_empty(spec_id, sequence):
     assert compiled.value() == recompute(spec, [])
     terminal = compiled.terminal
     if spec.kind == "top_k":
-        assert terminal._rows == {} and terminal._index == []
+        assert terminal._rows == {} and len(terminal._index) == 0
     else:
         assert terminal._contrib == {} and terminal._groups == {}
+        if terminal._ordered is not None:  # min/max ordered index
+            assert len(terminal._ordered) == 0
 
 
 @given(SEQUENCES)
